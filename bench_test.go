@@ -1,0 +1,217 @@
+// Package chipletnoc's top-level benchmarks regenerate every table and
+// figure of the paper's evaluation (Section 5), one benchmark per
+// artifact, plus one per design-choice ablation. Each iteration performs
+// the complete measurement at Quick scale; run cmd/experiments (without
+// -quick) for the full-scale numbers EXPERIMENTS.md records.
+//
+//	go test -bench=. -benchmem
+package chipletnoc_test
+
+import (
+	"testing"
+
+	"chipletnoc/internal/experiments"
+)
+
+// BenchmarkTable5CoherenceLatency regenerates Table 5: M/E/S access
+// latency intra- and inter-chiplet, against the Intel-6248 and AMD-7742
+// models.
+func BenchmarkTable5CoherenceLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTable5(experiments.Quick)
+		if len(r.Rows) != 6 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkFig10LMBench regenerates Figure 10: LMBench bandwidth,
+// single-core and all-core, on all three systems.
+func BenchmarkFig10LMBench(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig10(experiments.Quick)
+		if r.SingleVsIntel <= 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkFig11LatencyCompetition regenerates Figure 11: the probe
+// core's DDR latency under rising background noise, ours vs Intel-6148.
+func BenchmarkFig11LatencyCompetition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig11(experiments.Quick)
+		if len(r.Series) != 6 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkFig12SpecInt2017 regenerates Figure 12's four panels.
+func BenchmarkFig12SpecInt2017(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunSpecInt(experiments.Quick, true)
+		if len(r.Panels) != 4 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkFig13SpecInt2006 regenerates Figure 13's four panels.
+func BenchmarkFig13SpecInt2006(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunSpecInt(experiments.Quick, false)
+		if len(r.Panels) != 4 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkTable6SpecPower regenerates Table 6: SPECpower-style
+// perf/watt scores for the three systems.
+func BenchmarkTable6SpecPower(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTable6(experiments.Quick)
+		if len(r.Rows) != 3 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkTable7AIBandwidth regenerates Table 7: AI-NoC bandwidth over
+// the six read:write mixes.
+func BenchmarkTable7AIBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTable7(experiments.Quick)
+		if len(r.Rows) != 6 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkFig14Equilibrium regenerates Figure 14: the per-core
+// bandwidth-equilibrium analysis of the 1:1 run.
+func BenchmarkFig14Equilibrium(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig14(experiments.Quick, nil)
+		if r.Probes == 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkTable8MLPerf regenerates Table 8: MLPerf training speedup and
+// energy versus the A100-class baseline.
+func BenchmarkTable8MLPerf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTable8(experiments.Quick, nil)
+		if len(r.Rows) != 3 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkAblationBufferless compares bufferless vs buffered rings on
+// latency, throughput, area and energy (Sections 3.4.2-3.4.3).
+func BenchmarkAblationBufferless(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunAblationBufferless(experiments.Quick)
+		if r.BufferlessArea <= 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkAblationHalfVsFullRing quantifies the half/full ring capacity
+// trade (Section 4.1.3).
+func BenchmarkAblationHalfVsFullRing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunAblationHalfFull(experiments.Quick)
+		if r.FullThru <= 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkAblationWireFabric quantifies the Table 4 distance-per-cycle
+// decision.
+func BenchmarkAblationWireFabric(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunAblationWireFabric(experiments.Quick)
+		if r.DensePositions == 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkAblationDeadlock reproduces the Figure 9 deadlock with and
+// without SWAP.
+func BenchmarkAblationDeadlock(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunAblationSwap(experiments.Quick)
+		if r.WithSwapDelivered == 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkAblationTags measures the I-tag/E-tag livelock and starvation
+// control (Section 4.1.2).
+func BenchmarkAblationTags(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunAblationTags(experiments.Quick)
+		if r.OnDelivered == 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkScaleUp regenerates the 4P multi-package extension study.
+func BenchmarkScaleUp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunScaleUp(experiments.Quick)
+		if len(r.Rows) != 3 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkAreaReport regenerates the area-efficiency KPI study.
+func BenchmarkAreaReport(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunAreaReport(experiments.Quick)
+		if len(r.Rows) != 2 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkFabricComparison regenerates the organisation comparison.
+func BenchmarkFabricComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFabricComparison(experiments.Quick)
+		if len(r.Rows) != 5 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkLayerReplay regenerates the layer-trace replay validation.
+func BenchmarkLayerReplay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunLayerReplay(experiments.Quick)
+		if len(r.Rows) != 2 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkAblationThrottle regenerates the congestion-pacing ablation.
+func BenchmarkAblationThrottle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunAblationThrottle(experiments.Quick)
+		if r.PlainTBps <= 0 {
+			b.Fatal("bad result")
+		}
+	}
+}

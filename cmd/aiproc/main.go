@@ -1,0 +1,40 @@
+// Command aiproc runs the AI-Processor experiments of Section 5.4: the
+// bandwidth-vs-ratio table (Table 7), the bandwidth equilibrium analysis
+// (Figure 14) and the MLPerf training comparison (Table 8).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chipletnoc/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all|table7|fig14|table8")
+	quick := flag.Bool("quick", false, "quick scale")
+	flag.Parse()
+
+	scale := experiments.Full
+	if *quick {
+		scale = experiments.Quick
+	}
+
+	t7 := experiments.RunTable7(scale)
+	switch *exp {
+	case "all":
+		fmt.Println(t7.Render())
+		fmt.Println(experiments.RunFig14(scale, &t7).Render())
+		fmt.Println(experiments.RunTable8(scale, &t7).Render())
+	case "table7":
+		fmt.Println(t7.Render())
+	case "fig14":
+		fmt.Println(experiments.RunFig14(scale, &t7).Render())
+	case "table8":
+		fmt.Println(experiments.RunTable8(scale, &t7).Render())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,95 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section. By default it runs everything at full scale — the
+// run EXPERIMENTS.md records; use -exp to select one and -quick for a
+// fast pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"chipletnoc/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all",
+		"experiment: all|table5|fig10|fig11|fig12|fig13|table6|table7|fig14|table8|scaleup|area|fabrics|replay|ablations")
+	quick := flag.Bool("quick", false, "quick scale (smaller systems, shorter windows)")
+	csvDir := flag.String("csv", "", "also write figure data as CSV files into this directory")
+	flag.Parse()
+
+	scale := experiments.Full
+	if *quick {
+		scale = experiments.Quick
+	}
+
+	writeCSV := func(name, data string) {
+		if *csvDir == "" || data == "" {
+			return
+		}
+		path := filepath.Join(*csvDir, name)
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+			return
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
+	runs := map[string]func(){
+		"table5": func() { fmt.Println(experiments.RunTable5(scale).Render()) },
+		"fig10":  func() { fmt.Println(experiments.RunFig10(scale).Render()) },
+		"fig11": func() {
+			r := experiments.RunFig11(scale)
+			fmt.Println(r.Render())
+			writeCSV("fig11.csv", r.CSV())
+		},
+		"fig12":  func() { fmt.Println(experiments.RunSpecInt(scale, true).Render()) },
+		"fig13":  func() { fmt.Println(experiments.RunSpecInt(scale, false).Render()) },
+		"table6": func() { fmt.Println(experiments.RunTable6(scale).Render()) },
+		"table7+fig14+table8": func() {
+			t7 := experiments.RunTable7(scale)
+			fmt.Println(t7.Render())
+			fmt.Println(experiments.RunFig14(scale, &t7).Render())
+			fmt.Println(experiments.RunTable8(scale, &t7).Render())
+			writeCSV("table7.csv", t7.CSV())
+			writeCSV("fig14_probes.csv", t7.ProbeCSV())
+		},
+		"scaleup": func() { fmt.Println(experiments.RunScaleUp(scale).Render()) },
+		"area":    func() { fmt.Println(experiments.RunAreaReport(scale).Render()) },
+		"fabrics": func() {
+			r := experiments.RunFabricComparison(scale)
+			fmt.Println(r.Render())
+			writeCSV("fabrics.csv", r.CSV())
+		},
+		"replay": func() { fmt.Println(experiments.RunLayerReplay(scale).Render()) },
+		"ablations": func() {
+			fmt.Println(experiments.RunAblationBufferless(scale).Render())
+			fmt.Println(experiments.RunAblationHalfFull(scale).Render())
+			fmt.Println(experiments.RunAblationWireFabric(scale).Render())
+			fmt.Println(experiments.RunAblationSwap(scale).Render())
+			fmt.Println(experiments.RunAblationTags(scale).Render())
+			fmt.Println(experiments.RunAblationThrottle(scale).Render())
+		},
+	}
+	order := []string{"table5", "fig10", "fig11", "fig12", "fig13", "table6", "table7+fig14+table8", "scaleup", "area", "fabrics", "replay", "ablations"}
+
+	switch *exp {
+	case "all":
+		for _, k := range order {
+			runs[k]()
+		}
+	case "table7", "fig14", "table8":
+		runs["table7+fig14+table8"]()
+	default:
+		run, ok := runs[*exp]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from all, %s\n",
+				*exp, strings.Join(order, ", "))
+			os.Exit(2)
+		}
+		run()
+	}
+}

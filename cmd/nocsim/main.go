@@ -1,0 +1,151 @@
+// Command nocsim is a generic interconnect load-sweep tool: pick a fabric
+// organisation, an injection rate (or a sweep), and it reports latency
+// and throughput under uniform-random traffic — the quickest way to
+// explore how the bufferless multi-ring compares with buffered
+// organisations at a given scale.
+//
+// Examples:
+//
+//	nocsim -fabric multiring -nodes 32 -rate 0.1
+//	nocsim -fabric mesh -nodes 36 -sweep
+//	nocsim -fabric chiplets -dies 2 -nodes 32 -sweep
+//	nocsim -config my-soc.json -cycles 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"chipletnoc/internal/baseline"
+	"chipletnoc/internal/config"
+	"chipletnoc/internal/stats"
+)
+
+func main() {
+	fabricName := flag.String("fabric", "multiring", "multiring|halfring|chiplets|mesh|ring|hub")
+	configPath := flag.String("config", "", "JSON topology file (overrides -fabric; see internal/config)")
+	cycles := flag.Int("cycles", 20000, "cycles to run a -config system")
+	describe := flag.Bool("describe", false, "print the -config topology before running")
+	nodes := flag.Int("nodes", 16, "endpoint count")
+	dies := flag.Int("dies", 2, "dies (chiplets/hub fabrics)")
+	rate := flag.Float64("rate", 0.05, "injection probability per node per cycle")
+	sweep := flag.Bool("sweep", false, "sweep rates and report the latency curve and knee")
+	payload := flag.Int("payload", 64, "payload bytes per packet")
+	warmup := flag.Uint64("warmup", 2000, "warmup cycles")
+	window := flag.Uint64("window", 10000, "measurement cycles")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	if *configPath != "" {
+		if err := runConfig(*configPath, *cycles, *describe); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	factory, err := fabricFactory(*fabricName, *nodes, *dies)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if !*sweep {
+		p := baseline.MeasureUniform(factory(), *rate, *payload, *warmup, *window, *seed)
+		fmt.Printf("fabric=%s nodes=%d rate=%.3f\n", factory().Name(), *nodes, *rate)
+		fmt.Printf("throughput: %.4f pkt/node/cycle\n", p.Throughput)
+		fmt.Printf("latency:    mean %.1f cycles, p99 %.1f\n", p.MeanLatency, p.P99)
+		if p.Saturated {
+			fmt.Println("status:     SATURATED (offered load exceeds capacity)")
+		}
+		return
+	}
+
+	rates := []float64{0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5}
+	points := baseline.Sweep(factory, rates, *payload, *warmup, *window, *seed)
+	t := stats.NewTable("rate", "throughput", "mean lat", "p99 lat", "saturated")
+	for _, p := range points {
+		sat := ""
+		if p.Saturated {
+			sat = "yes"
+		}
+		t.AddRow(fmt.Sprintf("%.2f", p.OfferedRate), fmt.Sprintf("%.4f", p.Throughput),
+			fmt.Sprintf("%.1f", p.MeanLatency), fmt.Sprintf("%.1f", p.P99), sat)
+	}
+	fmt.Printf("fabric=%s nodes=%d\n%s", factory().Name(), *nodes, t.String())
+	fmt.Printf("knee (2x zero-load latency): rate %.2f\n", baseline.Knee(points, 2))
+}
+
+// runConfig builds and runs a JSON-defined system, reporting per-device
+// statistics.
+func runConfig(path string, cycles int, describe bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	spec, err := config.Parse(data)
+	if err != nil {
+		return err
+	}
+	sys, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	if describe {
+		fmt.Print(sys.Net.Describe())
+	}
+	sys.Run(cycles)
+
+	fmt.Printf("system %s after %d cycles:\n", spec.Name, cycles)
+	t := stats.NewTable("requester", "completed", "mean lat", "p99 lat", "bytes")
+	names := make([]string, 0, len(sys.Requesters))
+	for n := range sys.Requesters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r := sys.Requesters[n]
+		t.AddRow(n, r.Completed, fmt.Sprintf("%.1f", r.Latency.Mean()),
+			fmt.Sprintf("%.1f", r.Latency.Percentile(99)), r.BytesMoved)
+	}
+	fmt.Print(t.String())
+	t2 := stats.NewTable("memory", "reads", "writes", "bytes served")
+	names = names[:0]
+	for n := range sys.Memories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		m := sys.Memories[n]
+		t2.AddRow(n, m.Reads, m.Writes, m.BytesServed)
+	}
+	fmt.Print(t2.String())
+	fmt.Printf("network: injected=%d delivered=%d deflections=%d\n",
+		sys.Net.InjectedFlits, sys.Net.DeliveredFlits, sys.Net.Deflections)
+	return nil
+}
+
+func fabricFactory(name string, nodes, dies int) (func() baseline.Fabric, error) {
+	switch name {
+	case "multiring":
+		return func() baseline.Fabric { return baseline.NewMultiRing(nodes, true) }, nil
+	case "halfring":
+		return func() baseline.Fabric { return baseline.NewMultiRing(nodes, false) }, nil
+	case "chiplets":
+		per := (nodes + dies - 1) / dies
+		return func() baseline.Fabric { return baseline.NewMultiRingChiplets(dies, per) }, nil
+	case "mesh":
+		side := int(math.Ceil(math.Sqrt(float64(nodes))))
+		return func() baseline.Fabric { return baseline.NewBufferedMesh(baseline.DefaultMeshConfig(side, side)) }, nil
+	case "ring":
+		return func() baseline.Fabric { return baseline.NewBufferedRing(baseline.DefaultRingConfig(nodes)) }, nil
+	case "hub":
+		per := (nodes + dies - 1) / dies
+		return func() baseline.Fabric { return baseline.NewSwitchedHub(baseline.DefaultHubConfig(dies, per)) }, nil
+	default:
+		return nil, fmt.Errorf("nocsim: unknown fabric %q", name)
+	}
+}

@@ -1,0 +1,50 @@
+// Command servercpu runs the Server-CPU experiments of Section 5.3:
+// coherence latency (Table 5), LMBench bandwidth (Figure 10), the DDR
+// latency-competition sweep (Figure 11), the SPECint models (Figures 12
+// and 13) and SPECpower (Table 6).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chipletnoc/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all|table5|fig10|fig11|fig12|fig13|table6")
+	quick := flag.Bool("quick", false, "quick scale")
+	flag.Parse()
+
+	scale := experiments.Full
+	if *quick {
+		scale = experiments.Quick
+	}
+	run := func(name string) {
+		switch name {
+		case "table5":
+			fmt.Println(experiments.RunTable5(scale).Render())
+		case "fig10":
+			fmt.Println(experiments.RunFig10(scale).Render())
+		case "fig11":
+			fmt.Println(experiments.RunFig11(scale).Render())
+		case "fig12":
+			fmt.Println(experiments.RunSpecInt(scale, true).Render())
+		case "fig13":
+			fmt.Println(experiments.RunSpecInt(scale, false).Render())
+		case "table6":
+			fmt.Println(experiments.RunTable6(scale).Render())
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+	if *exp == "all" {
+		for _, name := range []string{"table5", "fig10", "fig11", "fig12", "fig13", "table6"} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}

@@ -1,0 +1,3 @@
+module chipletnoc
+
+go 1.22

@@ -1,0 +1,204 @@
+package baseline
+
+import (
+	"testing"
+)
+
+// fabrics under test, small enough for unit cycles.
+func testFabrics() []Fabric {
+	return []Fabric{
+		NewBufferedMesh(DefaultMeshConfig(4, 4)),
+		NewBufferedRing(DefaultRingConfig(16)),
+		NewSwitchedHub(DefaultHubConfig(4, 4)),
+		NewMultiRing(16, true),
+		NewMultiRingChiplets(2, 8),
+	}
+}
+
+func TestAllFabricsDeliverSinglePacket(t *testing.T) {
+	for _, f := range testFabrics() {
+		f := f
+		t.Run(f.Name(), func(t *testing.T) {
+			var gotLat uint64
+			if !f.TrySend(0, f.Nodes()-1, 64, func(l uint64) { gotLat = l }) {
+				t.Fatal("injection refused")
+			}
+			for i := 0; i < 500; i++ {
+				f.Tick()
+			}
+			pkts, bytes := f.Delivered()
+			if pkts != 1 || bytes != 64 {
+				t.Fatalf("delivered %d pkts / %d bytes", pkts, bytes)
+			}
+			if gotLat == 0 {
+				t.Fatal("latency callback not invoked or zero")
+			}
+		})
+	}
+}
+
+func TestAllFabricsDeliverAllToAll(t *testing.T) {
+	for _, f := range testFabrics() {
+		f := f
+		t.Run(f.Name(), func(t *testing.T) {
+			n := f.Nodes()
+			want := 0
+			type sendJob struct{ src, dst int }
+			var jobs []sendJob
+			for s := 0; s < n; s++ {
+				for d := 0; d < n; d++ {
+					if s != d {
+						jobs = append(jobs, sendJob{s, d})
+						want++
+					}
+				}
+			}
+			// Inject with retry over time.
+			for i := 0; i < 20000 && len(jobs) > 0; i++ {
+				remaining := jobs[:0]
+				for _, j := range jobs {
+					if !f.TrySend(j.src, j.dst, 64, nil) {
+						remaining = append(remaining, j)
+					}
+				}
+				jobs = remaining
+				f.Tick()
+			}
+			if len(jobs) > 0 {
+				t.Fatalf("%d injections never accepted", len(jobs))
+			}
+			for i := 0; i < 20000; i++ {
+				f.Tick()
+				if pkts, _ := f.Delivered(); int(pkts) == want {
+					break
+				}
+			}
+			pkts, bytes := f.Delivered()
+			if int(pkts) != want {
+				t.Fatalf("delivered %d/%d", pkts, want)
+			}
+			if bytes != uint64(want)*64 {
+				t.Fatalf("bytes %d", bytes)
+			}
+		})
+	}
+}
+
+func TestFabricsRejectSelfSend(t *testing.T) {
+	for _, f := range testFabrics() {
+		f := f
+		t.Run(f.Name(), func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("self-send accepted")
+				}
+			}()
+			f.TrySend(1, 1, 64, nil)
+		})
+	}
+}
+
+func TestMeshXYRouting(t *testing.T) {
+	m := NewBufferedMesh(DefaultMeshConfig(4, 4))
+	// 0 -> 15 is 3 X hops + 3 Y hops + injection/ejection pipelines.
+	var lat uint64
+	m.TrySend(0, 15, 64, func(l uint64) { lat = l })
+	for i := 0; i < 200; i++ {
+		m.Tick()
+	}
+	if lat == 0 {
+		t.Fatal("undelivered")
+	}
+	// 6 hops, each costing RouterDelay(3)+link(1); plus local ejection.
+	if lat < 18 || lat > 40 {
+		t.Fatalf("0->15 latency %d cycles", lat)
+	}
+}
+
+func TestRingShortestDirection(t *testing.T) {
+	r := NewBufferedRing(DefaultRingConfig(10))
+	var l01, l09 uint64
+	r.TrySend(0, 1, 64, func(l uint64) { l01 = l })
+	r.TrySend(0, 9, 64, func(l uint64) { l09 = l })
+	for i := 0; i < 200; i++ {
+		r.Tick()
+	}
+	if l01 == 0 || l09 == 0 {
+		t.Fatal("undelivered")
+	}
+	// Both are one hop away (CW and CCW respectively); latencies match.
+	if l01 != l09 {
+		t.Fatalf("asymmetric one-hop latencies: %d vs %d", l01, l09)
+	}
+}
+
+func TestHubIntraVsInterDie(t *testing.T) {
+	h := NewSwitchedHub(DefaultHubConfig(4, 4))
+	var intra, inter uint64
+	h.TrySend(0, 1, 64, func(l uint64) { intra = l })  // same die
+	h.TrySend(0, 15, 64, func(l uint64) { inter = l }) // die 0 -> die 3
+	for i := 0; i < 300; i++ {
+		h.Tick()
+	}
+	if intra == 0 || inter == 0 {
+		t.Fatal("undelivered")
+	}
+	if inter <= intra {
+		t.Fatalf("inter-die (%d) must exceed intra-die (%d)", inter, intra)
+	}
+}
+
+func TestHubSaturatesBeforeMultiRing(t *testing.T) {
+	// The architectural claim: a central-switch chiplet fabric saturates
+	// under all-to-all load earlier than the multi-ring.
+	rates := []float64{0.02, 0.05, 0.10, 0.20}
+	hub := Sweep(func() Fabric { return NewSwitchedHub(DefaultHubConfig(2, 8)) },
+		rates, 64, 2000, 4000, 1)
+	ring := Sweep(func() Fabric { return NewMultiRingChiplets(2, 8) },
+		rates, 64, 2000, 4000, 1)
+	hubKnee := Knee(hub, 3)
+	ringKnee := Knee(ring, 3)
+	if ringKnee < hubKnee {
+		t.Fatalf("multiring knee %.3f earlier than hub knee %.3f", ringKnee, hubKnee)
+	}
+}
+
+func TestMeasureUniformBasics(t *testing.T) {
+	p := MeasureUniform(NewMultiRing(8, true), 0.02, 64, 500, 2000, 42)
+	if p.Throughput <= 0 {
+		t.Fatal("no throughput at light load")
+	}
+	if p.Saturated {
+		t.Fatal("light load reported saturated")
+	}
+	if p.MeanLatency <= 0 || p.P99 < p.MeanLatency {
+		t.Fatalf("latency stats broken: mean=%v p99=%v", p.MeanLatency, p.P99)
+	}
+}
+
+func TestLatencyRisesWithLoad(t *testing.T) {
+	factory := func() Fabric { return NewBufferedMesh(DefaultMeshConfig(4, 4)) }
+	light := MeasureUniform(factory(), 0.01, 64, 1000, 3000, 7)
+	heavy := MeasureUniform(factory(), 0.30, 64, 1000, 3000, 7)
+	if heavy.MeanLatency <= light.MeanLatency {
+		t.Fatalf("latency did not rise with load: %v -> %v", light.MeanLatency, heavy.MeanLatency)
+	}
+}
+
+func TestKnee(t *testing.T) {
+	points := []LoadPoint{
+		{OfferedRate: 0.1, MeanLatency: 20},
+		{OfferedRate: 0.2, MeanLatency: 25},
+		{OfferedRate: 0.3, MeanLatency: 70},
+		{OfferedRate: 0.4, MeanLatency: 300},
+	}
+	if k := Knee(points, 3); k != 0.3 {
+		t.Fatalf("knee = %v, want 0.3", k)
+	}
+	if k := Knee(points, 100); k != 0.4 {
+		t.Fatalf("no-knee fallback = %v", k)
+	}
+	if k := Knee(nil, 3); k != 0 {
+		t.Fatalf("empty = %v", k)
+	}
+}

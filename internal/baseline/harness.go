@@ -1,0 +1,124 @@
+package baseline
+
+import (
+	"chipletnoc/internal/sim"
+	"chipletnoc/internal/stats"
+)
+
+// LoadPoint is one measurement of a load sweep.
+type LoadPoint struct {
+	// OfferedRate is attempted packets per node per cycle.
+	OfferedRate float64
+	// Throughput is delivered packets per node per cycle.
+	Throughput float64
+	// MeanLatency and P99 are cycles, over packets injected during the
+	// measurement window.
+	MeanLatency float64
+	P99         float64
+	// Saturated is set when the fabric could not absorb the offered
+	// load (source queues grew without bound).
+	Saturated bool
+}
+
+// MeasureUniform drives uniform-random traffic at the given per-node
+// injection rate and measures latency/throughput over the window after a
+// warmup. Blocked injections queue at the source (and count towards
+// saturation).
+func MeasureUniform(f Fabric, rate float64, payload int, warmup, window uint64, seed uint64) LoadPoint {
+	n := f.Nodes()
+	rng := sim.NewRNG(seed)
+	var lat stats.Histogram
+	type queued struct{ dst int }
+	backlog := make([][]queued, n)
+	var offered, deliveredInWindow uint64
+	measuring := false
+
+	for cyc := uint64(0); cyc < warmup+window; cyc++ {
+		if cyc == warmup {
+			measuring = true
+		}
+		for src := 0; src < n; src++ {
+			if rng.Bernoulli(rate) {
+				dst := rng.Intn(n - 1)
+				if dst >= src {
+					dst++
+				}
+				backlog[src] = append(backlog[src], queued{dst: dst})
+				if measuring {
+					offered++
+				}
+			}
+			// Drain backlog head if the fabric accepts it.
+			if len(backlog[src]) > 0 {
+				head := backlog[src][0]
+				count := measuring
+				ok := f.TrySend(src, head.dst, payload, func(l uint64) {
+					if count {
+						lat.Add(float64(l))
+						deliveredInWindow++
+					}
+				})
+				if ok {
+					backlog[src] = backlog[src][1:]
+				}
+			}
+		}
+		f.Tick()
+	}
+	// Drain phase: let packets injected during the window finish (no new
+	// sends are counted), so saturated fabrics report their sustainable
+	// rate rather than zero.
+	measuring = false
+	for cyc := uint64(0); cyc < window; cyc++ {
+		for src := 0; src < n; src++ {
+			if len(backlog[src]) > 0 {
+				head := backlog[src][0]
+				if f.TrySend(src, head.dst, payload, nil) {
+					backlog[src] = backlog[src][1:]
+				}
+			}
+		}
+		f.Tick()
+	}
+	// Saturation: backlog kept growing beyond a small slack.
+	stuck := 0
+	for _, b := range backlog {
+		stuck += len(b)
+	}
+	return LoadPoint{
+		OfferedRate: rate,
+		Throughput:  float64(deliveredInWindow) / float64(window) / float64(n),
+		MeanLatency: lat.Mean(),
+		P99:         lat.Percentile(99),
+		Saturated:   uint64(stuck) > uint64(n)*4,
+	}
+}
+
+// Sweep measures a fabric across rates, rebuilding it for each point via
+// the factory so points are independent.
+func Sweep(factory func() Fabric, rates []float64, payload int, warmup, window uint64, seed uint64) []LoadPoint {
+	points := make([]LoadPoint, 0, len(rates))
+	for i, r := range rates {
+		points = append(points, MeasureUniform(factory(), r, payload, warmup, window, seed+uint64(i)))
+	}
+	return points
+}
+
+// Knee returns the offered rate at which mean latency first exceeds
+// multiple x the zero-load latency — the "turning point" of Figure 11.
+// It returns the last rate if no knee is found.
+func Knee(points []LoadPoint, multiple float64) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	base := points[0].MeanLatency
+	if base == 0 {
+		base = 1
+	}
+	for _, p := range points {
+		if p.Saturated || p.MeanLatency > base*multiple {
+			return p.OfferedRate
+		}
+	}
+	return points[len(points)-1].OfferedRate
+}

@@ -1,0 +1,193 @@
+package baseline
+
+import "fmt"
+
+// Mesh port indices.
+const (
+	portN = iota
+	portS
+	portE
+	portW
+	portL
+	numPorts
+)
+
+// MeshConfig sizes the buffered mesh.
+type MeshConfig struct {
+	// Width and Height of the router grid; nodes sit one per router.
+	Width, Height int
+	// QueueDepth is the per-input-port buffer (credit pool).
+	QueueDepth int
+	// RouterDelay is the pipeline latency of one router traversal
+	// (buffer write + route + VC/switch allocation + traversal).
+	RouterDelay uint64
+}
+
+// DefaultMeshConfig returns an Ice-Lake-class mesh calibration: a 3-cycle
+// router plus 1-cycle links.
+func DefaultMeshConfig(w, h int) MeshConfig {
+	return MeshConfig{Width: w, Height: h, QueueDepth: 8, RouterDelay: 3}
+}
+
+// BufferedMesh is a dimension-order (X-Y) wormhole mesh with
+// input-buffered routers and credit flow control — the monolithic-die
+// organisation of the Intel baselines in Table 9.
+type BufferedMesh struct {
+	cfg   MeshConfig
+	now   uint64
+	inq   [][numPorts][]*packet // [router][port]queue
+	rr    [][numPorts]int       // round-robin pointers per output port
+	stats deliveryStats
+
+	// RouterTraversals counts buffered-router passages for the energy
+	// model.
+	RouterTraversals uint64
+}
+
+// NewBufferedMesh builds a w x h mesh.
+func NewBufferedMesh(cfg MeshConfig) *BufferedMesh {
+	if cfg.Width < 1 || cfg.Height < 1 {
+		panic("baseline: mesh needs positive dimensions")
+	}
+	n := cfg.Width * cfg.Height
+	return &BufferedMesh{
+		cfg: cfg,
+		inq: make([][numPorts][]*packet, n),
+		rr:  make([][numPorts]int, n),
+	}
+}
+
+// Name implements Fabric.
+func (m *BufferedMesh) Name() string {
+	return fmt.Sprintf("buffered-mesh-%dx%d", m.cfg.Width, m.cfg.Height)
+}
+
+// Nodes implements Fabric.
+func (m *BufferedMesh) Nodes() int { return m.cfg.Width * m.cfg.Height }
+
+// Cycles implements Fabric.
+func (m *BufferedMesh) Cycles() uint64 { return m.now }
+
+// Delivered implements Fabric.
+func (m *BufferedMesh) Delivered() (uint64, uint64) { return m.stats.packets, m.stats.bytes }
+
+// NocCounters returns (hops, router traversals, link transfers) for the
+// energy model: every mesh hop is a buffered-router traversal.
+func (m *BufferedMesh) NocCounters() (uint64, uint64, uint64) {
+	return m.RouterTraversals, m.RouterTraversals, 0
+}
+
+func (m *BufferedMesh) xy(id int) (int, int) { return id % m.cfg.Width, id / m.cfg.Width }
+func (m *BufferedMesh) id(x, y int) int      { return y*m.cfg.Width + x }
+
+// outPort picks the X-Y dimension-order output for a packet at router r.
+func (m *BufferedMesh) outPort(r int, dst int) int {
+	x, y := m.xy(r)
+	dx, dy := m.xy(dst)
+	switch {
+	case dx > x:
+		return portE
+	case dx < x:
+		return portW
+	case dy > y:
+		return portS
+	case dy < y:
+		return portN
+	default:
+		return portL
+	}
+}
+
+// neighbor returns the router on the other side of an output port and the
+// input port the packet arrives on there.
+func (m *BufferedMesh) neighbor(r, out int) (int, int) {
+	x, y := m.xy(r)
+	switch out {
+	case portE:
+		return m.id(x+1, y), portW
+	case portW:
+		return m.id(x-1, y), portE
+	case portS:
+		return m.id(x, y+1), portN
+	case portN:
+		return m.id(x, y-1), portS
+	default:
+		panic("baseline: neighbor of local port")
+	}
+}
+
+// TrySend implements Fabric.
+func (m *BufferedMesh) TrySend(src, dst, payloadBytes int, done DeliverFunc) bool {
+	if src == dst {
+		panic("baseline: mesh send to self")
+	}
+	if len(m.inq[src][portL]) >= m.cfg.QueueDepth {
+		return false
+	}
+	m.inq[src][portL] = append(m.inq[src][portL], &packet{
+		dst: dst, payload: payloadBytes, done: done,
+		injected: m.now, readyAt: m.now + m.cfg.RouterDelay,
+	})
+	return true
+}
+
+// Tick implements Fabric: every router moves at most one packet per
+// output port per cycle, chosen round-robin across its input ports, with
+// credit (queue space) checks at the downstream router.
+func (m *BufferedMesh) Tick() {
+	n := m.Nodes()
+	type move struct {
+		fromR, fromP int
+		toR, toP     int
+		deliver      bool
+	}
+	var moves []move
+	// Phase 1: decide all moves against the pre-cycle state so routers
+	// evaluate simultaneously (downstream space is checked against the
+	// snapshot, which keeps credits conservative).
+	claimed := make(map[[2]int]int) // downstream (router,port) -> claims this cycle
+	for r := 0; r < n; r++ {
+		for out := 0; out < numPorts; out++ {
+			// Round-robin over input ports for this output.
+			for i := 0; i < numPorts; i++ {
+				in := (m.rr[r][out] + i) % numPorts
+				q := m.inq[r][in]
+				if len(q) == 0 {
+					continue
+				}
+				p := q[0]
+				if p.readyAt > m.now || m.outPort(r, p.dst) != out {
+					continue
+				}
+				if out == portL {
+					moves = append(moves, move{fromR: r, fromP: in, deliver: true})
+					m.rr[r][out] = (in + 1) % numPorts
+					break
+				}
+				nr, np := m.neighbor(r, out)
+				key := [2]int{nr, np}
+				if len(m.inq[nr][np])+claimed[key] >= m.cfg.QueueDepth {
+					continue // no credit downstream
+				}
+				claimed[key]++
+				moves = append(moves, move{fromR: r, fromP: in, toR: nr, toP: np})
+				m.rr[r][out] = (in + 1) % numPorts
+				break
+			}
+		}
+	}
+	// Phase 2: apply.
+	for _, mv := range moves {
+		q := m.inq[mv.fromR][mv.fromP]
+		p := q[0]
+		m.inq[mv.fromR][mv.fromP] = q[1:]
+		m.RouterTraversals++
+		if mv.deliver {
+			m.stats.deliver(p, m.now)
+			continue
+		}
+		p.readyAt = m.now + 1 + m.cfg.RouterDelay // link + next router pipeline
+		m.inq[mv.toR][mv.toP] = append(m.inq[mv.toR][mv.toP], p)
+	}
+	m.now++
+}

@@ -1,0 +1,148 @@
+package baseline
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestMeshPropertyDelivery: any (src, dst) pair on any mesh geometry is
+// delivered, with latency at least the Manhattan distance times the
+// per-hop cost.
+func TestMeshPropertyDelivery(t *testing.T) {
+	f := func(wRaw, hRaw, sRaw, dRaw uint8) bool {
+		w := int(wRaw%5) + 2
+		h := int(hRaw%5) + 2
+		m := NewBufferedMesh(DefaultMeshConfig(w, h))
+		n := m.Nodes()
+		src := int(sRaw) % n
+		dst := int(dRaw) % n
+		if src == dst {
+			return true
+		}
+		var lat uint64
+		if !m.TrySend(src, dst, 64, func(l uint64) { lat = l }) {
+			return false
+		}
+		for i := 0; i < 5000 && lat == 0; i++ {
+			m.Tick()
+		}
+		if lat == 0 {
+			return false
+		}
+		sx, sy := src%w, src/w
+		dx, dy := dst%w, dst/w
+		manhattan := abs(sx-dx) + abs(sy-dy)
+		// Each hop costs at least RouterDelay; total must respect it.
+		return lat >= uint64(manhattan)*DefaultMeshConfig(w, h).RouterDelay
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestRingPropertyDelivery: same for the buffered ring — latency at
+// least the shortest ring distance times the hop cost.
+func TestRingPropertyDelivery(t *testing.T) {
+	f := func(nRaw, sRaw, dRaw uint8) bool {
+		n := int(nRaw%20) + 3
+		r := NewBufferedRing(DefaultRingConfig(n))
+		src := int(sRaw) % n
+		dst := int(dRaw) % n
+		if src == dst {
+			return true
+		}
+		var lat uint64
+		if !r.TrySend(src, dst, 64, func(l uint64) { lat = l }) {
+			return false
+		}
+		for i := 0; i < 5000 && lat == 0; i++ {
+			r.Tick()
+		}
+		if lat == 0 {
+			return false
+		}
+		cw := (dst - src + n) % n
+		ccw := (src - dst + n) % n
+		hops := cw
+		if ccw < cw {
+			hops = ccw
+		}
+		return lat >= uint64(hops)*DefaultRingConfig(n).HopDelay
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHubPropertyInterDieCost: inter-die packets always cost at least the
+// two intra-die legs plus the hub.
+func TestHubPropertyInterDieCost(t *testing.T) {
+	cfg := DefaultHubConfig(4, 4)
+	f := func(sRaw, dRaw uint8) bool {
+		h := NewSwitchedHub(cfg)
+		n := h.Nodes()
+		src := int(sRaw) % n
+		dst := int(dRaw) % n
+		if src == dst {
+			return true
+		}
+		var lat uint64
+		if !h.TrySend(src, dst, 64, func(l uint64) { lat = l }) {
+			return false
+		}
+		for i := 0; i < 5000 && lat == 0; i++ {
+			h.Tick()
+		}
+		if lat == 0 {
+			return false
+		}
+		sameDie := src/cfg.NodesPerDie == dst/cfg.NodesPerDie
+		if sameDie {
+			return lat >= cfg.IntraDelay
+		}
+		return lat >= 2*cfg.IntraDelay+cfg.HubDelay
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiRingChipletsPropertyDrain: random bounded all-to-all traffic
+// on the chiplet multiring always drains (SWAP keeps it deadlock-free).
+func TestMultiRingChipletsPropertyDrain(t *testing.T) {
+	f := func(seedRaw uint8, perRaw uint8) bool {
+		per := int(perRaw%6) + 4
+		m := NewMultiRingChiplets(2, per)
+		n := m.Nodes()
+		want := 0
+		for s := 0; s < n; s++ {
+			d := (s + 1 + int(seedRaw)%(n-1)) % n
+			if d == s {
+				continue
+			}
+			for m.TrySend(s, d, 64, nil) == false {
+				m.Tick()
+			}
+			want++
+		}
+		for i := 0; i < 50000; i++ {
+			m.Tick()
+			if p, _ := m.Delivered(); int(p) == want {
+				return true
+			}
+		}
+		p, _ := m.Delivered()
+		t.Logf("delivered %d/%d", p, want)
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+package chi
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chipletnoc/internal/noc"
+)
+
+func TestOpcodeChannels(t *testing.T) {
+	cases := map[Opcode]Channel{
+		ReadNoSnp: REQ, ReadShared: REQ, ReadUnique: REQ,
+		WriteNoSnp: REQ, WriteBackFull: REQ, WriteUnique: REQ,
+		SnpShared: SNP, SnpUnique: SNP,
+		Comp: RSP, DBIDResp: RSP, SnpResp: RSP,
+		CompData: DAT, SnpRespData: DAT, NonCopyBackWrData: DAT,
+	}
+	for op, ch := range cases {
+		if op.Channel() != ch {
+			t.Errorf("%v on channel %v, want %v", op, op.Channel(), ch)
+		}
+	}
+}
+
+func TestCarriesDataMatchesChannel(t *testing.T) {
+	for op := ReadNoSnp; op <= NonCopyBackWrData; op++ {
+		if op.CarriesData() != (op.Channel() == DAT) {
+			t.Errorf("%v CarriesData mismatch", op)
+		}
+	}
+}
+
+func TestMessagePayloadAndKind(t *testing.T) {
+	read := &Message{Op: ReadShared}
+	if read.PayloadBytes() != 0 || read.FlitKind() != noc.KindRequest {
+		t.Fatalf("read: %d bytes, kind %v", read.PayloadBytes(), read.FlitKind())
+	}
+	data := &Message{Op: CompData}
+	if data.PayloadBytes() != LineSize || data.FlitKind() != noc.KindData {
+		t.Fatalf("data: %d bytes, kind %v", data.PayloadBytes(), data.FlitKind())
+	}
+	snp := &Message{Op: SnpUnique}
+	if snp.FlitKind() != noc.KindSnoop {
+		t.Fatalf("snoop kind %v", snp.FlitKind())
+	}
+	wr := &Message{Op: WriteNoSnp}
+	if wr.PayloadBytes() != 0 || !wr.IsWrite() {
+		t.Fatalf("write requests are header-only in the CHI flow: %d bytes", wr.PayloadBytes())
+	}
+	wdata := &Message{Op: NonCopyBackWrData}
+	if wdata.PayloadBytes() != LineSize {
+		t.Fatalf("write data beat payload: %d bytes", wdata.PayloadBytes())
+	}
+	rsp := &Message{Op: Comp}
+	if rsp.FlitKind() != noc.KindAck {
+		t.Fatalf("rsp kind %v", rsp.FlitKind())
+	}
+}
+
+func TestNewFlitRoundTrip(t *testing.T) {
+	net := noc.NewNetwork("t")
+	m := &Message{Op: CompData, Addr: 0x1000}
+	f := m.NewFlit(net, 1, 2)
+	if f.Src != 1 || f.Dst != 2 || f.PayloadBytes != LineSize {
+		t.Fatalf("flit %+v", f)
+	}
+	if MsgOf(f) != m {
+		t.Fatal("MsgOf lost the message")
+	}
+	if MsgOf(&noc.Flit{}) != nil {
+		t.Fatal("MsgOf must tolerate foreign flits")
+	}
+}
+
+func TestTrackerOpenComplete(t *testing.T) {
+	tr := NewTracker(4)
+	m := &Message{Op: ReadShared, Addr: 0x40}
+	if !tr.Open(m) {
+		t.Fatal("open failed")
+	}
+	if m.TxnID == 0 {
+		t.Fatal("TxnID not assigned")
+	}
+	if tr.Lookup(m.TxnID) != m {
+		t.Fatal("lookup failed")
+	}
+	if got := tr.Complete(m.TxnID); got != m {
+		t.Fatal("complete returned wrong message")
+	}
+	if tr.Outstanding() != 0 {
+		t.Fatal("transaction not closed")
+	}
+	if tr.Complete(m.TxnID) != nil {
+		t.Fatal("double completion accepted")
+	}
+}
+
+func TestTrackerCapacityBackpressure(t *testing.T) {
+	tr := NewTracker(2)
+	a := &Message{Op: ReadShared}
+	b := &Message{Op: ReadUnique}
+	c := &Message{Op: ReadNoSnp}
+	if !tr.Open(a) || !tr.Open(b) {
+		t.Fatal("initial opens failed")
+	}
+	if tr.Open(c) {
+		t.Fatal("over-capacity open accepted")
+	}
+	tr.Complete(a.TxnID)
+	if !tr.Open(c) {
+		t.Fatal("open after completion failed")
+	}
+}
+
+func TestTrackerOutOfOrderCompletion(t *testing.T) {
+	tr := NewTracker(8)
+	var ms []*Message
+	for i := 0; i < 8; i++ {
+		m := &Message{Op: ReadShared, Addr: uint64(i * 64)}
+		if !tr.Open(m) {
+			t.Fatal("open failed")
+		}
+		ms = append(ms, m)
+	}
+	// Complete in reverse.
+	for i := 7; i >= 0; i-- {
+		if tr.Complete(ms[i].TxnID) != ms[i] {
+			t.Fatalf("completion %d mismatched", i)
+		}
+	}
+}
+
+func TestTrackerRejectsNonRequest(t *testing.T) {
+	tr := NewTracker(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	tr.Open(&Message{Op: CompData})
+}
+
+func TestTrackerUniqueIDs(t *testing.T) {
+	tr := NewTracker(64)
+	f := func(completeEvery uint8) bool {
+		ids := make(map[uint32]bool)
+		step := int(completeEvery%5) + 1
+		var open []uint32
+		for i := 0; i < 200; i++ {
+			m := &Message{Op: ReadShared}
+			if !tr.Open(m) {
+				// Table full: drain one and retry.
+				tr.Complete(open[0])
+				open = open[1:]
+				if !tr.Open(m) {
+					return false
+				}
+			}
+			if ids[m.TxnID] {
+				// An ID may be reused only after completion; track
+				// live ones.
+				for _, o := range open {
+					if o == m.TxnID {
+						return false
+					}
+				}
+			}
+			ids[m.TxnID] = true
+			open = append(open, m.TxnID)
+			if i%step == 0 && len(open) > 0 {
+				tr.Complete(open[0])
+				open = open[1:]
+			}
+		}
+		for _, o := range open {
+			tr.Complete(o)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

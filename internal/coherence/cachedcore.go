@@ -1,0 +1,109 @@
+package coherence
+
+import (
+	"chipletnoc/internal/cache"
+	"chipletnoc/internal/noc"
+	"chipletnoc/internal/sim"
+	"chipletnoc/internal/stats"
+)
+
+// CachedCore models a CPU core executing a memory-access stream through
+// its private L1/L2 hierarchy: only the misses become coherent NoC
+// transactions, which is the filtering property Section 3.2.1 builds on
+// ("the multi-level cache hierarchy can block most of the memory
+// requests from CPU cores"). It wraps a CoreAgent and drives it from an
+// access generator.
+type CachedCore struct {
+	name  string
+	agent *CoreAgent
+	hier  *cache.Hierarchy
+	rng   *sim.RNG
+
+	// AccessesPerCycle is how many memory references the core retires
+	// per cycle when nothing stalls.
+	AccessesPerCycle int
+	// ReadFraction of references read.
+	ReadFraction float64
+	// Footprint is the referenced address range in lines.
+	Footprint int
+	// MaxAccesses stops the core (0 = endless).
+	MaxAccesses uint64
+
+	// busyUntil models a blocking miss: the simple in-order core stalls
+	// until the outstanding transaction completes.
+	waiting bool
+
+	Accesses   uint64
+	NoCMisses  uint64
+	MissLat    stats.Histogram
+	issueStart sim.Cycle
+}
+
+// NewCachedCore builds the core, its hierarchy and its agent, attaching
+// to the station.
+func NewCachedCore(net *noc.Network, name string, rng *sim.RNG, disabledCaches bool,
+	homeOf func(addr uint64) noc.NodeID, st *noc.CrossStation) *CachedCore {
+	c := &CachedCore{
+		name:             name,
+		hier:             cache.NewHierarchy(rng.Derive(1), disabledCaches),
+		rng:              rng.Derive(2),
+		AccessesPerCycle: 2,
+		ReadFraction:     0.8,
+		Footprint:        1 << 14,
+	}
+	c.agent = NewCoreAgent(net, name, 4, 4, homeOf, st)
+	net.AddDevice(deviceFunc{name: name + ".exec", tick: c.tick})
+	return c
+}
+
+// deviceFunc adapts a function to noc.Device.
+type deviceFunc struct {
+	name string
+	tick func(sim.Cycle)
+}
+
+func (d deviceFunc) Name() string       { return d.name }
+func (d deviceFunc) Tick(now sim.Cycle) { d.tick(now) }
+
+// Agent exposes the underlying coherence agent.
+func (c *CachedCore) Agent() *CoreAgent { return c.agent }
+
+// tick retires references until a miss stalls the core.
+func (c *CachedCore) tick(now sim.Cycle) {
+	if c.waiting {
+		if c.agent.Queued() == 0 {
+			c.waiting = false
+			c.MissLat.Add(float64(now - c.issueStart))
+		} else {
+			return
+		}
+	}
+	for i := 0; i < c.AccessesPerCycle; i++ {
+		if c.MaxAccesses != 0 && c.Accesses >= c.MaxAccesses {
+			return
+		}
+		c.Accesses++
+		missed, _ := c.hier.Access()
+		if !missed {
+			continue
+		}
+		// The reference escapes to the NoC: a coherent read or write of
+		// a random line in the footprint.
+		addr := uint64(c.rng.Intn(c.Footprint)) * 64
+		if c.rng.Bernoulli(c.ReadFraction) {
+			c.agent.Read(addr)
+		} else {
+			c.agent.Write(addr)
+		}
+		c.NoCMisses++
+		c.waiting = true
+		c.issueStart = now
+		return
+	}
+}
+
+// Done reports whether a bounded core has retired all its accesses and
+// drained its transactions.
+func (c *CachedCore) Done() bool {
+	return c.MaxAccesses != 0 && c.Accesses >= c.MaxAccesses && !c.waiting
+}

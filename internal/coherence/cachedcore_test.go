@@ -1,0 +1,75 @@
+package coherence
+
+import (
+	"testing"
+
+	"chipletnoc/internal/mem"
+	"chipletnoc/internal/noc"
+	"chipletnoc/internal/sim"
+)
+
+func buildCachedRig(t *testing.T, disabled bool) (*noc.Network, *CachedCore, *Directory) {
+	t.Helper()
+	net := noc.NewNetwork("cached")
+	ring := net.AddRing(16, true)
+	dir := NewDirectory(net, "dir", 2, ring.AddStation(0))
+	slice := NewDataSlice(net, "l3d", 6, ring.AddStation(4))
+	ddr := mem.New(net, "ddr", mem.DDR4Channel(), ring.AddStation(8))
+	dir.WireTo(slice.Node(), ddr.Node())
+	core := NewCachedCore(net, "core", sim.NewRNG(9), disabled,
+		func(addr uint64) noc.NodeID { return dir.Node() }, ring.AddStation(12))
+	net.MustFinalize()
+	return net, core, dir
+}
+
+func run16(net *noc.Network, n int) {
+	for i := 0; i < n; i++ {
+		net.Tick(sim.Cycle(net.Ticks()))
+	}
+}
+
+func TestCachedCoreFiltersTraffic(t *testing.T) {
+	net, core, _ := buildCachedRig(t, false)
+	core.MaxAccesses = 20000
+	run16(net, 200000)
+	if !core.Done() {
+		t.Fatalf("retired %d/%d", core.Accesses, core.MaxAccesses)
+	}
+	// L1 90% + L2 60%: ~4% of references escape to the NoC.
+	rate := float64(core.NoCMisses) / float64(core.Accesses)
+	if rate < 0.02 || rate > 0.08 {
+		t.Fatalf("NoC miss rate %v, want ~0.04", rate)
+	}
+	if core.MissLat.Count() == 0 || core.MissLat.Mean() <= 0 {
+		t.Fatal("no miss latency samples")
+	}
+}
+
+func TestCachedCoreDisabledHierarchy(t *testing.T) {
+	// "Disable all L1/L2 cache": every reference goes to the NoC — the
+	// configuration of the paper's latency experiments.
+	net, core, _ := buildCachedRig(t, true)
+	core.MaxAccesses = 200
+	run16(net, 100000)
+	if !core.Done() {
+		t.Fatalf("retired %d/%d", core.Accesses, core.MaxAccesses)
+	}
+	if core.NoCMisses != core.Accesses {
+		t.Fatalf("misses %d != accesses %d with caches disabled", core.NoCMisses, core.Accesses)
+	}
+}
+
+func TestCachedCoreThroughputReflectsHierarchy(t *testing.T) {
+	// With caches on, the core retires far more accesses per cycle than
+	// with caches off (which serialises on NoC round trips).
+	measure := func(disabled bool) float64 {
+		net, core, _ := buildCachedRig(t, disabled)
+		run16(net, 30000)
+		return float64(core.Accesses) / 30000
+	}
+	on := measure(false)
+	off := measure(true)
+	if on < 4*off {
+		t.Fatalf("IPC with caches (%v) should dwarf without (%v)", on, off)
+	}
+}

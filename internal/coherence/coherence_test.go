@@ -1,0 +1,231 @@
+package coherence
+
+import (
+	"testing"
+
+	"chipletnoc/internal/chi"
+	"chipletnoc/internal/mem"
+	"chipletnoc/internal/noc"
+	"chipletnoc/internal/sim"
+)
+
+// rig is a one-ring coherence fixture: two core agents, a directory, an
+// L3 data slice and a DDR controller.
+type rig struct {
+	net   *noc.Network
+	cores [2]*CoreAgent
+	dir   *Directory
+	data  *DataSlice
+	ddr   *mem.Controller
+	lat   map[uint64][]uint64 // addr -> completion latencies
+}
+
+func buildRig(t *testing.T) *rig {
+	t.Helper()
+	r := &rig{lat: make(map[uint64][]uint64)}
+	net := noc.NewNetwork("coh")
+	ring := net.AddRing(20, true)
+	r.net = net
+	r.dir = NewDirectory(net, "dir0", 4, ring.AddStation(0))
+	r.data = NewDataSlice(net, "l3d0", 10, ring.AddStation(5))
+	r.ddr = mem.New(net, "ddr0", mem.DDR4Channel(), ring.AddStation(10))
+	homeOf := func(addr uint64) noc.NodeID { return r.dir.Node() }
+	r.cores[0] = NewCoreAgent(net, "core0", 6, 16, homeOf, ring.AddStation(13))
+	r.cores[1] = NewCoreAgent(net, "core1", 6, 16, homeOf, ring.AddStation(17))
+	for i := range r.cores {
+		c := r.cores[i]
+		c.OnComplete = func(m *chi.Message, latency uint64) {
+			r.lat[m.Addr] = append(r.lat[m.Addr], latency)
+		}
+	}
+	r.dir.WireTo(r.data.Node(), r.ddr.Node())
+	net.MustFinalize()
+	return r
+}
+
+func (r *rig) run(n int) {
+	for i := 0; i < n; i++ {
+		r.net.Tick(sim.Cycle(r.net.Ticks()))
+	}
+}
+
+func TestReadMissFillsFromMemory(t *testing.T) {
+	r := buildRig(t)
+	r.cores[0].Read(0x1000)
+	r.run(500)
+	if r.cores[0].Completed != 1 {
+		t.Fatalf("completed %d", r.cores[0].Completed)
+	}
+	if r.dir.Misses != 1 {
+		t.Fatalf("directory misses %d", r.dir.Misses)
+	}
+	if r.ddr.Reads != 1 {
+		t.Fatalf("DDR reads %d", r.ddr.Reads)
+	}
+	if got := r.dir.LineState(0x1000); got != Exclusive {
+		t.Fatalf("post-fill state %v, want E", got)
+	}
+}
+
+func TestSharedReadServedByDataSlice(t *testing.T) {
+	r := buildRig(t)
+	r.dir.SetLine(0x2000, Shared, 0)
+	r.cores[1].Read(0x2000)
+	r.run(500)
+	if r.cores[1].Completed != 1 {
+		t.Fatal("no completion")
+	}
+	if r.data.Reads != 1 {
+		t.Fatalf("data slice reads %d", r.data.Reads)
+	}
+	if r.ddr.Reads != 0 {
+		t.Fatal("S-state read must not touch DDR")
+	}
+	if r.dir.Snoops != 0 {
+		t.Fatal("S-state read must not snoop")
+	}
+}
+
+func TestModifiedReadSnoopsOwner(t *testing.T) {
+	r := buildRig(t)
+	r.dir.SetLine(0x3000, Modified, r.cores[0].Node())
+	r.cores[1].Read(0x3000)
+	r.run(500)
+	if r.cores[1].Completed != 1 {
+		t.Fatal("no completion")
+	}
+	if r.dir.Snoops != 1 {
+		t.Fatalf("snoops %d", r.dir.Snoops)
+	}
+	if r.cores[0].SnoopsServed != 1 {
+		t.Fatalf("owner served %d snoops", r.cores[0].SnoopsServed)
+	}
+	if r.data.Reads != 0 {
+		t.Fatal("M-state read must bypass the data slice")
+	}
+	if got := r.dir.LineState(0x3000); got != Shared {
+		t.Fatalf("post-snoop state %v, want S", got)
+	}
+}
+
+func TestExclusiveReadSnoopsOwner(t *testing.T) {
+	r := buildRig(t)
+	r.dir.SetLine(0x3100, Exclusive, r.cores[0].Node())
+	r.cores[1].Read(0x3100)
+	r.run(500)
+	if r.cores[1].Completed != 1 || r.cores[0].SnoopsServed != 1 {
+		t.Fatalf("completed=%d snoops=%d", r.cores[1].Completed, r.cores[0].SnoopsServed)
+	}
+}
+
+func TestReadUniqueTransfersOwnership(t *testing.T) {
+	r := buildRig(t)
+	r.dir.SetLine(0x4000, Modified, r.cores[0].Node())
+	r.cores[1].ReadOwned(0x4000)
+	r.run(500)
+	if r.cores[1].Completed != 1 {
+		t.Fatal("no completion")
+	}
+	if got := r.dir.LineState(0x4000); got != Exclusive {
+		t.Fatalf("state %v, want E at new owner", got)
+	}
+}
+
+func TestWriteUniqueUpdatesDirectoryAndSlice(t *testing.T) {
+	r := buildRig(t)
+	r.cores[0].Write(0x5000)
+	r.run(500)
+	if r.cores[0].Completed != 1 {
+		t.Fatal("no completion")
+	}
+	if r.data.Fills != 1 {
+		t.Fatalf("slice fills %d", r.data.Fills)
+	}
+	if got := r.dir.LineState(0x5000); got != Modified {
+		t.Fatalf("state %v, want M", got)
+	}
+}
+
+func TestSharedSlowerThanNothingButComparable(t *testing.T) {
+	// The Table 5 shape: M/E (cache-to-cache) and S (data-slice) hit
+	// latencies are within a few cycles of each other; S pays the data
+	// array, M/E pays the snoop.
+	r := buildRig(t)
+	r.dir.SetLine(0x6000, Modified, r.cores[0].Node())
+	r.dir.SetLine(0x7000, Shared, 0)
+	r.cores[1].Read(0x6000)
+	r.cores[1].Read(0x7000)
+	r.run(800)
+	m := r.lat[0x6000][0]
+	s := r.lat[0x7000][0]
+	if m == 0 || s == 0 {
+		t.Fatal("missing latencies")
+	}
+	diff := int64(m) - int64(s)
+	if diff < -30 || diff > 30 {
+		t.Fatalf("M=%d S=%d; latency gap implausible", m, s)
+	}
+}
+
+func TestMissMuchSlowerThanHit(t *testing.T) {
+	r := buildRig(t)
+	r.dir.SetLine(0x8000, Shared, 0)
+	r.cores[0].Read(0x8000) // hit in L3
+	r.cores[0].Read(0x9000) // miss to DDR
+	r.run(1000)
+	hit := r.lat[0x8000][0]
+	miss := r.lat[0x9000][0]
+	if miss <= hit+40 {
+		t.Fatalf("hit=%d miss=%d; DDR fill must dominate", hit, miss)
+	}
+}
+
+func TestManyConcurrentTransactions(t *testing.T) {
+	r := buildRig(t)
+	for i := 0; i < 64; i++ {
+		addr := uint64(0x10000 + i*chi.LineSize)
+		r.dir.SetLine(addr, Shared, 0)
+		r.cores[0].Read(addr)
+		r.cores[1].Read(addr)
+	}
+	r.run(3000)
+	if r.cores[0].Completed != 64 || r.cores[1].Completed != 64 {
+		t.Fatalf("completed %d/%d", r.cores[0].Completed, r.cores[1].Completed)
+	}
+	if r.net.InFlight() != 0 {
+		t.Fatalf("in flight %d", r.net.InFlight())
+	}
+}
+
+func TestStateStringer(t *testing.T) {
+	if Invalid.String() != "I" || Shared.String() != "S" || Exclusive.String() != "E" || Modified.String() != "M" {
+		t.Fatal("state names wrong")
+	}
+}
+
+func TestWriteBackDemotesToShared(t *testing.T) {
+	r := buildRig(t)
+	addr := uint64(0xA000)
+	r.dir.SetLine(addr, Modified, r.cores[0].Node())
+	r.cores[0].WriteBack(addr)
+	r.run(500)
+	if r.cores[0].Completed != 1 {
+		t.Fatal("writeback never completed")
+	}
+	if got := r.dir.LineState(addr); got != Shared {
+		t.Fatalf("state %v, want S after writeback", got)
+	}
+	if r.data.Fills != 1 {
+		t.Fatalf("slice fills %d; writeback data must land in L3 data", r.data.Fills)
+	}
+	// A subsequent read by the other core is now an S-hit from the
+	// slice, not a snoop.
+	r.cores[1].Read(addr)
+	r.run(500)
+	if r.cores[0].SnoopsServed != 0 {
+		t.Fatal("read after writeback must not snoop")
+	}
+	if r.data.Reads != 1 {
+		t.Fatalf("slice reads %d", r.data.Reads)
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chipletnoc/internal/noc"
+	"chipletnoc/internal/phys"
+	"chipletnoc/internal/soc"
+	"chipletnoc/internal/stats"
+)
+
+// AreaRow is one system's NoC area estimate.
+type AreaRow struct {
+	System string
+	noc.Inventory
+	// BufferlessMm2 is the NoC area of the as-built bufferless design;
+	// BufferedMm2 is the same topology built from buffered routers.
+	BufferlessMm2 float64
+	BufferedMm2   float64
+}
+
+// AreaResult covers the area-efficiency KPI of Section 2.2: for both
+// evaluated systems, how much silicon the bufferless multi-ring NoC costs
+// versus a buffered-router equivalent with the same connectivity.
+type AreaResult struct {
+	Rows []AreaRow
+}
+
+// RunAreaReport tallies both systems' NoC inventories and prices them
+// with the phys area model.
+func RunAreaReport(scale Scale) AreaResult {
+	m := phys.DefaultAreaModel()
+	price := func(name string, net *noc.Network, l1, l2 int) AreaRow {
+		inv := net.Inventory()
+		row := AreaRow{System: name, Inventory: inv}
+		row.BufferlessMm2 = m.NoCArea(inv.Stations, inv.QueueEntries+inv.BypassEntries, l1, l2)
+		// The buffered alternative replaces every station with a router
+		// and needs VC buffers per port (4 entries x 4 VCs modelled as
+		// 16 entries per interface beyond the same endpoint queues).
+		row.BufferedMm2 = m.BufferedNoCArea(inv.Stations, inv.QueueEntries+inv.Interfaces*16)
+		return row
+	}
+
+	srvCfg := soc.DefaultServerConfig()
+	aiCfg := soc.DefaultAIConfig()
+	if scale == Quick {
+		srvCfg.ClustersPerDie = 3
+		aiCfg.VRings, aiCfg.HRings = 6, 4
+		aiCfg.L2PerHRing = 3
+	}
+	srv := soc.BuildServerCPU(srvCfg, soc.CoherentCores, nil)
+	// Server bridges: compute-die pairs + compute x IO per package.
+	srvL2 := srvCfg.ComputeDies*(srvCfg.ComputeDies-1)/2 + srvCfg.ComputeDies*srvCfg.IODies
+	ai := soc.BuildAIProcessor(aiCfg)
+	return AreaResult{Rows: []AreaRow{
+		price("server-cpu", srv.Net, 0, srvL2),
+		price("ai-processor", ai.Net, len(ai.Bridges), 0),
+	}}
+}
+
+// Render prints the report.
+func (r AreaResult) Render() string {
+	t := stats.NewTable("System", "stations", "queue entries", "bufferless mm^2", "buffered mm^2", "saving")
+	for _, row := range r.Rows {
+		saving := "-"
+		if row.BufferedMm2 > 0 {
+			saving = fmt.Sprintf("%.1fx", row.BufferedMm2/row.BufferlessMm2)
+		}
+		t.AddRow(row.System, row.Stations, row.QueueEntries,
+			fmt.Sprintf("%.2f", row.BufferlessMm2), fmt.Sprintf("%.2f", row.BufferedMm2), saving)
+	}
+	return "Area-efficiency KPI (Section 2.2): NoC silicon, bufferless vs buffered routers\n" + t.String()
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chipletnoc/internal/noc"
+	"chipletnoc/internal/sim"
+)
+
+// floodNode saturates the network with raw data flits towards one
+// destination, draining anything it receives.
+type floodNode struct {
+	name  string
+	net   *noc.Network
+	iface *noc.NodeInterface
+	node  noc.NodeID
+	dst   noc.NodeID
+}
+
+var floodSeq int
+
+func newFloodNode(net *noc.Network, st *noc.CrossStation, dst noc.NodeID) *floodNode {
+	floodSeq++
+	f := &floodNode{name: fmt.Sprintf("flood%d", floodSeq), net: net, dst: dst}
+	f.node = net.NewNode(f.name)
+	f.iface = net.Attach(f.node, st)
+	net.AddDevice(f)
+	return f
+}
+
+func (f *floodNode) Name() string { return f.name }
+func (f *floodNode) Tick(now sim.Cycle) {
+	for f.iface.Send(f.net.NewFlit(f.node, f.dst, noc.KindData, 64)) {
+	}
+	for f.iface.Recv() != nil {
+	}
+}
+
+// drainNode consumes arrivals at a bounded rate (a slow sink).
+type drainNode struct {
+	name     string
+	iface    *noc.NodeInterface
+	node     noc.NodeID
+	perCycle int
+}
+
+var drainSeq int
+
+func newDrainNode(net *noc.Network, st *noc.CrossStation, perCycle int) *drainNode {
+	drainSeq++
+	d := &drainNode{name: fmt.Sprintf("drain%d", drainSeq), perCycle: perCycle}
+	d.node = net.NewNode(d.name)
+	d.iface = net.Attach(d.node, st)
+	net.AddDevice(d)
+	return d
+}
+
+func (d *drainNode) Name() string { return d.name }
+func (d *drainNode) Tick(now sim.Cycle) {
+	for i := 0; i < d.perCycle; i++ {
+		if d.iface.Recv() == nil {
+			return
+		}
+	}
+}
+
+// crossNode both floods a cross-die partner and drains its own arrivals —
+// the all-cross traffic of the Figure 9 deadlock rig.
+type crossNode struct {
+	name    string
+	net     *noc.Network
+	iface   *noc.NodeInterface
+	node    noc.NodeID
+	partner noc.NodeID
+}
+
+var crossSeq int
+
+func newCrossNode(net *noc.Network, st *noc.CrossStation) *crossNode {
+	crossSeq++
+	c := &crossNode{name: fmt.Sprintf("cross%d", crossSeq), net: net}
+	c.node = net.NewNode(c.name)
+	c.iface = net.Attach(c.node, st)
+	net.AddDevice(c)
+	return c
+}
+
+func (c *crossNode) Name() string { return c.name }
+func (c *crossNode) Tick(now sim.Cycle) {
+	for c.iface.Send(c.net.NewFlit(c.node, c.partner, noc.KindData, 64)) {
+	}
+	for c.iface.Recv() != nil {
+	}
+}
+
+// buildCrossFlood places two cross-flooding endpoints on each ring,
+// paired across the dies.
+func buildCrossFlood(net *noc.Network, r0, r1 *noc.Ring) []*crossNode {
+	a0 := newCrossNode(net, r0.AddStation(0))
+	a1 := newCrossNode(net, r0.AddStation(2))
+	b0 := newCrossNode(net, r1.AddStation(2))
+	b1 := newCrossNode(net, r1.AddStation(4))
+	a0.partner, a1.partner = b0.node, b1.node
+	b0.partner, b1.partner = a0.node, a1.node
+	return []*crossNode{a0, a1, b0, b1}
+}

@@ -1,0 +1,24 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5). Each Run* function performs the measurement on
+// the simulated systems and returns a typed result whose Render method
+// prints the same rows/series the paper reports. The cmd/ tools and the
+// top-level benchmarks are thin wrappers around this package.
+package experiments
+
+// Scale selects the run length: Quick keeps CI and `go test` fast, Full
+// is what cmd/experiments and EXPERIMENTS.md use.
+type Scale int
+
+// Run scales.
+const (
+	Quick Scale = iota
+	Full
+)
+
+// cycles picks a window by scale.
+func (s Scale) cycles(quick, full int) int {
+	if s == Quick {
+		return quick
+	}
+	return full
+}

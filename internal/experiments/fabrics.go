@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chipletnoc/internal/baseline"
+	"chipletnoc/internal/stats"
+)
+
+// FabricRow is one organisation's characterisation at a fixed endpoint
+// count.
+type FabricRow struct {
+	Name          string
+	ZeroLoadLat   float64
+	SaturationThr float64 // delivered pkt/node/cycle at heavy offered load
+	Knee          float64 // offered rate where latency doubles
+}
+
+// FabricsResult compares the four interconnect organisations under
+// identical uniform-random traffic — the design-space view behind
+// Table 9's survey of commercial NoCs.
+type FabricsResult struct {
+	Nodes int
+	Rows  []FabricRow
+}
+
+// RunFabricComparison sweeps all four organisations at the same scale.
+func RunFabricComparison(scale Scale) FabricsResult {
+	nodes := 16
+	warm := uint64(scale.cycles(500, 2000))
+	window := uint64(scale.cycles(2000, 8000))
+	rates := []float64{0.01, 0.05, 0.1, 0.2, 0.3, 0.45}
+	if scale == Quick {
+		rates = []float64{0.01, 0.1, 0.3}
+	}
+
+	factories := []struct {
+		name string
+		f    func() baseline.Fabric
+	}{
+		{"bufferless-multiring", func() baseline.Fabric { return baseline.NewMultiRing(nodes, true) }},
+		{"bufferless-2-chiplet", func() baseline.Fabric { return baseline.NewMultiRingChiplets(2, nodes/2) }},
+		{"buffered-mesh", func() baseline.Fabric { return baseline.NewBufferedMesh(baseline.DefaultMeshConfig(4, 4)) }},
+		{"buffered-ring", func() baseline.Fabric { return baseline.NewBufferedRing(baseline.DefaultRingConfig(nodes)) }},
+		{"switched-hub", func() baseline.Fabric { return baseline.NewSwitchedHub(baseline.DefaultHubConfig(4, 4)) }},
+	}
+
+	var res FabricsResult
+	res.Nodes = nodes
+	for _, fa := range factories {
+		points := baseline.Sweep(fa.f, rates, 64, warm, window, 0xFAB)
+		heavy := baseline.MeasureUniform(fa.f(), 0.6, 64, warm, window, 0xFAB)
+		res.Rows = append(res.Rows, FabricRow{
+			Name:          fa.name,
+			ZeroLoadLat:   points[0].MeanLatency,
+			SaturationThr: heavy.Throughput,
+			Knee:          baseline.Knee(points, 2),
+		})
+	}
+	return res
+}
+
+// Render prints the comparison.
+func (r FabricsResult) Render() string {
+	t := stats.NewTable("organisation", "zero-load lat (cyc)", "sat. thr (pkt/node/cyc)", "knee rate")
+	for _, row := range r.Rows {
+		t.AddRow(row.Name, fmt.Sprintf("%.1f", row.ZeroLoadLat),
+			fmt.Sprintf("%.3f", row.SaturationThr), fmt.Sprintf("%.2f", row.Knee))
+	}
+	return fmt.Sprintf("Extension: interconnect organisations at %d endpoints, uniform traffic\n%s", r.Nodes, t.String())
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chipletnoc/internal/stats"
+	"chipletnoc/internal/workloads"
+)
+
+// Fig11Series is one system's latency-vs-noise curve for one background
+// mix.
+type Fig11Series struct {
+	System   string
+	Scenario string
+	Points   []workloads.CompetitionPoint
+	// Turning is the noise rate where latency exceeds 2x the quiet
+	// baseline (the "turning point" of the figure).
+	Turning float64
+}
+
+// Fig11Result holds all six curves (2 systems x 3 noise mixes).
+type Fig11Result struct {
+	Series []Fig11Series
+	Rates  []float64
+}
+
+// RunFig11 sweeps background traffic intensity and measures the probe
+// core's DDR latency on this work and on the Intel-6148 baseline, for
+// read, write and hybrid noise.
+func RunFig11(scale Scale) Fig11Result {
+	rates := []float64{0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 1.0, 1.05, 1.1, 1.2}
+	if scale == Quick {
+		rates = []float64{0, 0.4, 0.9, 1.2}
+	}
+	ours := workloads.ThisWork96()
+	intel := workloads.Intel6148()
+	if scale == Quick {
+		ours = quickMultiRing()
+		intel = quickMesh("intel-6148", 6)
+	}
+	res := Fig11Result{Rates: rates}
+	for _, spec := range []workloads.SystemSpec{ours, intel} {
+		for _, sc := range workloads.CompetitionScenarios() {
+			pts := workloads.RunCompetition(spec, sc, rates, 0xF11)
+			res.Series = append(res.Series, Fig11Series{
+				System:   spec.Name,
+				Scenario: sc.Name,
+				Points:   pts,
+				Turning:  workloads.TurningPoint(pts, 2),
+			})
+		}
+	}
+	return res
+}
+
+// Render prints the curves and turning points.
+func (r Fig11Result) Render() string {
+	head := []string{"System", "Noise"}
+	for _, rate := range r.Rates {
+		head = append(head, fmt.Sprintf("%.2f", rate))
+	}
+	head = append(head, "turn@2x")
+	t := stats.NewTable(head...)
+	for _, s := range r.Series {
+		row := []interface{}{s.System, s.Scenario}
+		for _, p := range s.Points {
+			row = append(row, fmt.Sprintf("%.0f", p.ProbeLatency))
+		}
+		turn := fmt.Sprintf("%.2f", s.Turning)
+		if s.Turning > r.Rates[len(r.Rates)-1] {
+			turn = ">max"
+		}
+		row = append(row, turn)
+		t.AddRow(row...)
+	}
+	return "Figure 11: probe-core DDR latency (cycles) vs background noise rate\n" + t.String() +
+		"paper claim: this work's turning points come later than Intel-6148's\n"
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"chipletnoc/internal/baseline"
+	"chipletnoc/internal/workloads"
+)
+
+// Quick-scale system variants: same organisations, fewer endpoints, so
+// unit tests and benchmarks finish in milliseconds.
+
+func seq(from, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = from + i
+	}
+	return out
+}
+
+func quickMultiRing() workloads.SystemSpec {
+	return workloads.SystemSpec{
+		Name: "this-work", Cores: 16, MemChannels: 4, CoreMLP: 16,
+		NewFabric:  func() baseline.Fabric { return baseline.NewMultiRingChiplets(2, 10) },
+		CoreNodes:  func() []int { return append(seq(0, 8), seq(10, 8)...) },
+		MemNodes:   func() []int { return append(seq(8, 2), seq(18, 2)...) },
+		MemLatency: 90, MemBytesPerCycle: 8.5,
+	}
+}
+
+func quickMesh(name string, mlp int) workloads.SystemSpec {
+	return workloads.SystemSpec{
+		Name: name, Cores: 12, MemChannels: 4, CoreMLP: mlp,
+		NewFabric:  func() baseline.Fabric { return baseline.NewBufferedMesh(baseline.DefaultMeshConfig(4, 4)) },
+		CoreNodes:  func() []int { return seq(0, 12) },
+		MemNodes:   func() []int { return seq(12, 4) },
+		MemLatency: 90, MemBytesPerCycle: 8.5,
+	}
+}
+
+func quickHub() workloads.SystemSpec {
+	cfg := baseline.DefaultHubConfig(3, 8)
+	cfg.HubPorts = 1
+	return workloads.SystemSpec{
+		Name: "amd-7742", Cores: 16, MemChannels: 4, CoreMLP: 10,
+		NewFabric:  func() baseline.Fabric { return baseline.NewSwitchedHub(cfg) },
+		CoreNodes:  func() []int { return seq(0, 16) },
+		MemNodes:   func() []int { return seq(16, 4) },
+		MemLatency: 90, MemBytesPerCycle: 8.5,
+	}
+}

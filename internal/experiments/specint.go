@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"chipletnoc/internal/stats"
+	"chipletnoc/internal/workloads"
+)
+
+// SpecIntPanel is one of the four panels of Figures 12/13: a head-to-head
+// between this work (possibly scaled down) and one baseline.
+type SpecIntPanel struct {
+	Name     string // e.g. "single-core", "package", "scaled-vs-8180"
+	Baseline string
+	// PerBench maps benchmark -> (ours / baseline) normalised score.
+	PerBench map[string]float64
+	Geomean  float64
+}
+
+// SpecIntResult is a whole figure (one suite).
+type SpecIntResult struct {
+	Suite  string
+	Panels []SpecIntPanel
+}
+
+// RunSpecInt regenerates Figure 12 (suite2017=true) or Figure 13.
+func RunSpecInt(scale Scale, suite2017 bool) SpecIntResult {
+	suite := workloads.SpecInt2006()
+	name := "SPECint-2006 (Figure 13)"
+	if suite2017 {
+		suite = workloads.SpecInt2017()
+		name = "SPECint-2017 (Figure 12)"
+	}
+	ours := workloads.ThisWork96()
+	intel := workloads.Intel8280()
+	intel8180 := workloads.Intel8180()
+	amd := workloads.AMD7742()
+	oursVs8180 := workloads.ThisWorkScaled(intel8180.Cores)
+	oursVsAMD := workloads.ThisWorkScaled(amd.Cores)
+	if scale == Quick {
+		ours = quickMultiRing()
+		intel = quickMesh("intel-8280", 6)
+		intel8180 = quickMesh("intel-8180", 5)
+		amd = quickHub()
+		oursVs8180 = quickMultiRing()
+		oursVsAMD = quickMultiRing()
+	}
+
+	prof := func(s workloads.SystemSpec) workloads.MemProfile {
+		return workloads.MeasureMemProfile(s, 0xF12)
+	}
+	panel := func(name string, a, b workloads.SystemSpec, single bool) SpecIntPanel {
+		sa := workloads.ScoreSpec(suite, prof(a), a.Cores)
+		sb := workloads.ScoreSpec(suite, prof(b), b.Cores)
+		p := SpecIntPanel{Name: name, Baseline: b.Name, PerBench: make(map[string]float64)}
+		for _, bench := range suite {
+			if single {
+				p.PerBench[bench.Name] = sa.PerBenchSingle[bench.Name] / sb.PerBenchSingle[bench.Name]
+			} else {
+				p.PerBench[bench.Name] = sa.PerBenchRate[bench.Name] / sb.PerBenchRate[bench.Name]
+			}
+		}
+		if single {
+			p.Geomean = sa.GeomeanSingle / sb.GeomeanSingle
+		} else {
+			p.Geomean = sa.GeomeanRate / sb.GeomeanRate
+		}
+		return p
+	}
+
+	return SpecIntResult{
+		Suite: name,
+		Panels: []SpecIntPanel{
+			panel("single-core", ours, intel, true),
+			panel("package", ours, intel, false),
+			panel("scaled-vs-8180", oursVs8180, intel8180, false),
+			panel("scaled-vs-7742", oursVsAMD, amd, false),
+		},
+	}
+}
+
+// Render prints the four panels.
+func (r SpecIntResult) Render() string {
+	out := r.Suite + ": normalised score (this work / baseline)\n"
+	for _, p := range r.Panels {
+		t := stats.NewTable("benchmark", "ratio")
+		names := make([]string, 0, len(p.PerBench))
+		for name := range p.PerBench {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			t.AddRow(name, fmt.Sprintf("%.2f", p.PerBench[name]))
+		}
+		out += fmt.Sprintf("panel %s (vs %s), geomean %.2fx:\n%s", p.Name, p.Baseline, p.Geomean, t.String())
+	}
+	return out
+}

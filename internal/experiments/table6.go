@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chipletnoc/internal/stats"
+	"chipletnoc/internal/workloads"
+)
+
+// Table6Result is the SPECpower comparison: ssj-style ops/watt scores for
+// one core and one package, per system.
+type Table6Result struct {
+	Rows []workloads.SpecPowerResult
+}
+
+// RunTable6 evaluates SPECpower on the three systems. Scores are in
+// simulator units (transactions per joule-ish); the paper's claim is the
+// ratios — 1.08x/1.03x over Intel/AMD single-core, 1.19x/1.11x per
+// package.
+func RunTable6(scale Scale) Table6Result {
+	specs := []workloads.SystemSpec{
+		workloads.ThisWork96(),
+		workloads.Intel8280(),
+		workloads.AMD7742(),
+	}
+	if scale == Quick {
+		specs = []workloads.SystemSpec{quickMultiRing(), quickMesh("intel-8280", 6), quickHub()}
+	}
+	var res Table6Result
+	for _, s := range specs {
+		res.Rows = append(res.Rows, workloads.RunSpecPower(s, 0xF6))
+	}
+	return res
+}
+
+// Render prints the table with ratios against this work.
+func (r Table6Result) Render() string {
+	t := stats.NewTable("Platform", "1 Core", "1 Package", "pkg ratio vs this work")
+	var ours workloads.SpecPowerResult
+	for _, row := range r.Rows {
+		if row.System == "this-work" {
+			ours = row
+		}
+	}
+	for _, row := range r.Rows {
+		ratio := "1.00"
+		if row.System != "this-work" && row.PackageScore > 0 {
+			ratio = fmt.Sprintf("%.2f", ours.PackageScore/row.PackageScore)
+		}
+		t.AddRow(row.System, fmt.Sprintf("%.2f", row.SingleCoreScore), fmt.Sprintf("%.2f", row.PackageScore), ratio)
+	}
+	return "Table 6: SPECpower-ssj style score (ops/J, simulator units)\n" + t.String() +
+		"paper: this work / Intel-8280 = 1.19x, / AMD-7742 = 1.11x per package\n"
+}

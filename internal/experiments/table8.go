@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chipletnoc/internal/stats"
+	"chipletnoc/internal/workloads"
+)
+
+// Table8Result is the MLPerf training comparison against the A100-class
+// baseline.
+type Table8Result struct {
+	// NoCTBps is the sustained NoC bandwidth fed to the accelerator
+	// model (measured by the Table 7 run at 1:1).
+	NoCTBps float64
+	Rows    []workloads.MLPerfComparison
+}
+
+// RunTable8 replays the MLPerf layer traces through the roofline models.
+// The sustained NoC bandwidth comes from the simulator (Table 7's 1:1
+// total) so the end-to-end result consumes the cycle-accurate NoC.
+func RunTable8(scale Scale, t7 *Table7Result) Table8Result {
+	var nocTBps float64
+	if t7 != nil {
+		for _, row := range t7.Rows {
+			if row.Ratio.ReadFraction == 0.5 {
+				nocTBps = row.Total
+			}
+		}
+	}
+	if nocTBps == 0 {
+		if scale == Quick {
+			// The quick-scale AI die is deliberately small; feed the
+			// accelerator model the full-die headline instead of paying
+			// for a full Table 7 run in unit tests.
+			nocTBps = 16.0
+		} else {
+			t := RunTable7(scale)
+			nocTBps = t.Rows[0].Total
+		}
+	}
+	ours := workloads.ThisWorkAccelerator(nocTBps)
+	a100 := workloads.A100Accelerator()
+	return Table8Result{
+		NoCTBps: nocTBps,
+		Rows: []workloads.MLPerfComparison{
+			workloads.CompareMLPerf("ResNet-50", workloads.ResNet50Layers(), ours, a100),
+			workloads.CompareMLPerf("BERT", workloads.BERTLayers(), ours, a100),
+			workloads.CompareMLPerf("Mask R-CNN", workloads.MaskRCNNLayers(), ours, a100),
+		},
+	}
+}
+
+// Render prints the table.
+func (r Table8Result) Render() string {
+	t := stats.NewTable("Model", "Ours Perf (x A100)", "Ours Energy (x A100)")
+	for _, row := range r.Rows {
+		t.AddRow(row.Model, fmt.Sprintf("x%.2f", row.Speedup), fmt.Sprintf("%.2f", row.EnergyRatio))
+	}
+	return fmt.Sprintf("Table 8: MLPerf training vs NVIDIA A100 (NoC sustained %.1f TB/s)\n", r.NoCTBps) +
+		t.String() +
+		"paper: x3.2 / x2.99 / x4.13 performance; 1.89 / 1.50 / NA energy\n"
+}

@@ -1,0 +1,208 @@
+// Package mem models the off-chip memory substrates the NoC bridges to:
+// DDR channel controllers for the Server-CPU and HBM stacks for the
+// AI-Processor. A controller is a NoC device: it receives CHI request
+// flits, applies access latency and a bandwidth cap (token bucket over
+// the channel's bytes/cycle), and answers with CompData (reads) or Comp
+// (writes).
+package mem
+
+import (
+	"fmt"
+
+	"chipletnoc/internal/chi"
+	"chipletnoc/internal/noc"
+	"chipletnoc/internal/sim"
+)
+
+// Config sizes one memory controller.
+type Config struct {
+	// AccessCycles is the fixed device latency (row activation + CAS +
+	// controller pipeline) in NoC cycles.
+	AccessCycles int
+	// BytesPerCycle is the sustained bandwidth cap in bytes per NoC
+	// cycle. One DDR4-3200 channel at a 3 GHz NoC is 25.6 GB/s ≈ 8.5
+	// B/cycle; one HBM2E stack at 500 GB/s is ≈ 167 B/cycle.
+	BytesPerCycle float64
+	// QueueDepth bounds the controller's request queue; arrivals beyond
+	// it stay in the NoC eject queue (backpressure).
+	QueueDepth int
+}
+
+// DDR4Channel returns the Server-CPU controller calibration.
+func DDR4Channel() Config {
+	return Config{AccessCycles: 90, BytesPerCycle: 8.5, QueueDepth: 32}
+}
+
+// HBMStack returns the AI-Processor controller calibration
+// (500 GB/s per stack, Section 3.2.2).
+func HBMStack() Config {
+	return Config{AccessCycles: 60, BytesPerCycle: 167, QueueDepth: 64}
+}
+
+// pendingReq is a request being serviced.
+type pendingReq struct {
+	m     *chi.Message
+	ready sim.Cycle
+}
+
+// Controller is one memory channel attached to the NoC.
+type Controller struct {
+	name  string
+	net   *noc.Network
+	iface *noc.NodeInterface
+	cfg   Config
+
+	queue   []*chi.Message // accepted, waiting for a bandwidth grant
+	inSvc   []pendingReq   // granted, waiting for AccessCycles
+	replies []*noc.Flit    // ready to inject (retrying on backpressure)
+	tokens  float64
+	// wrBeats counts write-burst beats received per transaction; the
+	// write enters the queue when its last beat lands. wrOpen holds the
+	// original write request between DBIDResp and the final beat.
+	wrBeats map[wrKey]int
+	wrOpen  map[wrKey]*chi.Message
+
+	// Statistics
+	Reads, Writes  uint64
+	BytesServed    uint64
+	QueueFullDrops uint64 // cycles the queue refused arrivals
+}
+
+// wrKey identifies a write burst in flight.
+type wrKey struct {
+	requester noc.NodeID
+	txn       uint32
+}
+
+// New creates a controller and attaches it to the station.
+func New(net *noc.Network, name string, cfg Config, st *noc.CrossStation) *Controller {
+	c := &Controller{
+		name: name, net: net, cfg: cfg,
+		wrBeats: make(map[wrKey]int),
+		wrOpen:  make(map[wrKey]*chi.Message),
+	}
+	node := net.NewNode(name)
+	c.iface = net.AttachQueued(node, st, 16, 16)
+	net.AddDevice(c)
+	return c
+}
+
+// Name implements noc.Device.
+func (c *Controller) Name() string { return c.name }
+
+// Node returns the controller's NoC address.
+func (c *Controller) Node() noc.NodeID { return c.iface.Node() }
+
+// Tick implements noc.Device.
+func (c *Controller) Tick(now sim.Cycle) {
+	// 1. Accept arrivals while the request queue has room. Writes follow
+	// the CHI flow: the request gets a DBIDResp buffer grant, the data
+	// beats arrive as self-contained (possibly out-of-order) flits, and
+	// the write is serviced once its last beat lands.
+	for len(c.queue) < c.cfg.QueueDepth {
+		f := c.iface.Recv()
+		if f == nil {
+			break
+		}
+		m := chi.MsgOf(f)
+		if m == nil {
+			panic(fmt.Sprintf("mem: %s received non-CHI flit %d", c.name, f.ID))
+		}
+		k := wrKey{requester: m.Requester, txn: m.TxnID}
+		switch {
+		case m.IsWrite():
+			c.wrOpen[k] = m
+			grant := &chi.Message{TxnID: m.TxnID, Op: chi.DBIDResp, Addr: m.Addr, Requester: m.Requester, Size: m.Size}
+			c.replies = append(c.replies, grant.NewFlit(c.net, c.Node(), m.Requester))
+		case m.Op == chi.NonCopyBackWrData:
+			req, open := c.wrOpen[k]
+			if !open {
+				panic(fmt.Sprintf("mem: %s got write data for unknown txn %d", c.name, m.TxnID))
+			}
+			c.wrBeats[k]++
+			if c.wrBeats[k] < m.Beats() {
+				continue
+			}
+			delete(c.wrBeats, k)
+			delete(c.wrOpen, k)
+			c.queue = append(c.queue, req)
+		default:
+			c.queue = append(c.queue, m)
+		}
+	}
+	if len(c.queue) == c.cfg.QueueDepth && c.iface.EjectLen() > 0 {
+		c.QueueFullDrops++
+	}
+	// 2. Bandwidth grants: every request moves a full line. The bucket's
+	// burst cap must never sit below the head request's size or a large
+	// transfer through a narrow channel would starve forever.
+	c.tokens += c.cfg.BytesPerCycle
+	max := c.cfg.BytesPerCycle * float64(c.cfg.QueueDepth)
+	if len(c.queue) > 0 {
+		if need := float64(c.queue[0].Bytes()); need > max {
+			max = need
+		}
+	}
+	if c.tokens > max {
+		c.tokens = max
+	}
+	for len(c.queue) > 0 {
+		size := float64(c.queue[0].Bytes())
+		if c.tokens < size {
+			break
+		}
+		c.tokens -= size
+		m := c.queue[0]
+		c.queue = c.queue[1:]
+		c.inSvc = append(c.inSvc, pendingReq{m: m, ready: now + sim.Cycle(c.cfg.AccessCycles)})
+	}
+	// 3. Completions.
+	for len(c.inSvc) > 0 && c.inSvc[0].ready <= now {
+		req := c.inSvc[0].m
+		c.inSvc = c.inSvc[1:]
+		dst := req.Requester
+		if dst == c.Node() {
+			panic(fmt.Sprintf("mem: %s asked to reply to itself", c.name))
+		}
+		c.BytesServed += uint64(req.Bytes())
+		if req.IsWrite() {
+			c.Writes++
+			rsp := &chi.Message{TxnID: req.TxnID, Op: chi.Comp, Addr: req.Addr, Requester: req.Requester, Size: req.Size}
+			c.replies = append(c.replies, rsp.NewFlit(c.net, c.Node(), dst))
+		} else {
+			c.Reads++
+			// One data flit per beat; each is independent on the wire.
+			for b := 0; b < req.Beats(); b++ {
+				rsp := &chi.Message{TxnID: req.TxnID, Op: chi.CompData, Addr: req.Addr, Requester: req.Requester, Size: req.Size}
+				c.replies = append(c.replies, rsp.NewFlit(c.net, c.Node(), dst))
+			}
+		}
+	}
+	// 4. Inject replies, retrying under NoC backpressure.
+	for len(c.replies) > 0 && c.iface.Send(c.replies[0]) {
+		c.replies = c.replies[1:]
+	}
+}
+
+// Pending returns requests inside the controller (queued or in service).
+func (c *Controller) Pending() int {
+	return len(c.queue) + len(c.inSvc) + len(c.replies)
+}
+
+// QueueState reports the controller's internal occupancy for diagnostics.
+func (c *Controller) QueueState() (queued, inService, replies int) {
+	return len(c.queue), len(c.inSvc), len(c.replies)
+}
+
+// Interface exposes the controller's NoC interface for probes.
+func (c *Controller) Interface() *noc.NodeInterface { return c.iface }
+
+// Interleave maps a line address across n controllers: the AI die's L2
+// and HBM interleaving (Section 3.2.2) that spreads sequential traffic
+// evenly over the NoC.
+func Interleave(addr uint64, n int) int {
+	if n <= 0 {
+		panic("mem: interleave over zero controllers")
+	}
+	return int((addr / chi.LineSize) % uint64(n))
+}

@@ -1,0 +1,482 @@
+package noc
+
+import (
+	"fmt"
+	"math"
+
+	"chipletnoc/internal/sim"
+	"chipletnoc/internal/trace"
+)
+
+// RBRGL1Config sizes an intra-die ring bridge.
+type RBRGL1Config struct {
+	// InjectDepth/EjectDepth size the per-ring node-interface queues
+	// (the bridge's data buffering).
+	InjectDepth, EjectDepth int
+	// ForwardPerCycle bounds how many flits each interface can move to
+	// another ring per cycle (the internal crossbar bandwidth).
+	ForwardPerCycle int
+	// EscapeDepth is the reserved escape capacity used by the SWAP
+	// deadlock-resolution mode. Section 4.4 embeds SWAP "in the
+	// cross-ring bridge"; without it the orthogonal request/response
+	// flows of the mesh-of-rings can form exactly the Figure 9 deadlock.
+	EscapeDepth int
+	// DeadlockThreshold is consecutive stalled-injection cycles before
+	// the bridge enters deadlock-resolution mode.
+	DeadlockThreshold int
+	// EnableSwap turns the resolution on (off reproduces the deadlock
+	// for the ablation).
+	EnableSwap bool
+}
+
+// DefaultRBRGL1Config returns the configuration the SoC builders use.
+func DefaultRBRGL1Config() RBRGL1Config {
+	return RBRGL1Config{
+		InjectDepth: 16, EjectDepth: 16,
+		ForwardPerCycle:   4,
+		EscapeDepth:       64,
+		DeadlockThreshold: 48,
+		EnableSwap:        true,
+	}
+}
+
+// l1half is the per-interface state of an intra-die bridge.
+type l1half struct {
+	iface *NodeInterface
+	// escape holds flits pulled out of the eject queue during DRM; it
+	// drains ahead of the eject queue.
+	escape          []*Flit
+	drm             bool
+	stalledCycles   int
+	blockedCycles   int // eject full while arrivals keep deflecting
+	lastInjectSeen  uint64
+	lastDeflectSeen uint64
+}
+
+// RBRGL1 is the first-level ring bridge of Section 4.1.3: a "device" that
+// resides at the intersection of two (or more) rings inside one die,
+// buffering flits that change rings and regenerating their routing
+// information. The mesh-of-rings AI die is woven out of these. Each
+// interface carries the SWAP deadlock-resolution state of Section 4.4.
+type RBRGL1 struct {
+	name string
+	net  *Network
+	node NodeID
+	cfg  RBRGL1Config
+
+	halves []*l1half
+
+	Forwarded   uint64
+	SwapEntries uint64
+	SwapRescues uint64
+}
+
+// NewRBRGL1 creates a bridge node and attaches it to each station in
+// stations (each on a different ring).
+func NewRBRGL1(net *Network, name string, cfg RBRGL1Config, stations ...*CrossStation) *RBRGL1 {
+	if len(stations) < 2 {
+		panic("noc: RBRGL1 needs at least two rings")
+	}
+	b := &RBRGL1{name: name, net: net, cfg: cfg}
+	b.node = net.NewNode(name)
+	for _, st := range stations {
+		ni := net.AttachQueued(b.node, st, cfg.InjectDepth, cfg.EjectDepth)
+		b.halves = append(b.halves, &l1half{iface: ni})
+	}
+	net.AddDevice(b)
+	return b
+}
+
+// Name implements Device.
+func (b *RBRGL1) Name() string { return b.name }
+
+// Node returns the bridge's node identity.
+func (b *RBRGL1) Node() NodeID { return b.node }
+
+// InDRM reports whether any interface is in deadlock-resolution mode.
+func (b *RBRGL1) InDRM() bool {
+	for _, h := range b.halves {
+		if h.drm {
+			return true
+		}
+	}
+	return false
+}
+
+// Tick drains each interface's eject queue (escape buffer first) into
+// the interface on the next ring along the flit's path, then runs
+// deadlock detection/resolution per interface. A full outgoing inject
+// queue stalls the head (and, transitively, fills the eject queue, whose
+// fullness deflects ring flits — that is the bridge's backpressure).
+func (b *RBRGL1) Tick(now sim.Cycle) {
+	for _, in := range b.halves {
+		for moved := 0; moved < b.cfg.ForwardPerCycle; moved++ {
+			var f *Flit
+			fromEscape := len(in.escape) > 0
+			if fromEscape {
+				f = in.escape[0]
+			} else {
+				f = in.iface.Peek()
+			}
+			if f == nil {
+				break
+			}
+			out := b.net.forwardInterface(b.node, in.iface, f)
+			if out == nil {
+				panic(fmt.Sprintf("noc: bridge %s cannot forward flit %d to node %d", b.name, f.ID, f.Dst))
+			}
+			if !out.Send(f) {
+				break
+			}
+			f.RingChanges++
+			b.Forwarded++
+			b.net.trace(trace.BridgeHop, f.ID, b.name, "")
+			if fromEscape {
+				in.escape = in.escape[1:]
+			} else {
+				in.iface.Recv()
+			}
+		}
+	}
+	for _, h := range b.halves {
+		b.runDRM(h)
+	}
+}
+
+// runDRM mirrors the RBRG-L2 SWAP logic (Section 4.4) at an intra-die
+// intersection: when injection has stalled past the threshold with the
+// eject queue full, flits are pulled into the escape buffer so
+// circulating flits can eject and the inject head can swap onto the ring.
+func (b *RBRGL1) runDRM(h *l1half) {
+	ni := h.iface
+	if ni.InjectLen() > 0 && ni.Injected == h.lastInjectSeen {
+		h.stalledCycles++
+	} else {
+		h.stalledCycles = 0
+	}
+	h.lastInjectSeen = ni.Injected
+	if ni.freeEjectEntries() == 0 && ni.Deflected > h.lastDeflectSeen {
+		h.blockedCycles++
+	} else if ni.freeEjectEntries() > 0 {
+		h.blockedCycles = 0
+	}
+	h.lastDeflectSeen = ni.Deflected
+
+	if !b.cfg.EnableSwap {
+		return
+	}
+	if !h.drm {
+		stuck := h.stalledCycles >= b.cfg.DeadlockThreshold && ni.freeEjectEntries() == 0
+		blocked := h.blockedCycles >= b.cfg.DeadlockThreshold
+		if stuck || blocked {
+			h.drm = true
+			b.SwapEntries++
+			b.net.trace(trace.DRMEnter, 0, b.name, "l1")
+		}
+		if !h.drm {
+			return
+		}
+	}
+	if len(h.escape) < b.cfg.EscapeDepth {
+		if f := ni.Recv(); f != nil {
+			h.escape = append(h.escape, f)
+			b.SwapRescues++
+		}
+	}
+	if len(h.escape) == 0 && h.stalledCycles == 0 && h.blockedCycles == 0 {
+		h.drm = false
+		b.net.trace(trace.DRMExit, 0, b.name, "l1")
+	}
+	ni.swapMode = h.drm
+}
+
+// forwardInterface picks which of a bridge node's interfaces a transit
+// flit should continue on: the ring getting it closest to (ideally
+// holding) its destination, never the ring it arrived from.
+func (n *Network) forwardInterface(node NodeID, arrived *NodeInterface, f *Flit) *NodeInterface {
+	info := n.nodes[node]
+	var best *NodeInterface
+	bestDist := math.MaxInt32
+	for _, ni := range info.ifaces {
+		if ni == arrived {
+			continue
+		}
+		dstRing, local, ok := n.routeFrom(ni.station.ring.id, f.Dst)
+		if !ok {
+			continue
+		}
+		d := 0
+		if !local {
+			d = n.ringDist[ni.station.ring.id][dstRing]
+		}
+		if d < bestDist || (d == bestDist && best != nil && ni.station.ring.id < best.station.ring.id) {
+			best, bestDist = ni, d
+		}
+	}
+	return best
+}
+
+// RBRGL2Config sizes an inter-die bridge.
+type RBRGL2Config struct {
+	// InjectDepth/EjectDepth size the per-side node-interface queues.
+	InjectDepth, EjectDepth int
+	// TxDepth/RxDepth size the per-direction link buffers.
+	TxDepth, RxDepth int
+	// ReserveDepth is the DRM escape capacity ("reserved Tx buffers").
+	ReserveDepth int
+	// LinkLatency is the die-to-die wire pipeline depth in cycles.
+	LinkLatency int
+	// LinkWidth is flits per cycle per direction over the D2D link.
+	LinkWidth int
+	// DeadlockThreshold is how many consecutive stalled-injection cycles
+	// trigger DRM (Section 4.4).
+	DeadlockThreshold int
+	// EnableSwap turns the SWAP resolution on; off reproduces the
+	// unrecoverable cross-ring deadlock for the ablation.
+	EnableSwap bool
+}
+
+// DefaultRBRGL2Config returns the configuration used by the SoC builders.
+func DefaultRBRGL2Config() RBRGL2Config {
+	return RBRGL2Config{
+		InjectDepth:       8,
+		EjectDepth:        8,
+		TxDepth:           16,
+		RxDepth:           16,
+		ReserveDepth:      4096,
+		LinkLatency:       8,
+		LinkWidth:         2,
+		DeadlockThreshold: 64,
+		EnableSwap:        true,
+	}
+}
+
+// pipeFlit is a flit in flight on the die-to-die link. Escape flits
+// travel against the reserved escape-lane credit and land on the far
+// side's priority-inject lane, so the deadlock-resolution path never
+// depends on the congested normal buffers.
+type pipeFlit struct {
+	f       *Flit
+	arrives sim.Cycle
+	escape  bool
+}
+
+// l2half is one side of an inter-die bridge.
+type l2half struct {
+	iface *NodeInterface
+	tx    []*Flit
+	// reserve is the escape buffer activated in deadlock-resolution
+	// mode; it drains ahead of tx.
+	reserve []*Flit
+	pipe    []pipeFlit // towards the other half
+	rx      []*Flit
+
+	drm            bool
+	stalledCycles  int
+	lastInjectSeen uint64
+}
+
+// RBRGL2 is the second-level ring bridge of Sections 4.1.3 and 4.4: it
+// connects rings on different dies through a parallel-IO link, provides
+// backpressure flow control, detects cross-ring deadlock and breaks it
+// with the SWAP mechanism.
+type RBRGL2 struct {
+	name string
+	net  *Network
+	node NodeID
+	cfg  RBRGL2Config
+	half [2]l2half
+
+	// statistics
+	Transferred uint64 // flits moved die-to-die
+	SwapEntries uint64 // times a half entered DRM
+	SwapRescues uint64 // flits moved to the escape buffer
+}
+
+// NewRBRGL2 creates an inter-die bridge spanning the two stations (which
+// must be on different rings, conventionally on different dies).
+func NewRBRGL2(net *Network, name string, cfg RBRGL2Config, a, b *CrossStation) *RBRGL2 {
+	if a.ring == b.ring {
+		panic("noc: RBRGL2 must span two rings")
+	}
+	br := &RBRGL2{name: name, net: net, cfg: cfg}
+	br.node = net.NewNode(name)
+	br.half[0].iface = net.AttachQueued(br.node, a, cfg.InjectDepth, cfg.EjectDepth)
+	br.half[1].iface = net.AttachQueued(br.node, b, cfg.InjectDepth, cfg.EjectDepth)
+	net.AddDevice(br)
+	return br
+}
+
+// Name implements Device.
+func (b *RBRGL2) Name() string { return b.name }
+
+// Node returns the bridge's node identity.
+func (b *RBRGL2) Node() NodeID { return b.node }
+
+// InDRM reports whether either side is currently in deadlock-resolution
+// mode.
+func (b *RBRGL2) InDRM() bool { return b.half[0].drm || b.half[1].drm }
+
+// Tick advances both directions of the bridge by one cycle.
+func (b *RBRGL2) Tick(now sim.Cycle) {
+	// 1. Link arrivals: normal flits land in the far side's rx buffer;
+	//    escape flits land straight on the far interface's priority
+	//    lane (their reserved credit guaranteed the space).
+	for side := 0; side < 2; side++ {
+		src, dst := &b.half[side], &b.half[1-side]
+		for len(src.pipe) > 0 && src.pipe[0].arrives <= now {
+			pf := src.pipe[0]
+			if pf.escape {
+				if !dst.iface.SendPriority(pf.f) {
+					break // retry next cycle (credit guard)
+				}
+			} else {
+				if len(dst.rx) >= b.cfg.RxDepth {
+					break
+				}
+				dst.rx = append(dst.rx, pf.f)
+			}
+			src.pipe = src.pipe[1:]
+			b.Transferred++
+		}
+	}
+	// 2. Launch onto the link: the escape buffer drains against the far
+	//    side's reserved escape-lane credit; normal tx drains against
+	//    the far rx buffer. Credits count in-flight flits so the link
+	//    never overruns either pool.
+	for side := 0; side < 2; side++ {
+		src, dst := &b.half[side], &b.half[1-side]
+		normInFlight, escInFlight := 0, 0
+		for _, pf := range src.pipe {
+			if pf.escape {
+				escInFlight++
+			} else {
+				normInFlight++
+			}
+		}
+		escCredit := dst.iface.BypassSpace() - escInFlight
+		credit := b.cfg.RxDepth - len(dst.rx) - normInFlight
+		width := b.cfg.LinkWidth
+		for width > 0 {
+			switch {
+			case len(src.reserve) > 0 && escCredit > 0:
+				f := src.reserve[0]
+				src.reserve = src.reserve[1:]
+				src.pipe = append(src.pipe, pipeFlit{f: f, arrives: now + sim.Cycle(b.cfg.LinkLatency), escape: true})
+				escCredit--
+			case len(src.tx) > 0 && credit > 0:
+				f := src.tx[0]
+				src.tx = src.tx[1:]
+				src.pipe = append(src.pipe, pipeFlit{f: f, arrives: now + sim.Cycle(b.cfg.LinkLatency)})
+				credit--
+			default:
+				width = 0
+				continue
+			}
+			width--
+		}
+	}
+	// 3. Drain ring ejections into tx.
+	for side := 0; side < 2; side++ {
+		h := &b.half[side]
+		for len(h.tx) < b.cfg.TxDepth {
+			f := h.iface.Recv()
+			if f == nil {
+				break
+			}
+			f.RingChanges++
+			h.tx = append(h.tx, f)
+		}
+	}
+	// 4. Re-inject rx arrivals into the local ring.
+	for side := 0; side < 2; side++ {
+		h := &b.half[side]
+		for len(h.rx) > 0 {
+			if !h.iface.Send(h.rx[0]) {
+				break
+			}
+			h.rx = h.rx[1:]
+		}
+	}
+	// 5. Deadlock detection & SWAP resolution per side.
+	for side := 0; side < 2; side++ {
+		b.runDRM(&b.half[side])
+	}
+}
+
+// runDRM implements Section 4.4. A side is considered deadlocked when its
+// injection has made no progress for DeadlockThreshold cycles while the
+// inject path is backed up and both the eject queue and tx buffer are
+// full — the signature that every resource on the cycle is held by
+// cross-ring flits. In DRM a flit from the eject queue is pushed to the
+// reserved escape buffer, freeing an eject entry so a circulating flit
+// can eject and, in the same station cycle, the inject-queue head takes
+// its slot (the "swap").
+func (b *RBRGL2) runDRM(h *l2half) {
+	ni := h.iface
+	if ni.InjectLen() > 0 && ni.Injected == h.lastInjectSeen {
+		h.stalledCycles++
+	} else {
+		h.stalledCycles = 0
+	}
+	h.lastInjectSeen = ni.Injected
+
+	if !b.cfg.EnableSwap {
+		return
+	}
+	if !h.drm {
+		if h.stalledCycles >= b.cfg.DeadlockThreshold &&
+			ni.EjectLen() == ni.ejectCap-ni.reservedCount &&
+			len(h.tx) >= b.cfg.TxDepth {
+			h.drm = true
+			b.SwapEntries++
+			b.net.trace(trace.DRMEnter, 0, b.name, "l2")
+		}
+		if !h.drm {
+			return
+		}
+	}
+	// Resolution: move one eject-queue flit per cycle into the escape
+	// buffer while capacity lasts.
+	if len(h.reserve) < b.cfg.ReserveDepth {
+		if f := ni.Recv(); f != nil {
+			f.RingChanges++
+			h.reserve = append(h.reserve, f)
+			b.SwapRescues++
+		}
+	}
+	// Recovery: escape buffer drained below threshold and injection
+	// moving again.
+	if len(h.reserve) == 0 && h.stalledCycles == 0 {
+		h.drm = false
+		b.net.trace(trace.DRMExit, 0, b.name, "l2")
+	}
+	// While in DRM the cross station swaps: every ejection immediately
+	// hands its freed slot to the inject-queue head.
+	ni.swapMode = h.drm
+}
+
+// DebugState reports per-interface occupancy for diagnostics.
+func (b *RBRGL1) DebugState() string {
+	s := b.name + ":"
+	for i, h := range b.halves {
+		ni := h.iface
+		s += fmt.Sprintf(" if%d[ring=%d inj=%d ej=%d resv=%d want=%d esc=%d drm=%v stall=%d]",
+			i, ni.station.ring.id, ni.InjectLen(), ni.EjectLen(), ni.reservedCount,
+			len(ni.wantEject), len(h.escape), h.drm, h.stalledCycles)
+	}
+	return s
+}
+
+// DebugState reports the bridge's buffer occupancy for diagnostics.
+func (b *RBRGL2) DebugState() string {
+	s := b.name + ":"
+	for side := 0; side < 2; side++ {
+		h := &b.half[side]
+		ni := h.iface
+		s += fmt.Sprintf(" s%d[tx=%d rsv=%d pipe=%d rx=%d inj=%d ej=%d resv=%d want=%d drm=%v stall=%d]",
+			side, len(h.tx), len(h.reserve), len(h.pipe), len(h.rx),
+			ni.InjectLen(), ni.EjectLen(), ni.reservedCount, len(ni.wantEject), h.drm, h.stalledCycles)
+	}
+	return s
+}

@@ -1,0 +1,139 @@
+package noc
+
+import (
+	"testing"
+
+	"chipletnoc/internal/sim"
+)
+
+// crossFlood is a generator that floods the network with cross-die
+// traffic: every node on die A sends to a partner on die B and vice
+// versa, while also *consuming* its own arrivals — the exact pattern of
+// Figure 9 where every flit on each ring wants the other ring.
+type crossFlood struct {
+	name    string
+	iface   *NodeInterface
+	partner NodeID
+	net     *Network
+	remain  int
+	got     int
+}
+
+func (c *crossFlood) Name() string { return c.name }
+func (c *crossFlood) Tick(now sim.Cycle) {
+	for c.remain > 0 {
+		f := c.net.NewFlit(c.iface.Node(), c.partner, KindData, LineBytes)
+		if !c.iface.Send(f) {
+			break
+		}
+		c.remain--
+	}
+	for {
+		if f := c.iface.Recv(); f == nil {
+			break
+		}
+		c.got++
+	}
+}
+
+// buildDeadlockRig creates two small dies joined by one RBRG-L2 where all
+// endpoint traffic crosses the bridge in both directions. Small rings and
+// queues make the resource cycle fill quickly.
+func buildDeadlockRig(t *testing.T, swap bool, flitsPerNode int) (*Network, []*crossFlood, *RBRGL2) {
+	t.Helper()
+	net := NewNetwork("t")
+	cfg := RBRGL2Config{
+		InjectDepth: 4, EjectDepth: 4,
+		TxDepth: 4, RxDepth: 4,
+		ReserveDepth:      4,
+		LinkLatency:       4,
+		LinkWidth:         1,
+		DeadlockThreshold: 32,
+		EnableSwap:        swap,
+	}
+	r0 := net.AddRing(6, false) // half rings: no alternate direction to leak pressure
+	r1 := net.AddRing(6, false)
+	mk := func(r *Ring, pos int, name string) *crossFlood {
+		g := &crossFlood{name: name, net: net, remain: flitsPerNode}
+		node := net.NewNode(name)
+		g.iface = net.AttachQueued(node, r.AddStation(pos), 4, 4)
+		net.AddDevice(g)
+		return g
+	}
+	a0 := mk(r0, 0, "a0")
+	a1 := mk(r0, 2, "a1")
+	b0 := mk(r1, 2, "b0")
+	b1 := mk(r1, 4, "b1")
+	a0.partner, a1.partner = b0.iface.Node(), b1.iface.Node()
+	b0.partner, b1.partner = a0.iface.Node(), a1.iface.Node()
+	br := NewRBRGL2(net, "l2", cfg, r0.AddStation(4), r1.AddStation(0))
+	net.MustFinalize()
+	return net, []*crossFlood{a0, a1, b0, b1}, br
+}
+
+func TestCrossRingDeadlockWithoutSwapStalls(t *testing.T) {
+	net, _, _ := buildDeadlockRig(t, false, 100000)
+	runCycles(net, 20000)
+	before := net.DeliveredFlits
+	runCycles(net, 20000)
+	after := net.DeliveredFlits
+	if after != before {
+		// If the rig never deadlocks the experiment is meaningless;
+		// both outcomes are checked so a regression in either direction
+		// fails loudly.
+		t.Fatalf("no deadlock formed: deliveries advanced %d -> %d", before, after)
+	}
+}
+
+func TestSwapBreaksCrossRingDeadlock(t *testing.T) {
+	net, gens, br := buildDeadlockRig(t, true, 100000)
+	prev := uint64(0)
+	for epoch := 0; epoch < 40; epoch++ {
+		runCycles(net, 5000)
+		if net.DeliveredFlits == prev {
+			t.Fatalf("epoch %d: SWAP failed to keep the network moving (delivered=%d, DRM entries=%d)",
+				epoch, net.DeliveredFlits, br.SwapEntries)
+		}
+		prev = net.DeliveredFlits
+	}
+	if br.SwapEntries == 0 {
+		t.Fatal("deadlock resolution never triggered; rig no longer exercises SWAP")
+	}
+	total := 0
+	for _, g := range gens {
+		total += g.got
+	}
+	if total == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+func TestSwapDrainsCompletely(t *testing.T) {
+	// Finite flood: with SWAP on, every single flit must eventually
+	// arrive even through deadlock episodes.
+	net, gens, _ := buildDeadlockRig(t, true, 500)
+	runCycles(net, 200000)
+	total := 0
+	for _, g := range gens {
+		total += g.got
+	}
+	if want := 4 * 500; total != want {
+		t.Fatalf("delivered %d/%d, in flight %d", total, want, net.InFlight())
+	}
+	if net.InFlight() != 0 {
+		t.Fatalf("in flight = %d after drain", net.InFlight())
+	}
+}
+
+func TestDRMEntryAndExit(t *testing.T) {
+	net, _, br := buildDeadlockRig(t, true, 2000)
+	runCycles(net, 100000)
+	if br.SwapEntries == 0 {
+		t.Skip("rig did not deadlock in this configuration")
+	}
+	// After the finite flood drains, both sides must have left DRM.
+	runCycles(net, 100000)
+	if br.InDRM() {
+		t.Fatal("bridge stuck in deadlock-resolution mode after drain")
+	}
+}

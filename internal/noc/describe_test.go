@@ -1,0 +1,150 @@
+package noc
+
+import (
+	"strings"
+	"testing"
+
+	"chipletnoc/internal/sim"
+)
+
+func TestDescribe(t *testing.T) {
+	net := NewNetwork("demo")
+	r0 := net.AddRing(8, true)
+	r1 := net.AddRing(6, false)
+	newSource(t, net, r0.AddStation(0), "alpha")
+	newSink(t, net, r1.AddStation(0), "beta", 1)
+	NewRBRGL2(net, "bridge0", DefaultRBRGL2Config(), r0.AddStation(4), r1.AddStation(3))
+	net.MustFinalize()
+	out := net.Describe()
+	for _, want := range []string{
+		`network "demo": 2 rings, 3 nodes`,
+		"ring 0 (full, 8 positions)",
+		"ring 1 (half, 6 positions)",
+		"alpha", "beta",
+		"ring 0 <-> ring 1 via bridge0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Describe missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotDeltas(t *testing.T) {
+	net, src, dst := buildPair(t, 10, 3, 8)
+	before := net.Snapshot()
+	for i := 0; i < 5; i++ {
+		src.queue(net.NewFlit(src.Node(), dst.Node(), KindData, LineBytes))
+	}
+	runCycles(net, 50)
+	delta := net.Snapshot().Since(before)
+	if delta.Cycles != 50 {
+		t.Fatalf("cycles = %d", delta.Cycles)
+	}
+	if delta.DeliveredFlits != 5 || delta.InjectedFlits != 5 {
+		t.Fatalf("flits: %+v", delta)
+	}
+	if delta.DeliveredBytes != 5*LineBytes {
+		t.Fatalf("bytes = %d", delta.DeliveredBytes)
+	}
+	if got := delta.BytesPerCycle(); got != float64(5*LineBytes)/50 {
+		t.Fatalf("rate = %v", got)
+	}
+	if (StatsSnapshot{}).BytesPerCycle() != 0 {
+		t.Fatal("zero snapshot rate")
+	}
+}
+
+func TestBypassLane(t *testing.T) {
+	// SendPriority flits must inject ahead of a backlog in the normal
+	// inject queue.
+	net := NewNetwork("t")
+	r := net.AddRing(12, false)
+	st0 := r.AddStation(0)
+	st1 := r.AddStation(6)
+	src := newSource(t, net, st0, "src")
+	dst := newSink(t, net, st1, "dst", 4)
+	net.MustFinalize()
+
+	// Fill the normal inject queue.
+	var normal []*Flit
+	for i := 0; i < DefaultInjectDepth; i++ {
+		f := net.NewFlit(src.Node(), dst.Node(), KindData, LineBytes)
+		if !src.iface.Send(f) {
+			t.Fatal("queue filled early")
+		}
+		normal = append(normal, f)
+	}
+	// Now a priority flit.
+	pf := net.NewFlit(src.Node(), dst.Node(), KindData, LineBytes)
+	if !src.iface.SendPriority(pf) {
+		t.Fatal("bypass rejected")
+	}
+	var order []uint64
+	net.OnDeliver = func(f *Flit, now sim.Cycle) { order = append(order, f.ID) }
+	runCycles(net, 100)
+	if len(order) != DefaultInjectDepth+1 {
+		t.Fatalf("delivered %d", len(order))
+	}
+	if order[0] != pf.ID {
+		t.Fatalf("priority flit delivered %v-th, order=%v (want first)", indexOf(order, pf.ID), order)
+	}
+	_ = normal
+}
+
+func indexOf(s []uint64, v uint64) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestBypassCapacity(t *testing.T) {
+	net := NewNetwork("t")
+	r := net.AddRing(8, false)
+	st := r.AddStation(0)
+	src := newSource(t, net, st, "src")
+	dst := newSink(t, net, r.AddStation(4), "dst", 4)
+	net.MustFinalize()
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if src.iface.SendPriority(net.NewFlit(src.Node(), dst.Node(), KindData, 0)) {
+			accepted++
+		}
+	}
+	if accepted != 4 {
+		t.Fatalf("bypass accepted %d, want the lane depth 4", accepted)
+	}
+	if src.iface.BypassSpace() != 0 {
+		t.Fatalf("BypassSpace = %d", src.iface.BypassSpace())
+	}
+}
+
+func TestInventory(t *testing.T) {
+	net := NewNetwork("inv")
+	r0 := net.AddRing(8, true)
+	r1 := net.AddRing(6, false)
+	st0 := r0.AddStation(0)
+	newSource(t, net, st0, "a")
+	newSource(t, net, st0, "b") // second iface, same station
+	newSink(t, net, r1.AddStation(2), "c", 1)
+	NewRBRGL2(net, "brg", DefaultRBRGL2Config(), r0.AddStation(4), r1.AddStation(4))
+	net.MustFinalize()
+	inv := net.Inventory()
+	if inv.Rings != 2 {
+		t.Fatalf("rings = %d", inv.Rings)
+	}
+	if inv.Positions != 8*2+6 {
+		t.Fatalf("positions = %d", inv.Positions)
+	}
+	if inv.Stations != 4 {
+		t.Fatalf("stations = %d", inv.Stations)
+	}
+	if inv.Interfaces != 5 { // a, b, c + two bridge halves
+		t.Fatalf("interfaces = %d", inv.Interfaces)
+	}
+	if inv.QueueEntries <= 3*(DefaultInjectDepth+DefaultEjectDepth) {
+		t.Fatalf("queue entries = %d", inv.QueueEntries)
+	}
+}

@@ -1,0 +1,79 @@
+package noc
+
+import (
+	"testing"
+
+	"chipletnoc/internal/sim"
+)
+
+// sink is a test endpoint that drains its eject queue at a configurable
+// rate and remembers what it received.
+type sink struct {
+	name     string
+	iface    *NodeInterface
+	drainPer int // flits drained per cycle; 0 = never drain
+	got      []*Flit
+}
+
+func newSink(t testing.TB, net *Network, st *CrossStation, name string, drainPer int) *sink {
+	t.Helper()
+	s := &sink{name: name, drainPer: drainPer}
+	node := net.NewNode(name)
+	s.iface = net.Attach(node, st)
+	net.AddDevice(s)
+	return s
+}
+
+func (s *sink) Name() string { return s.name }
+func (s *sink) Node() NodeID { return s.iface.Node() }
+func (s *sink) Tick(now sim.Cycle) {
+	for i := 0; i < s.drainPer; i++ {
+		f := s.iface.Recv()
+		if f == nil {
+			return
+		}
+		s.got = append(s.got, f)
+	}
+}
+
+// source is a test endpoint that emits a fixed list of flits as fast as
+// the inject queue accepts them, and drains anything ejected to it.
+type source struct {
+	name    string
+	iface   *NodeInterface
+	pending []*Flit
+	got     []*Flit
+}
+
+func newSource(t testing.TB, net *Network, st *CrossStation, name string) *source {
+	t.Helper()
+	s := &source{name: name}
+	node := net.NewNode(name)
+	s.iface = net.Attach(node, st)
+	net.AddDevice(s)
+	return s
+}
+
+func (s *source) Name() string  { return s.name }
+func (s *source) Node() NodeID  { return s.iface.Node() }
+func (s *source) queue(f *Flit) { s.pending = append(s.pending, f) }
+func (s *source) Tick(now sim.Cycle) {
+	for len(s.pending) > 0 && s.iface.Send(s.pending[0]) {
+		s.pending = s.pending[1:]
+	}
+	for {
+		f := s.iface.Recv()
+		if f == nil {
+			break
+		}
+		s.got = append(s.got, f)
+	}
+}
+
+// runCycles ticks the network n more times, continuing simulated time
+// monotonically across calls.
+func runCycles(net *Network, n int) {
+	for i := 0; i < n; i++ {
+		net.Tick(sim.Cycle(net.ticks))
+	}
+}

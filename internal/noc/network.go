@@ -1,0 +1,362 @@
+package noc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"chipletnoc/internal/sim"
+	"chipletnoc/internal/trace"
+)
+
+// Device is anything attached to the network through node interfaces:
+// cores, cache slices, memory controllers, traffic generators and ring
+// bridges. Devices are ticked after all ring/station logic each cycle.
+type Device interface {
+	Name() string
+	Tick(now sim.Cycle)
+}
+
+// nodeInfo records where a node is reachable.
+type nodeInfo struct {
+	name   string
+	ifaces []*NodeInterface
+	// onRing[r] is the interface on ring r (nodes have at most one
+	// interface per ring).
+	onRing map[RingID]*NodeInterface
+}
+
+// Network is a complete multi-ring NoC: rings, bridges, attached devices
+// and the inter-ring routing tables. It implements sim.Component; one
+// Tick is one NoC clock cycle.
+type Network struct {
+	name    string
+	rings   []*Ring
+	devices []Device
+	nodes   []*nodeInfo
+	now     sim.Cycle
+	ticks   uint64 // total Tick calls; elapsed simulated cycles
+
+	nextFlitID uint64
+
+	// ring-graph routing, built by Finalize
+	finalized bool
+	ringDist  [][]int
+	ringNext  [][]RingID             // next ring on the shortest path
+	bridges   map[[2]RingID][]NodeID // nodes spanning a ring pair
+
+	// ITagEnabled / ETagEnabled toggle the starvation and deflection
+	// control tags (on by default; the tag ablation turns them off).
+	ITagEnabled, ETagEnabled bool
+
+	// Tracer, when set, records structured NoC events (injections,
+	// deflections, bridge hops, DRM transitions). Nil costs nothing.
+	Tracer *trace.Tracer
+
+	// throttle is the optional congestion controller (SetThrottle).
+	throttle *throttleState
+
+	// delivery hook and aggregate statistics
+	OnDeliver      func(f *Flit, now sim.Cycle)
+	InjectedFlits  uint64
+	DeliveredFlits uint64
+	DeliveredBytes uint64 // payload bytes at final destinations
+	Deflections    uint64
+	TotalHops      uint64 // occupied-slot movements (wire energy metric)
+	latency        latencyRecorder
+}
+
+// latencyRecorder lets experiments capture per-flit latency without
+// forcing every run to pay for histogram storage.
+type latencyRecorder func(f *Flit, cycles uint64)
+
+// NewNetwork creates an empty network with both fairness tags enabled.
+func NewNetwork(name string) *Network {
+	return &Network{
+		name:        name,
+		bridges:     make(map[[2]RingID][]NodeID),
+		ITagEnabled: true,
+		ETagEnabled: true,
+	}
+}
+
+// Name implements sim.Component.
+func (n *Network) Name() string { return n.name }
+
+// Now returns the network's current cycle.
+func (n *Network) Now() sim.Cycle { return n.now }
+
+// Ticks returns the number of cycles the network has simulated.
+func (n *Network) Ticks() uint64 { return n.ticks }
+
+// RecordLatency installs a per-delivery latency callback.
+func (n *Network) RecordLatency(fn func(f *Flit, cycles uint64)) { n.latency = fn }
+
+// AddRing creates a ring with the given number of slot positions;
+// full=true gives it both directions. Positions must be at least 2.
+func (n *Network) AddRing(positions int, full bool) *Ring {
+	if n.finalized {
+		panic("noc: AddRing after Finalize")
+	}
+	if positions < 2 {
+		panic("noc: ring needs at least 2 positions")
+	}
+	r := &Ring{
+		id:        RingID(len(n.rings)),
+		net:       n,
+		positions: positions,
+		full:      full,
+		cw:        make([]slot, positions),
+		byPos:     make(map[int]*CrossStation),
+	}
+	for i := range r.cw {
+		r.cw[i].itagOwner = noTag
+	}
+	if full {
+		r.ccw = make([]slot, positions)
+		for i := range r.ccw {
+			r.ccw[i].itagOwner = noTag
+		}
+	}
+	n.rings = append(n.rings, r)
+	return r
+}
+
+// Ring returns ring id, panicking on out-of-range ids (wiring bug).
+func (n *Network) Ring(id RingID) *Ring { return n.rings[id] }
+
+// Rings returns all rings.
+func (n *Network) Rings() []*Ring { return n.rings }
+
+// NewNode allocates a node identity for a device.
+func (n *Network) NewNode(name string) NodeID {
+	if n.finalized {
+		panic("noc: NewNode after Finalize")
+	}
+	id := NodeID(len(n.nodes))
+	n.nodes = append(n.nodes, &nodeInfo{name: name, onRing: make(map[RingID]*NodeInterface)})
+	return id
+}
+
+// NodeName returns the debug name of a node.
+func (n *Network) NodeName(id NodeID) string { return n.nodes[id].name }
+
+// Nodes returns the number of allocated nodes.
+func (n *Network) Nodes() int { return len(n.nodes) }
+
+// Attach connects a node to a station with the default queue depths.
+func (n *Network) Attach(node NodeID, st *CrossStation) *NodeInterface {
+	return n.AttachQueued(node, st, DefaultInjectDepth, DefaultEjectDepth)
+}
+
+// AttachQueued connects a node to a station with explicit queue depths.
+// A node may attach to several rings (that is what bridges do) but only
+// once per ring.
+func (n *Network) AttachQueued(node NodeID, st *CrossStation, injectDepth, ejectDepth int) *NodeInterface {
+	if n.finalized {
+		panic("noc: Attach after Finalize")
+	}
+	info := n.nodes[node]
+	if _, dup := info.onRing[st.ring.id]; dup {
+		panic(fmt.Sprintf("noc: node %q attached twice to ring %d", info.name, st.ring.id))
+	}
+	ni := st.attach(node, injectDepth, ejectDepth)
+	info.ifaces = append(info.ifaces, ni)
+	info.onRing[st.ring.id] = ni
+	return ni
+}
+
+// AddDevice registers a device for per-cycle ticking (after ring logic).
+func (n *Network) AddDevice(d Device) {
+	n.devices = append(n.devices, d)
+}
+
+// NewFlit mints a flit with a network-unique ID.
+func (n *Network) NewFlit(src, dst NodeID, kind Kind, payloadBytes int) *Flit {
+	n.nextFlitID++
+	return &Flit{ID: n.nextFlitID, Src: src, Dst: dst, Kind: kind, PayloadBytes: payloadBytes}
+}
+
+// Finalize freezes the topology and builds the ring-graph routing tables.
+// It must be called once, after all rings/attachments and before the
+// first Tick.
+func (n *Network) Finalize() error {
+	if n.finalized {
+		return fmt.Errorf("noc: %s already finalized", n.name)
+	}
+	R := len(n.rings)
+	if R == 0 {
+		return fmt.Errorf("noc: %s has no rings", n.name)
+	}
+	// Every multi-ring node is a potential bridge edge.
+	adj := make([][]RingID, R)
+	for id, info := range n.nodes {
+		if len(info.ifaces) < 2 {
+			continue
+		}
+		ringIDs := make([]RingID, 0, len(info.ifaces))
+		for rid := range info.onRing {
+			ringIDs = append(ringIDs, rid)
+		}
+		sort.Slice(ringIDs, func(i, j int) bool { return ringIDs[i] < ringIDs[j] })
+		for i := 0; i < len(ringIDs); i++ {
+			for j := 0; j < len(ringIDs); j++ {
+				if i == j {
+					continue
+				}
+				a, b := ringIDs[i], ringIDs[j]
+				key := [2]RingID{a, b}
+				if len(n.bridges[key]) == 0 {
+					adj[a] = append(adj[a], b)
+				}
+				n.bridges[key] = append(n.bridges[key], NodeID(id))
+			}
+		}
+	}
+	// All-pairs BFS over the ring graph.
+	n.ringDist = make([][]int, R)
+	n.ringNext = make([][]RingID, R)
+	for s := 0; s < R; s++ {
+		dist := make([]int, R)
+		next := make([]RingID, R)
+		for i := range dist {
+			dist[i] = math.MaxInt32
+			next[i] = -1
+		}
+		dist[s] = 0
+		queue := []RingID{RingID(s)}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range adj[u] {
+				if dist[v] != math.MaxInt32 {
+					continue
+				}
+				dist[v] = dist[u] + 1
+				if u == RingID(s) {
+					next[v] = v
+				} else {
+					next[v] = next[u]
+				}
+				queue = append(queue, v)
+			}
+		}
+		n.ringDist[s] = dist
+		n.ringNext[s] = next
+	}
+	// Validate reachability: every node must be reachable from every ring.
+	for rid := 0; rid < R; rid++ {
+		for id, info := range n.nodes {
+			if len(info.ifaces) == 0 {
+				return fmt.Errorf("noc: node %q has no interface", info.name)
+			}
+			if _, _, ok := n.routeFrom(RingID(rid), NodeID(id)); !ok {
+				return fmt.Errorf("noc: node %q unreachable from ring %d", info.name, rid)
+			}
+		}
+	}
+	n.finalized = true
+	return nil
+}
+
+// MustFinalize panics on Finalize errors; topology construction errors
+// are programming bugs.
+func (n *Network) MustFinalize() {
+	if err := n.Finalize(); err != nil {
+		panic(err)
+	}
+}
+
+// routeFrom picks the destination ring and (if remote) the next ring on
+// the path from ring r to node dst.
+func (n *Network) routeFrom(r RingID, dst NodeID) (dstRing RingID, local bool, ok bool) {
+	info := n.nodes[dst]
+	if _, here := info.onRing[r]; here {
+		return r, true, true
+	}
+	best, bestDist := RingID(-1), math.MaxInt32
+	for rid := range info.onRing {
+		if d := n.ringDist[r][rid]; d < bestDist || (d == bestDist && rid < best) {
+			best, bestDist = rid, d
+		}
+	}
+	if best < 0 || bestDist == math.MaxInt32 {
+		return 0, false, false
+	}
+	return best, false, true
+}
+
+// localTarget returns the station position and interface index a flit on
+// ring r must leave at to reach its destination: the destination itself
+// when local, otherwise a bridge towards the destination's ring. Multiple
+// parallel bridges between the same ring pair are load-balanced by flit
+// ID, which is stable for the flit's lifetime.
+func (n *Network) localTarget(r *Ring, f *Flit) (pos, iface int, ok bool) {
+	dstRing, local, ok := n.routeFrom(r.id, f.Dst)
+	if !ok {
+		return 0, 0, false
+	}
+	if local {
+		ni := n.nodes[f.Dst].onRing[r.id]
+		return ni.station.pos, ni.index, true
+	}
+	next := n.ringNext[r.id][dstRing]
+	cands := n.bridges[[2]RingID{r.id, next}]
+	if len(cands) == 0 {
+		return 0, 0, false
+	}
+	b := cands[int(f.ID)%len(cands)]
+	ni := n.nodes[b].onRing[r.id]
+	return ni.station.pos, ni.index, true
+}
+
+// trace records an event when a tracer is attached.
+func (n *Network) trace(kind trace.Kind, flitID uint64, where, detail string) {
+	if n.Tracer == nil {
+		return
+	}
+	n.Tracer.Record(trace.Event{Cycle: n.now, Kind: kind, FlitID: flitID, Where: where, Detail: detail})
+}
+
+// flitEjected is called by stations when a flit leaves a ring into an
+// eject queue. Bridges receive transit flits; anything else is a final
+// delivery.
+func (n *Network) flitEjected(ni *NodeInterface, f *Flit, now sim.Cycle) {
+	if ni.node != f.Dst {
+		n.trace(trace.Eject, f.ID, n.nodes[ni.node].name, "")
+		return // transit stop at a bridge; the bridge forwards it
+	}
+	n.trace(trace.Deliver, f.ID, n.nodes[ni.node].name, "")
+	n.DeliveredFlits++
+	n.DeliveredBytes += uint64(f.PayloadBytes)
+	if n.latency != nil {
+		n.latency(f, uint64(now-f.Created))
+	}
+	if n.OnDeliver != nil {
+		n.OnDeliver(f, now)
+	}
+}
+
+// InFlight returns injected minus delivered flits (queued, on rings, or
+// inside bridges).
+func (n *Network) InFlight() uint64 { return n.InjectedFlits - n.DeliveredFlits }
+
+// Tick implements sim.Component: rings advance, stations work, devices
+// (including bridges and generators) run.
+func (n *Network) Tick(now sim.Cycle) {
+	if !n.finalized {
+		panic("noc: Tick before Finalize")
+	}
+	n.now = now
+	n.ticks++
+	n.throttleTick()
+	for _, r := range n.rings {
+		r.advance()
+	}
+	for _, r := range n.rings {
+		r.tick(now)
+	}
+	for _, d := range n.devices {
+		d.Tick(now)
+	}
+}

@@ -1,0 +1,43 @@
+package noc
+
+import "fmt"
+
+// SpanRing builds a ring from physical geometry: spans[i] is the wire
+// length in micrometres between station i and station i+1 (the last span
+// closes the loop), and jumpUm is the fabric's distance-per-cycle
+// (phys.FabricSpec.JumpUm). Each span becomes ceil(span/jump) pipeline
+// positions, so a floorplan translates directly into ring latency — the
+// co-design metric of Section 3.3 made constructive.
+//
+// It returns the ring and the station at the start of each span, in
+// order.
+func (n *Network) SpanRing(spans []float64, jumpUm float64, full bool) (*Ring, []*CrossStation) {
+	if len(spans) < 2 {
+		panic("noc: SpanRing needs at least 2 spans")
+	}
+	if jumpUm <= 0 {
+		panic("noc: SpanRing needs a positive jump distance")
+	}
+	positionsFor := func(span float64) int {
+		if span <= 0 {
+			panic(fmt.Sprintf("noc: non-positive span %v", span))
+		}
+		p := int((span + jumpUm - 1) / jumpUm)
+		if p < 1 {
+			p = 1
+		}
+		return p
+	}
+	total := 0
+	offsets := make([]int, len(spans))
+	for i, s := range spans {
+		offsets[i] = total
+		total += positionsFor(s)
+	}
+	ring := n.AddRing(total, full)
+	stations := make([]*CrossStation, len(spans))
+	for i, off := range offsets {
+		stations[i] = ring.AddStation(off)
+	}
+	return ring, stations
+}

@@ -1,0 +1,189 @@
+package noc
+
+import (
+	"fmt"
+
+	"chipletnoc/internal/sim"
+)
+
+// noTag marks a slot without an I-tag reservation.
+const noTag = -1
+
+// slot is one circulating ring slot. A slot either carries a flit or is
+// free; a free slot may still be reserved by an I-tag, in which case only
+// the reserving interface may fill it.
+type slot struct {
+	flit *Flit
+	// itagOwner is the reservation key (station position *2 + interface
+	// index) of the interface the slot is reserved for, or noTag.
+	itagOwner int
+}
+
+// Ring is one slotted loop (or pair of loops for a full ring). Positions
+// include pure repeater positions between stations: the paper's
+// distance-per-cycle metric appears here as "how many positions a span
+// costs", so a physically longer span simply contributes more positions.
+type Ring struct {
+	id        RingID
+	net       *Network
+	positions int
+	full      bool
+	// cw[p] is the slot currently at position p of the clockwise loop;
+	// ccw is nil for half rings.
+	cw, ccw  []slot
+	stations []*CrossStation // ordered by position
+	byPos    map[int]*CrossStation
+}
+
+// ID returns the ring identifier.
+func (r *Ring) ID() RingID { return r.id }
+
+// Positions returns the total loop length in positions.
+func (r *Ring) Positions() int { return r.positions }
+
+// Full reports whether the ring has both directions.
+func (r *Ring) Full() bool { return r.full }
+
+// Stations returns the stations in position order.
+func (r *Ring) Stations() []*CrossStation { return r.stations }
+
+// Station returns the station at pos, or nil.
+func (r *Ring) Station(pos int) *CrossStation { return r.byPos[pos] }
+
+// AddStation places a cross station at the given position. Positions must
+// be unique and inside the loop.
+func (r *Ring) AddStation(pos int) *CrossStation {
+	if pos < 0 || pos >= r.positions {
+		panic(fmt.Sprintf("noc: station position %d outside ring of %d positions", pos, r.positions))
+	}
+	if _, dup := r.byPos[pos]; dup {
+		panic(fmt.Sprintf("noc: duplicate station at position %d on ring %d", pos, r.id))
+	}
+	st := &CrossStation{ring: r, pos: pos}
+	r.byPos[pos] = st
+	// Keep the slice position-ordered for deterministic ticking.
+	i := len(r.stations)
+	for i > 0 && r.stations[i-1].pos > pos {
+		i--
+	}
+	r.stations = append(r.stations, nil)
+	copy(r.stations[i+1:], r.stations[i:])
+	r.stations[i] = st
+	return st
+}
+
+// advance moves every slot one position in its direction of travel: the
+// clockwise loop rotates towards higher positions, the counter-clockwise
+// loop towards lower positions. Occupied slots accumulate one hop, which
+// is how wire distance turns into latency.
+func (r *Ring) advance() {
+	rotateRight(r.cw)
+	if r.ccw != nil {
+		rotateLeft(r.ccw)
+	}
+	for i := range r.cw {
+		if r.cw[i].flit != nil {
+			r.cw[i].flit.Hops++
+			r.net.TotalHops++
+		}
+	}
+	if r.ccw != nil {
+		for i := range r.ccw {
+			if r.ccw[i].flit != nil {
+				r.ccw[i].flit.Hops++
+				r.net.TotalHops++
+			}
+		}
+	}
+}
+
+func rotateRight(s []slot) {
+	if len(s) < 2 {
+		return
+	}
+	last := s[len(s)-1]
+	copy(s[1:], s[:len(s)-1])
+	s[0] = last
+}
+
+func rotateLeft(s []slot) {
+	if len(s) < 2 {
+		return
+	}
+	first := s[0]
+	copy(s[:len(s)-1], s[1:])
+	s[len(s)-1] = first
+}
+
+// slotAt returns the slot currently at position pos for direction d.
+func (r *Ring) slotAt(d Direction, pos int) *slot {
+	if d == CW {
+		return &r.cw[pos]
+	}
+	return &r.ccw[pos]
+}
+
+// distance returns how many positions a flit travels from 'from' to 'to'
+// in direction d.
+func (r *Ring) distance(d Direction, from, to int) int {
+	if d == CW {
+		return (to - from + r.positions) % r.positions
+	}
+	return (from - to + r.positions) % r.positions
+}
+
+// shortestDir returns the direction with the fewest positions from 'from'
+// to 'to'; half rings always answer CW. Ties break clockwise.
+func (r *Ring) shortestDir(from, to int) Direction {
+	if !r.full {
+		return CW
+	}
+	if r.distance(CW, from, to) <= r.distance(CCW, from, to) {
+		return CW
+	}
+	return CCW
+}
+
+// tick runs all station logic for this cycle, position order, CW before
+// CCW at each station.
+func (r *Ring) tick(now sim.Cycle) {
+	for _, st := range r.stations {
+		st.tick(now)
+	}
+}
+
+// LiveFlits returns the flits currently circulating on the ring.
+func (r *Ring) LiveFlits() []*Flit {
+	var out []*Flit
+	for i := range r.cw {
+		if r.cw[i].flit != nil {
+			out = append(out, r.cw[i].flit)
+		}
+	}
+	if r.ccw != nil {
+		for i := range r.ccw {
+			if r.ccw[i].flit != nil {
+				out = append(out, r.ccw[i].flit)
+			}
+		}
+	}
+	return out
+}
+
+// occupancy returns the number of occupied slots across both loops.
+func (r *Ring) occupancy() int {
+	n := 0
+	for i := range r.cw {
+		if r.cw[i].flit != nil {
+			n++
+		}
+	}
+	if r.ccw != nil {
+		for i := range r.ccw {
+			if r.ccw[i].flit != nil {
+				n++
+			}
+		}
+	}
+	return n
+}

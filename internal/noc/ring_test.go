@@ -1,0 +1,114 @@
+package noc
+
+import "testing"
+
+func TestRingDistanceAndShortestDir(t *testing.T) {
+	net := NewNetwork("t")
+	r := net.AddRing(10, true)
+	if d := r.distance(CW, 2, 5); d != 3 {
+		t.Fatalf("CW 2->5 = %d", d)
+	}
+	if d := r.distance(CCW, 2, 5); d != 7 {
+		t.Fatalf("CCW 2->5 = %d", d)
+	}
+	if d := r.distance(CW, 8, 1); d != 3 {
+		t.Fatalf("CW 8->1 = %d", d)
+	}
+	if got := r.shortestDir(2, 5); got != CW {
+		t.Fatalf("shortestDir(2,5) = %v", got)
+	}
+	if got := r.shortestDir(2, 9); got != CCW {
+		t.Fatalf("shortestDir(2,9) = %v", got)
+	}
+	// Exactly opposite: tie breaks clockwise.
+	if got := r.shortestDir(0, 5); got != CW {
+		t.Fatalf("shortestDir(0,5) = %v", got)
+	}
+}
+
+func TestHalfRingAlwaysCW(t *testing.T) {
+	net := NewNetwork("t")
+	r := net.AddRing(10, false)
+	if got := r.shortestDir(2, 1); got != CW {
+		t.Fatalf("half ring must route CW, got %v", got)
+	}
+	if r.ccw != nil {
+		t.Fatal("half ring must not allocate a CCW loop")
+	}
+}
+
+func TestRingAdvanceRotation(t *testing.T) {
+	net := NewNetwork("t")
+	r := net.AddRing(4, true)
+	f1, f2 := &Flit{ID: 1}, &Flit{ID: 2}
+	r.cw[0].flit = f1
+	r.ccw[3].flit = f2
+	r.advance()
+	if r.cw[1].flit != f1 {
+		t.Fatal("CW slot did not move 0 -> 1")
+	}
+	if r.ccw[2].flit != f2 {
+		t.Fatal("CCW slot did not move 3 -> 2")
+	}
+	if f1.Hops != 1 || f2.Hops != 1 {
+		t.Fatalf("hops = %d,%d", f1.Hops, f2.Hops)
+	}
+	// Wrap-around.
+	for i := 0; i < 3; i++ {
+		r.advance()
+	}
+	if r.cw[0].flit != f1 || r.ccw[3].flit != f2 {
+		t.Fatal("slots did not wrap around the loop")
+	}
+}
+
+func TestRingAdvanceCarriesITags(t *testing.T) {
+	net := NewNetwork("t")
+	r := net.AddRing(4, false)
+	r.cw[0].itagOwner = 7
+	r.advance()
+	if r.cw[1].itagOwner != 7 {
+		t.Fatal("I-tag did not circulate with its slot")
+	}
+	if r.cw[0].itagOwner != noTag {
+		t.Fatal("vacated position kept the tag")
+	}
+}
+
+func TestAddStationOrderingAndBounds(t *testing.T) {
+	net := NewNetwork("t")
+	r := net.AddRing(10, true)
+	r.AddStation(7)
+	r.AddStation(2)
+	r.AddStation(5)
+	got := []int{r.stations[0].pos, r.stations[1].pos, r.stations[2].pos}
+	if got[0] != 2 || got[1] != 5 || got[2] != 7 {
+		t.Fatalf("stations not position-ordered: %v", got)
+	}
+	mustPanic(t, func() { r.AddStation(10) })
+	mustPanic(t, func() { r.AddStation(-1) })
+	mustPanic(t, func() { r.AddStation(2) }) // duplicate
+}
+
+func TestRingOccupancy(t *testing.T) {
+	net := NewNetwork("t")
+	r := net.AddRing(4, true)
+	if r.occupancy() != 0 {
+		t.Fatal("fresh ring not empty")
+	}
+	r.cw[1].flit = &Flit{}
+	r.ccw[2].flit = &Flit{}
+	if r.occupancy() != 2 {
+		t.Fatalf("occupancy = %d", r.occupancy())
+	}
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}

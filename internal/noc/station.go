@@ -1,0 +1,452 @@
+package noc
+
+import (
+	"fmt"
+
+	"chipletnoc/internal/sim"
+)
+
+// DefaultInjectDepth and DefaultEjectDepth size the node-interface queues.
+// The paper reuses the AMBA5-CHI transaction buffers for these, so they
+// are small; eight entries keeps the destination-side buffering modest
+// while leaving room for the out-of-order arrivals bufferless routing
+// produces.
+const (
+	DefaultInjectDepth = 8
+	DefaultEjectDepth  = 8
+)
+
+// ITagThreshold is how many consecutive injection defeats a node interface
+// tolerates before arming an I-tag on the passing slot. One defeat is
+// enough per the paper ("unable to obtain a ring slot for a certain
+// cycle"); we keep it configurable for the ablation bench.
+const ITagThreshold = 1
+
+// NodeInterface connects one device to a cross station. It owns the
+// bounded Inject Queue and Eject Queue of Figure 7(A).
+type NodeInterface struct {
+	node    NodeID
+	station *CrossStation
+	index   int // 0 or 1 within the station
+
+	inject []*Flit
+	eject  []*Flit
+	// bypass is the deadlock-escape injection lane: flits rescued by a
+	// bridge's SWAP machinery queue here and take priority over the
+	// normal inject queue, so the escape path has reserved resources end
+	// to end (Section 4.4's "reserved Tx buffers are activated").
+	bypass []*Flit
+
+	injectCap int
+	ejectCap  int
+	bypassCap int
+
+	// E-tag state: IDs of deflected flits waiting for an eject
+	// reservation (FIFO + membership set), and the currently reserved
+	// IDs. reservedCount eject entries are held back for them.
+	wantEject     []uint64
+	wantEjectSet  map[uint64]struct{}
+	reserved      map[uint64]struct{}
+	reservedCount int
+
+	// I-tag state: consecutive injection defeats of the head flit, and
+	// whether this interface currently owns a circulating I-tag.
+	injectFails int
+	itagArmed   bool
+
+	// swapMode is set by an RBRG-L2 in deadlock-resolution mode: each
+	// ejection at this interface immediately hands the freed slot to the
+	// inject-queue head (the paper's simultaneous ejection+injection
+	// "swap"), overriding normal arbitration and I-tag reservations.
+	swapMode bool
+
+	// statistics
+	Injected       uint64 // flits this interface put on a ring
+	EjectedFlits   uint64
+	EjectedPayload uint64 // payload bytes ejected here
+	Starved        uint64 // cycles with a blocked inject head
+	Deflected      uint64 // arrivals bounced for lack of eject space
+}
+
+// Node returns the attached device's node ID.
+func (ni *NodeInterface) Node() NodeID { return ni.node }
+
+// Station returns the owning cross station.
+func (ni *NodeInterface) Station() *CrossStation { return ni.station }
+
+// Ring returns the ring this interface sits on.
+func (ni *NodeInterface) Ring() *Ring { return ni.station.ring }
+
+// key is the I-tag reservation identity of this interface on its ring.
+func (ni *NodeInterface) key() int { return ni.station.pos*2 + ni.index }
+
+// InjectSpace returns how many more flits the inject queue accepts.
+func (ni *NodeInterface) InjectSpace() int { return ni.injectCap - len(ni.inject) }
+
+// InjectLen returns the current inject-queue depth.
+func (ni *NodeInterface) InjectLen() int { return len(ni.inject) }
+
+// EjectLen returns the current eject-queue depth.
+func (ni *NodeInterface) EjectLen() int { return len(ni.eject) }
+
+// Send enqueues a flit for injection onto this interface's ring. It
+// returns false when the inject queue is full; the caller retries next
+// cycle (that back-pressure is the device-side flow control). Send
+// computes the flit's exit point on this ring — either its destination
+// station or the bridge that leads towards the destination ring.
+func (ni *NodeInterface) Send(f *Flit) bool {
+	if len(ni.inject) >= ni.injectCap {
+		return false
+	}
+	ni.route(f)
+	ni.inject = append(ni.inject, f)
+	return true
+}
+
+// SendPriority enqueues a flit on the escape lane, ahead of the normal
+// inject queue. Only deadlock-resolution machinery uses it; capacity is
+// the reserved escape-lane depth.
+func (ni *NodeInterface) SendPriority(f *Flit) bool {
+	if len(ni.bypass) >= ni.bypassCap {
+		return false
+	}
+	ni.route(f)
+	ni.bypass = append(ni.bypass, f)
+	return true
+}
+
+// BypassSpace returns free escape-lane entries (the credit pool for
+// escape transfers towards this interface).
+func (ni *NodeInterface) BypassSpace() int { return ni.bypassCap - len(ni.bypass) }
+
+// route validates and computes a flit's path on this interface's ring.
+func (ni *NodeInterface) route(f *Flit) {
+	if f == nil {
+		panic("noc: Send(nil)")
+	}
+	if f.Dst == ni.node {
+		panic(fmt.Sprintf("noc: node %d sending to itself", ni.node))
+	}
+	net := ni.station.ring.net
+	if !f.counted {
+		f.counted = true
+		f.Created = net.now
+		net.InjectedFlits++
+	}
+	pos, iface, ok := net.localTarget(ni.station.ring, f)
+	if !ok {
+		panic(fmt.Sprintf("noc: no route from ring %d to node %d", ni.station.ring.id, f.Dst))
+	}
+	f.localDst = pos
+	f.localIface = iface
+	f.dir = ni.station.ring.shortestDir(ni.station.pos, pos)
+}
+
+// Recv dequeues the oldest ejected flit, or nil. Draining the eject queue
+// is what frees buffer entries for E-tag reservations.
+func (ni *NodeInterface) Recv() *Flit {
+	if len(ni.eject) == 0 {
+		return nil
+	}
+	f := ni.eject[0]
+	ni.eject = ni.eject[1:]
+	ni.promoteReservations()
+	return f
+}
+
+// Peek returns the oldest ejected flit without removing it.
+func (ni *NodeInterface) Peek() *Flit {
+	if len(ni.eject) == 0 {
+		return nil
+	}
+	return ni.eject[0]
+}
+
+// freeEjectEntries is the number of unreserved free eject entries.
+func (ni *NodeInterface) freeEjectEntries() int {
+	return ni.ejectCap - len(ni.eject) - ni.reservedCount
+}
+
+// promoteReservations converts freed eject capacity into reservations for
+// deflected flits, oldest first — the E-tag of Section 4.1.2.
+func (ni *NodeInterface) promoteReservations() {
+	if !ni.station.ring.net.ETagEnabled {
+		return
+	}
+	for len(ni.wantEject) > 0 && ni.freeEjectEntries() > 0 {
+		id := ni.wantEject[0]
+		ni.wantEject = ni.wantEject[1:]
+		delete(ni.wantEjectSet, id)
+		ni.reserved[id] = struct{}{}
+		ni.reservedCount++
+	}
+}
+
+// tryEject attempts to take an arriving flit off the ring. A flit with a
+// reservation always succeeds (consuming it); otherwise it needs a free
+// unreserved entry. On failure the flit is registered for a future
+// reservation and the caller deflects it.
+func (ni *NodeInterface) tryEject(f *Flit) bool {
+	if _, ok := ni.reserved[f.ID]; ok {
+		delete(ni.reserved, f.ID)
+		ni.reservedCount--
+		ni.eject = append(ni.eject, f)
+		ni.EjectedFlits++
+		ni.EjectedPayload += uint64(f.PayloadBytes)
+		return true
+	}
+	if ni.freeEjectEntries() > 0 {
+		ni.eject = append(ni.eject, f)
+		ni.EjectedFlits++
+		ni.EjectedPayload += uint64(f.PayloadBytes)
+		return true
+	}
+	if _, pending := ni.wantEjectSet[f.ID]; !pending {
+		ni.wantEjectSet[f.ID] = struct{}{}
+		ni.wantEject = append(ni.wantEject, f.ID)
+	}
+	return false
+}
+
+// head returns the next flit to inject: escape-lane flits first, then
+// the normal inject queue.
+func (ni *NodeInterface) head() *Flit {
+	if len(ni.bypass) > 0 {
+		return ni.bypass[0]
+	}
+	if len(ni.inject) == 0 {
+		return nil
+	}
+	return ni.inject[0]
+}
+
+// popHead removes the current head after a successful injection or local
+// transfer.
+func (ni *NodeInterface) popHead() {
+	if len(ni.bypass) > 0 {
+		ni.bypass = ni.bypass[1:]
+		return
+	}
+	ni.inject = ni.inject[1:]
+	ni.injectFails = 0
+}
+
+// noteDefeat records an injection defeat for the head flit and arms an
+// I-tag on the passing slot once the threshold is reached. A slot already
+// reserved for someone else cannot be re-tagged; the interface simply
+// waits for the next one.
+func (ni *NodeInterface) noteDefeat(s *slot) {
+	ni.injectFails++
+	ni.Starved++
+	if !ni.station.ring.net.ITagEnabled {
+		return
+	}
+	if ni.itagArmed || ni.injectFails < ITagThreshold {
+		return
+	}
+	if s.itagOwner == noTag {
+		s.itagOwner = ni.key()
+		ni.itagArmed = true
+	}
+}
+
+// releaseTags clears any circulating I-tag owned by this interface.
+func (ni *NodeInterface) releaseTags() {
+	r := ni.station.ring
+	k := ni.key()
+	for i := range r.cw {
+		if r.cw[i].itagOwner == k {
+			r.cw[i].itagOwner = noTag
+		}
+	}
+	if r.ccw != nil {
+		for i := range r.ccw {
+			if r.ccw[i].itagOwner == k {
+				r.ccw[i].itagOwner = noTag
+			}
+		}
+	}
+}
+
+// CrossStation is the ring access point of Figure 7(A): it carries
+// on-the-fly traffic, ejects flits addressed to its (up to two) node
+// interfaces and injects new flits into free slots, round-robin between
+// interfaces, with on-the-fly flits always taking priority.
+type CrossStation struct {
+	ring   *Ring
+	pos    int
+	ifaces [2]*NodeInterface
+	rr     int // round-robin pointer for injection arbitration
+}
+
+// Ring returns the owning ring.
+func (st *CrossStation) Ring() *Ring { return st.ring }
+
+// Pos returns the station's position on the ring.
+func (st *CrossStation) Pos() int { return st.pos }
+
+// Interface returns the node interface at index i (nil if unattached).
+func (st *CrossStation) Interface(i int) *NodeInterface { return st.ifaces[i] }
+
+// attach connects a device to the first free interface; stations carry at
+// most two devices (Figure 7(A)).
+func (st *CrossStation) attach(node NodeID, injectDepth, ejectDepth int) *NodeInterface {
+	for i := range st.ifaces {
+		if st.ifaces[i] == nil {
+			ni := &NodeInterface{
+				node:         node,
+				station:      st,
+				index:        i,
+				injectCap:    injectDepth,
+				ejectCap:     ejectDepth,
+				bypassCap:    4,
+				wantEjectSet: make(map[uint64]struct{}),
+				reserved:     make(map[uint64]struct{}),
+			}
+			st.ifaces[i] = ni
+			return ni
+		}
+	}
+	panic(fmt.Sprintf("noc: station at ring %d pos %d already has two interfaces", st.ring.id, st.pos))
+}
+
+// tick processes the cycle for this station: local same-station
+// transfers, then for each direction arrival handling (eject/deflect)
+// followed by injection arbitration into the (possibly just freed) slot.
+func (st *CrossStation) tick(now sim.Cycle) {
+	st.localTransfers(now)
+	st.handleDirection(CW, now)
+	if st.ring.full {
+		st.handleDirection(CCW, now)
+	}
+}
+
+// localTransfers moves inject-queue heads addressed to this very station
+// straight into the destination interface's eject queue, without touching
+// the ring: co-located devices exchange traffic through the station's
+// internal crossbar.
+func (st *CrossStation) localTransfers(now sim.Cycle) {
+	for _, ni := range st.ifaces {
+		if ni == nil {
+			continue
+		}
+		f := ni.head()
+		if f == nil || f.localDst != st.pos {
+			continue
+		}
+		dst := st.ifaces[f.localIface]
+		if dst == nil {
+			panic(fmt.Sprintf("noc: flit %d addressed to missing interface %d at ring %d pos %d",
+				f.ID, f.localIface, st.ring.id, st.pos))
+		}
+		if dst.tryEject(f) {
+			ni.popHead()
+			st.ring.net.flitEjected(dst, f, now)
+		}
+	}
+}
+
+// handleDirection processes one direction's slot at this station.
+func (st *CrossStation) handleDirection(d Direction, now sim.Cycle) {
+	s := st.ring.slotAt(d, st.pos)
+	if f := s.flit; f != nil && f.localDst == st.pos {
+		dst := st.ifaces[f.localIface]
+		if dst == nil {
+			panic(fmt.Sprintf("noc: flit %d addressed to missing interface %d at ring %d pos %d",
+				f.ID, f.localIface, st.ring.id, st.pos))
+		}
+		if dst.tryEject(f) {
+			s.flit = nil
+			st.ring.net.flitEjected(dst, f, now)
+			if dst.swapMode {
+				if h := dst.head(); h != nil && h.localDst != st.pos && h.dir == d {
+					st.inject(dst, s)
+					st.ring.net.trace(traceSwap, h.ID, st.ring.net.nodes[dst.node].name, "")
+				}
+			}
+		} else {
+			f.Deflections++
+			dst.Deflected++
+			st.ring.net.Deflections++
+			st.ring.net.trace(traceDeflect, f.ID, st.ring.net.nodes[dst.node].name, "")
+		}
+	}
+	st.arbitrateInject(d, s)
+}
+
+// arbitrateInject implements the priority rules of Section 4.1.1: the
+// on-the-fly flit (slot occupant) always wins; an I-tagged free slot only
+// admits its owner; otherwise the two interfaces' new flits are selected
+// round-robin.
+func (st *CrossStation) arbitrateInject(d Direction, s *slot) {
+	// Collect interfaces whose head flit wants this direction.
+	var cand [2]*NodeInterface
+	n := 0
+	for i := 0; i < 2; i++ {
+		idx := (st.rr + i) % 2
+		ni := st.ifaces[idx]
+		if ni == nil {
+			continue
+		}
+		f := ni.head()
+		if f == nil || f.localDst == st.pos || f.dir != d {
+			continue
+		}
+		cand[n] = ni
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	if s.flit != nil {
+		// Occupied slot: everyone loses to the on-the-fly flit.
+		for i := 0; i < n; i++ {
+			cand[i].noteDefeat(s)
+		}
+		return
+	}
+	// Congestion throttle: forfeit a fraction of opportunities while the
+	// network-wide deflection rate is high (source pacing).
+	if st.ring.net.throttleSkip(cand[0]) {
+		return
+	}
+	if s.itagOwner != noTag {
+		// Reserved free slot: only the owner may take it.
+		for i := 0; i < n; i++ {
+			if cand[i].key() == s.itagOwner {
+				st.inject(cand[i], s)
+				return
+			}
+		}
+		for i := 0; i < n; i++ {
+			cand[i].noteDefeat(s)
+		}
+		return
+	}
+	winner := cand[0]
+	st.inject(winner, s)
+	for i := 1; i < n; i++ {
+		cand[i].noteDefeat(s)
+	}
+}
+
+// inject puts the interface's head flit into the (free) slot, releasing
+// the I-tag if this injection consumed the interface's reservation.
+func (st *CrossStation) inject(ni *NodeInterface, s *slot) {
+	f := ni.head()
+	s.flit = f
+	if s.itagOwner == ni.key() {
+		s.itagOwner = noTag
+	}
+	if ni.itagArmed {
+		// The successful injection ends the starvation episode; if the
+		// interface's tag is still circulating on a different slot,
+		// release it so the slot does not stay reserved forever.
+		ni.itagArmed = false
+		ni.releaseTags()
+	}
+	ni.popHead()
+	ni.Injected++
+	st.rr = (ni.index + 1) % 2
+	st.ring.net.trace(traceInject, f.ID, st.ring.net.nodes[ni.node].name, "")
+}

@@ -1,0 +1,86 @@
+package noc
+
+import "testing"
+
+// congestRig builds the overload scenario: many sources hammering two
+// slow sinks on one full ring, well past saturation.
+func congestRig(t *testing.T, throttle bool) *Network {
+	net := NewNetwork("congest")
+	if throttle {
+		cfg := DefaultThrottleConfig()
+		cfg.DeflectionsPerKCycle = 100
+		net.SetThrottle(cfg)
+	}
+	r := net.AddRing(16, true)
+	d1 := newSink(t, net, r.AddStation(4), "d1", 1)
+	d2 := newSink(t, net, r.AddStation(12), "d2", 1)
+	for i, pos := range []int{0, 2, 6, 8, 10, 14} {
+		src := newSource(t, net, r.AddStation(pos), nodeName(9, i))
+		dst := d1.Node()
+		if i%2 == 1 {
+			dst = d2.Node()
+		}
+		for j := 0; j < 3000; j++ {
+			src.queue(net.NewFlit(src.Node(), dst, KindData, LineBytes))
+		}
+	}
+	net.MustFinalize()
+	return net
+}
+
+func TestThrottleReducesDeflectionWaste(t *testing.T) {
+	plain := congestRig(t, false)
+	throttled := congestRig(t, true)
+	runCycles(plain, 20000)
+	runCycles(throttled, 20000)
+	if !throttled.Congested() && throttled.Deflections == 0 {
+		t.Skip("rig did not congest")
+	}
+	// The throttle's purpose: far less wire wasted on deflections per
+	// delivered flit.
+	wastePlain := float64(plain.Deflections) / float64(plain.DeliveredFlits)
+	wasteThrottled := float64(throttled.Deflections) / float64(throttled.DeliveredFlits)
+	if wasteThrottled >= wastePlain {
+		t.Fatalf("deflections per delivery: throttled %.3f >= plain %.3f", wasteThrottled, wastePlain)
+	}
+	// And goodput must not collapse: the throttled network delivers at
+	// least 80%% of the plain one's flits (sinks are the bottleneck).
+	if float64(throttled.DeliveredFlits) < 0.8*float64(plain.DeliveredFlits) {
+		t.Fatalf("throttle destroyed goodput: %d vs %d", throttled.DeliveredFlits, plain.DeliveredFlits)
+	}
+}
+
+func TestThrottleIdleWhenUncongested(t *testing.T) {
+	net := NewNetwork("calm")
+	net.SetThrottle(DefaultThrottleConfig())
+	r := net.AddRing(12, true)
+	src := newSource(t, net, r.AddStation(0), "src")
+	dst := newSink(t, net, r.AddStation(6), "dst", 8)
+	net.MustFinalize()
+	for i := 0; i < 50; i++ {
+		src.queue(net.NewFlit(src.Node(), dst.Node(), KindData, LineBytes))
+	}
+	runCycles(net, 2000)
+	if net.Congested() {
+		t.Fatal("controller congested on a calm network")
+	}
+	if len(dst.got) != 50 {
+		t.Fatalf("delivered %d/50", len(dst.got))
+	}
+}
+
+func TestSetThrottleValidation(t *testing.T) {
+	net := NewNetwork("t")
+	mustPanic(t, func() {
+		net.SetThrottle(ThrottleConfig{Enabled: true, WindowCycles: 0, SkipDenominator: 2})
+	})
+	mustPanic(t, func() {
+		net.SetThrottle(ThrottleConfig{Enabled: true, WindowCycles: 10, SkipDenominator: 0})
+	})
+	// Disabled config clears the controller.
+	net.SetThrottle(ThrottleConfig{Enabled: true, WindowCycles: 10, SkipDenominator: 2})
+	net.SetThrottle(ThrottleConfig{})
+	if net.Congested() {
+		t.Fatal("cleared controller still active")
+	}
+}

@@ -1,0 +1,71 @@
+package noc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInterfaceReportOrdersByTraffic(t *testing.T) {
+	net, src, dst := buildPair(t, 10, 3, 8)
+	for i := 0; i < 20; i++ {
+		src.queue(net.NewFlit(src.Node(), dst.Node(), KindData, LineBytes))
+	}
+	runCycles(net, 200)
+	rep := net.InterfaceReport()
+	if len(rep) != 2 {
+		t.Fatalf("interfaces = %d", len(rep))
+	}
+	if rep[0].Name != "dst" || rep[0].EjectedFlits != 20 {
+		t.Fatalf("top interface %+v", rep[0])
+	}
+	if rep[1].Injected != 20 {
+		t.Fatalf("src injected %d", rep[1].Injected)
+	}
+}
+
+func TestHotspots(t *testing.T) {
+	// The eject-pressure rig: the slow sink must surface as the hotspot.
+	net := NewNetwork("t")
+	r := net.AddRing(8, true)
+	srcA := newSource(t, net, r.AddStation(1), "srcA")
+	srcB := newSource(t, net, r.AddStation(7), "srcB")
+	dst := newSink(t, net, r.AddStation(4), "dst", 1)
+	net.MustFinalize()
+	for i := 0; i < 40; i++ {
+		srcA.queue(net.NewFlit(srcA.Node(), dst.Node(), KindData, LineBytes))
+		srcB.queue(net.NewFlit(srcB.Node(), dst.Node(), KindData, LineBytes))
+	}
+	runCycles(net, 1500)
+	hs := net.Hotspots(0.9)
+	if len(hs) == 0 {
+		t.Fatal("no hotspots found despite deflections")
+	}
+	if hs[0].Name != "dst" {
+		t.Fatalf("hotspot = %s, want dst", hs[0].Name)
+	}
+	if net.Hotspots(0.0001) == nil {
+		t.Fatal("tiny fraction must still return the top hotspot")
+	}
+}
+
+func TestHotspotsNilWithoutDeflections(t *testing.T) {
+	net, src, dst := buildPair(t, 10, 3, 8)
+	src.queue(net.NewFlit(src.Node(), dst.Node(), KindData, LineBytes))
+	runCycles(net, 50)
+	if hs := net.Hotspots(0.9); hs != nil {
+		t.Fatalf("hotspots on a clean run: %+v", hs)
+	}
+}
+
+func TestUtilizationString(t *testing.T) {
+	net, src, dst := buildPair(t, 10, 3, 8)
+	src.queue(net.NewFlit(src.Node(), dst.Node(), KindData, LineBytes))
+	runCycles(net, 50)
+	out := net.UtilizationString(1)
+	if !strings.Contains(out, "dst@3") {
+		t.Fatalf("missing top row:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 2 { // header + 1 row
+		t.Fatalf("k limit ignored:\n%s", out)
+	}
+}

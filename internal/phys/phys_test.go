@@ -1,0 +1,154 @@
+package phys
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSpecMatchesTable4(t *testing.T) {
+	hd := Spec(HighDense)
+	hs := Spec(HighSpeed)
+	if hd.JumpUm != 600 || hs.JumpUm != 1800 {
+		t.Fatalf("jump distances: %v / %v", hd.JumpUm, hs.JumpUm)
+	}
+	if hs.JumpUm/hd.JumpUm != 3 {
+		t.Fatal("high-speed must jump 3x further per cycle")
+	}
+	if hd.StrideUm != 0 || hs.StrideUm != 200 {
+		t.Fatalf("strides: %v / %v", hd.StrideUm, hs.StrideUm)
+	}
+	if hd.OverCircuit || !hs.OverCircuit {
+		t.Fatal("over-circuit flags inverted")
+	}
+	if hs.WidthX != 3 || hs.PitchX != 3.5 || hs.BusWidthX != 2.5 {
+		t.Fatalf("high-speed geometry: %+v", hs)
+	}
+}
+
+func TestUnknownFabricPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Spec(FabricClass(99))
+}
+
+func TestPositionsForSpan(t *testing.T) {
+	hs := Spec(HighSpeed)
+	cases := []struct {
+		span float64
+		want int
+	}{
+		{0, 0}, {-5, 0}, {1, 1}, {1800, 1}, {1801, 2}, {3600, 2}, {10000, 6},
+	}
+	for _, c := range cases {
+		if got := hs.PositionsForSpan(c.span); got != c.want {
+			t.Errorf("PositionsForSpan(%v) = %d, want %d", c.span, got, c.want)
+		}
+	}
+}
+
+func TestDistancePerCycleFavorsHighSpeed(t *testing.T) {
+	// The co-design conclusion of Section 3.3: for a chiplet-scale span,
+	// the high-speed fabric needs 3x fewer pipeline positions.
+	span := 21600.0 // 21.6 mm across a die
+	hd := Spec(HighDense).PositionsForSpan(span)
+	hs := Spec(HighSpeed).PositionsForSpan(span)
+	if hd != 36 || hs != 12 {
+		t.Fatalf("positions: dense=%d speed=%d", hd, hs)
+	}
+}
+
+func TestEffectiveAreaFavorsHighSpeed(t *testing.T) {
+	// Raw metal: high-speed is wider. Effective floorplan loss:
+	// high-speed wins because SRAM hides under it.
+	loop := 40000.0
+	bits := (64 + 16) * 8
+	hd := Spec(HighDense)
+	hs := Spec(HighSpeed)
+	if hs.WireAreaMm2(loop, bits) <= hd.WireAreaMm2(loop, bits) {
+		t.Fatal("raw metal area of high-speed should exceed high-dense")
+	}
+	if hs.EffectiveAreaMm2(loop, bits) >= hd.EffectiveAreaMm2(loop, bits) {
+		t.Fatalf("effective area: dense=%v speed=%v; high-speed must win",
+			hd.EffectiveAreaMm2(loop, bits), hs.EffectiveAreaMm2(loop, bits))
+	}
+}
+
+func TestEffectiveAreaNeverExceedsWireArea(t *testing.T) {
+	f := func(loop float64, bits uint16) bool {
+		if loop < 0 || loop > 1e7 {
+			return true
+		}
+		b := int(bits%2048) + 1
+		for _, c := range []FabricClass{HighDense, HighSpeed} {
+			s := Spec(c)
+			if s.EffectiveAreaMm2(loop, b) > s.WireAreaMm2(loop, b)+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferlessAreaAdvantage(t *testing.T) {
+	m := DefaultAreaModel()
+	// Same 64-station network: bufferless stations + small queues vs
+	// buffered routers with deep VC buffers.
+	bufferless := m.NoCArea(64, 64*16, 0, 4)
+	buffered := m.BufferedNoCArea(64, 64*64)
+	if bufferless >= buffered {
+		t.Fatalf("bufferless=%v buffered=%v; bufferless must be smaller", bufferless, buffered)
+	}
+	// The advantage should be substantial (paper: "far greater than the
+	// additional header information's consumption").
+	if buffered/bufferless < 2 {
+		t.Fatalf("area ratio %v too small", buffered/bufferless)
+	}
+}
+
+func TestEnergyModelComposition(t *testing.T) {
+	e := DefaultEnergyModel()
+	base := TrafficEnergy{FlitHops: 1000, FlitBits: 640, HopDistanceMm: 1.8}
+	pj := e.TotalPJ(base)
+	if pj <= 0 {
+		t.Fatal("zero energy")
+	}
+	withBuffers := base
+	withBuffers.BufferedEntries = 1000
+	if e.TotalPJ(withBuffers) <= pj {
+		t.Fatal("buffer traffic must add energy")
+	}
+	withRouters := base
+	withRouters.RouterTraversals = 1000
+	if e.TotalPJ(withRouters) <= pj {
+		t.Fatal("router traversals must add energy")
+	}
+	withLink := base
+	withLink.LinkBits = 640000
+	if e.TotalPJ(withLink) <= pj {
+		t.Fatal("link bits must add energy")
+	}
+}
+
+func TestEnergyBufferlessVsBufferedPerFlit(t *testing.T) {
+	// A flit crossing 10 hops: bufferless pays wire+station only;
+	// buffered pays wire+station+buffer r/w+arbitration per hop.
+	e := DefaultEnergyModel()
+	const hops, bits = 10, 640
+	bufferless := e.TotalPJ(TrafficEnergy{FlitHops: hops, FlitBits: bits, HopDistanceMm: 1.8, BufferedEntries: 2})
+	buffered := e.TotalPJ(TrafficEnergy{FlitHops: hops, FlitBits: bits, HopDistanceMm: 1.8, BufferedEntries: hops, RouterTraversals: hops})
+	if buffered <= bufferless {
+		t.Fatal("buffered routing must cost more energy per flit")
+	}
+}
+
+func TestTotalPJZeroTraffic(t *testing.T) {
+	if got := DefaultEnergyModel().TotalPJ(TrafficEnergy{}); got != 0 {
+		t.Fatalf("TotalPJ(zero) = %v", got)
+	}
+}

@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+type counter struct {
+	name  string
+	ticks int
+	seen  []Cycle
+	work  int // outstanding work units; drains one per tick
+}
+
+func (c *counter) Name() string { return c.name }
+func (c *counter) Tick(now Cycle) {
+	c.ticks++
+	c.seen = append(c.seen, now)
+	if c.work > 0 {
+		c.work--
+	}
+}
+func (c *counter) Done() bool { return c.work == 0 }
+
+func TestEngineStepAdvancesTime(t *testing.T) {
+	e := NewEngine()
+	c := &counter{name: "c"}
+	e.MustRegister(c)
+	e.Run(5)
+	if e.Now() != 5 {
+		t.Fatalf("Now = %d, want 5", e.Now())
+	}
+	if c.ticks != 5 {
+		t.Fatalf("ticks = %d, want 5", c.ticks)
+	}
+	for i, got := range c.seen {
+		if got != Cycle(i) {
+			t.Fatalf("tick %d saw cycle %d", i, got)
+		}
+	}
+}
+
+func TestEngineTickOrderIsRegistrationOrder(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	for _, n := range []string{"a", "b", "c"} {
+		n := n
+		e.MustRegister(fnComponent{n, func(Cycle) { order = append(order, n) }})
+	}
+	e.Step()
+	if fmt.Sprint(order) != "[a b c]" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+type fnComponent struct {
+	name string
+	fn   func(Cycle)
+}
+
+func (f fnComponent) Name() string   { return f.name }
+func (f fnComponent) Tick(now Cycle) { f.fn(now) }
+
+func TestRegisterRejectsDuplicatesAndNil(t *testing.T) {
+	e := NewEngine()
+	if err := e.Register(&counter{name: "x"}); err != nil {
+		t.Fatalf("first register: %v", err)
+	}
+	if err := e.Register(&counter{name: "x"}); err == nil {
+		t.Fatal("duplicate register succeeded")
+	}
+	if err := e.Register(nil); err == nil {
+		t.Fatal("nil register succeeded")
+	}
+}
+
+func TestRunUntilStopsEarly(t *testing.T) {
+	e := NewEngine()
+	c := &counter{name: "c"}
+	e.MustRegister(c)
+	ran, stopped := e.RunUntil(func() bool { return c.ticks >= 3 }, 100)
+	if !stopped || ran != 3 {
+		t.Fatalf("ran=%d stopped=%v, want 3,true", ran, stopped)
+	}
+}
+
+func TestRunUntilBudgetExhausted(t *testing.T) {
+	e := NewEngine()
+	ran, stopped := e.RunUntil(func() bool { return false }, 7)
+	if stopped || ran != 7 {
+		t.Fatalf("ran=%d stopped=%v, want 7,false", ran, stopped)
+	}
+}
+
+func TestRunUntilQuiesced(t *testing.T) {
+	e := NewEngine()
+	c := &counter{name: "c", work: 4}
+	e.MustRegister(c)
+	ran, ok := e.RunUntilQuiesced(100)
+	if !ok {
+		t.Fatal("never quiesced")
+	}
+	if ran != 4 {
+		t.Fatalf("ran = %d, want 4", ran)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+}
+
+func TestRNGDeriveIndependence(t *testing.T) {
+	root := NewRNG(7)
+	a := root.Derive(1)
+	b := root.Derive(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("derived streams collide %d/100 times", same)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(1)
+	f := func(n uint8) bool {
+		m := int(n%64) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGBernoulliEdges(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) fired")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) missed")
+		}
+	}
+}
+
+func TestRNGBernoulliRate(t *testing.T) {
+	r := NewRNG(9)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.28 || rate > 0.32 {
+		t.Fatalf("Bernoulli(0.3) rate = %v", rate)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(11)
+	p := r.Perm(50)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("bad permutation: %v", p)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 50 {
+		t.Fatalf("permutation misses values: %v", p)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(13)
+	z := NewZipf(r, 1000, 0.99)
+	counts := make([]int, 1000)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := z.Next()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 must dominate and the head must carry a large share.
+	if counts[0] <= counts[1] {
+		t.Fatalf("rank0=%d rank1=%d; want strictly decreasing head", counts[0], counts[1])
+	}
+	head := 0
+	for i := 0; i < 100; i++ {
+		head += counts[i]
+	}
+	if share := float64(head) / n; share < 0.5 {
+		t.Fatalf("top-10%% share = %v, want Zipfian concentration > 0.5", share)
+	}
+}
+
+func TestZipfPanicsOnBadArgs(t *testing.T) {
+	r := NewRNG(1)
+	for _, tc := range []struct {
+		n     int
+		theta float64
+	}{{0, 0.5}, {10, 0}, {10, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%d,%v) did not panic", tc.n, tc.theta)
+				}
+			}()
+			NewZipf(r, tc.n, tc.theta)
+		}()
+	}
+}

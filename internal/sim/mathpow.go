@@ -1,0 +1,6 @@
+package sim
+
+import "math"
+
+// mathPow isolates the single math dependency of the RNG helpers.
+func mathPow(x, y float64) float64 { return math.Pow(x, y) }

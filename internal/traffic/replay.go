@@ -1,0 +1,207 @@
+package traffic
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"chipletnoc/internal/chi"
+	"chipletnoc/internal/noc"
+	"chipletnoc/internal/sim"
+)
+
+// TraceOp is one recorded memory operation. The paper's AI-Processor
+// evaluation drives the NoC from "the AI-processor's instruction trace
+// record"; Replayer is that methodology: a requester that issues a
+// pre-recorded operation stream with its original timing.
+type TraceOp struct {
+	// Cycle is the earliest cycle the operation may issue.
+	Cycle uint64
+	// Write selects the operation class.
+	Write bool
+	// Addr is the line-aligned address; Size the transfer bytes.
+	Addr uint64
+	Size int
+}
+
+// ParseTrace reads a text trace: one op per line,
+// "<cycle> R|W <hex addr> <size>", '#' comments and blank lines ignored.
+func ParseTrace(r io.Reader) ([]TraceOp, error) {
+	var ops []TraceOp
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var cyc, addr uint64
+		var op string
+		var size int
+		if _, err := fmt.Sscanf(line, "%d %1s %x %d", &cyc, &op, &addr, &size); err != nil {
+			return nil, fmt.Errorf("traffic: trace line %d: %w", lineNo, err)
+		}
+		if op != "R" && op != "W" {
+			return nil, fmt.Errorf("traffic: trace line %d: op %q must be R or W", lineNo, op)
+		}
+		if size <= 0 {
+			return nil, fmt.Errorf("traffic: trace line %d: non-positive size", lineNo)
+		}
+		if len(ops) > 0 && cyc < ops[len(ops)-1].Cycle {
+			return nil, fmt.Errorf("traffic: trace line %d: cycles must be non-decreasing", lineNo)
+		}
+		ops = append(ops, TraceOp{Cycle: cyc, Write: op == "W", Addr: addr, Size: size})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("traffic: %w", err)
+	}
+	return ops, nil
+}
+
+// FormatTrace writes ops in the ParseTrace format.
+func FormatTrace(w io.Writer, ops []TraceOp) error {
+	for _, op := range ops {
+		cls := "R"
+		if op.Write {
+			cls = "W"
+		}
+		if _, err := fmt.Fprintf(w, "%d %s %x %d\n", op.Cycle, cls, op.Addr, op.Size); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Replayer issues a recorded operation stream against the NoC with its
+// original timing (stalling when the transaction table back-pressures).
+type Replayer struct {
+	name  string
+	net   *noc.Network
+	iface *noc.NodeInterface
+
+	ops  []TraceOp
+	next int
+
+	tracker   *chi.Tracker
+	issueAt   map[uint32]sim.Cycle
+	beatsLeft map[uint32]int
+	sendq     []*noc.Flit
+	targetOf  func(addr uint64) noc.NodeID
+
+	Issued, Completed uint64
+	BytesMoved        uint64
+	// SlipCycles accumulates how far behind the recorded schedule the
+	// replay ran (a congestion measure).
+	SlipCycles uint64
+}
+
+// NewReplayer attaches a trace replayer to a station.
+func NewReplayer(net *noc.Network, name string, ops []TraceOp, outstanding int,
+	targetOf func(addr uint64) noc.NodeID, st *noc.CrossStation) *Replayer {
+	if targetOf == nil {
+		panic("traffic: Replayer needs a target map")
+	}
+	r := &Replayer{
+		name: name, net: net, ops: ops,
+		tracker:   chi.NewTracker(outstanding),
+		issueAt:   make(map[uint32]sim.Cycle),
+		beatsLeft: make(map[uint32]int),
+		targetOf:  targetOf,
+	}
+	node := net.NewNode(name)
+	r.iface = net.Attach(node, st)
+	net.AddDevice(r)
+	return r
+}
+
+// Name implements noc.Device.
+func (r *Replayer) Name() string { return r.name }
+
+// Node returns the replayer's NoC address.
+func (r *Replayer) Node() noc.NodeID { return r.iface.Node() }
+
+// Done reports whether the whole trace has issued and completed.
+func (r *Replayer) Done() bool {
+	return r.next >= len(r.ops) && r.tracker.Outstanding() == 0 && len(r.sendq) == 0
+}
+
+// Tick implements noc.Device.
+func (r *Replayer) Tick(now sim.Cycle) {
+	// Completions (same beat handling as Requester).
+	for {
+		f := r.iface.Recv()
+		if f == nil {
+			break
+		}
+		m := chi.MsgOf(f)
+		req := r.tracker.Lookup(m.TxnID)
+		if req == nil {
+			continue
+		}
+		switch m.Op {
+		case chi.CompData:
+			r.beatsLeft[m.TxnID]--
+			if r.beatsLeft[m.TxnID] <= 0 {
+				delete(r.beatsLeft, m.TxnID)
+				r.finish(req)
+			}
+		case chi.DBIDResp:
+			dst := f.Src
+			for b := 0; b < req.Beats(); b++ {
+				d := &chi.Message{TxnID: req.TxnID, Op: chi.NonCopyBackWrData, Addr: req.Addr, Requester: r.Node(), Size: req.Size}
+				r.sendq = append(r.sendq, d.NewFlit(r.net, r.Node(), dst))
+			}
+		case chi.Comp:
+			r.finish(req)
+		}
+	}
+	for len(r.sendq) > 0 && r.iface.Send(r.sendq[0]) {
+		r.sendq = r.sendq[1:]
+	}
+	// Issue trace ops whose recorded time has come.
+	for r.next < len(r.ops) && len(r.sendq) == 0 {
+		op := r.ops[r.next]
+		if uint64(now) < op.Cycle {
+			return
+		}
+		if r.tracker.Full() {
+			r.SlipCycles++
+			return
+		}
+		opc := chi.ReadNoSnp
+		if op.Write {
+			opc = chi.WriteNoSnp
+		}
+		m := &chi.Message{Op: opc, Addr: op.Addr, Requester: r.Node(), Size: op.Size}
+		dst := r.targetOf(op.Addr)
+		if dst == r.Node() {
+			r.next++
+			continue
+		}
+		if !r.tracker.Open(m) {
+			return
+		}
+		r.sendq = append(r.sendq, m.NewFlit(r.net, r.Node(), dst))
+		if !op.Write {
+			r.beatsLeft[m.TxnID] = m.Beats()
+		}
+		r.issueAt[m.TxnID] = now
+		if uint64(now) > op.Cycle {
+			r.SlipCycles += uint64(now) - op.Cycle
+		}
+		r.Issued++
+		r.next++
+		for len(r.sendq) > 0 && r.iface.Send(r.sendq[0]) {
+			r.sendq = r.sendq[1:]
+		}
+	}
+}
+
+func (r *Replayer) finish(req *chi.Message) {
+	r.tracker.Complete(req.TxnID)
+	delete(r.issueAt, req.TxnID)
+	r.Completed++
+	r.BytesMoved += uint64(req.Bytes())
+}

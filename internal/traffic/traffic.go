@@ -1,0 +1,329 @@
+// Package traffic provides the workload generators that drive every
+// experiment: address streams (sequential, uniform-random, Zipfian),
+// CHI-level closed- and open-loop requesters, and read/write mixes. The
+// same Requester models a Server-CPU core doing DDR accesses (Figures 10
+// and 11), an AI core talking to interleaved L2 slices (Table 7), and a
+// DMA engine moving lines between L2 and HBM.
+package traffic
+
+import (
+	"chipletnoc/internal/chi"
+	"chipletnoc/internal/noc"
+	"chipletnoc/internal/sim"
+	"chipletnoc/internal/stats"
+)
+
+// AddressStream produces the next line address of a workload.
+type AddressStream interface {
+	Next() uint64
+}
+
+// SeqStream walks addresses sequentially — the streaming patterns of
+// LMBench kernels and AI tensors.
+type SeqStream struct {
+	next   uint64
+	stride uint64
+	wrap   uint64 // wrap back to base after this many bytes (0 = never)
+	base   uint64
+}
+
+// NewSeqStream starts at base with the given stride; wrap (if non-zero)
+// bounds the footprint.
+func NewSeqStream(base, stride, wrap uint64) *SeqStream {
+	if stride == 0 {
+		stride = chi.LineSize
+	}
+	return &SeqStream{next: base, stride: stride, wrap: wrap, base: base}
+}
+
+// Next implements AddressStream.
+func (s *SeqStream) Next() uint64 {
+	a := s.next
+	s.next += s.stride
+	if s.wrap != 0 && s.next >= s.base+s.wrap {
+		s.next = s.base
+	}
+	return a
+}
+
+// RandStream draws uniform line addresses from a fixed footprint — the
+// pointer-chasing flavour of server workloads.
+type RandStream struct {
+	rng   *sim.RNG
+	base  uint64
+	lines int
+}
+
+// NewRandStream draws from [base, base+lines*64).
+func NewRandStream(rng *sim.RNG, base uint64, lines int) *RandStream {
+	if lines <= 0 {
+		panic("traffic: RandStream needs a positive footprint")
+	}
+	return &RandStream{rng: rng, base: base, lines: lines}
+}
+
+// Next implements AddressStream.
+func (s *RandStream) Next() uint64 {
+	return s.base + uint64(s.rng.Intn(s.lines))*chi.LineSize
+}
+
+// ZipfStream draws line addresses with Zipfian popularity — the paper's
+// characterisation of server data ("the data follow the Zipfian
+// distribution").
+type ZipfStream struct {
+	z    *sim.Zipf
+	base uint64
+}
+
+// NewZipfStream draws from lines ranked by popularity with skew theta.
+func NewZipfStream(rng *sim.RNG, base uint64, lines int, theta float64) *ZipfStream {
+	return &ZipfStream{z: sim.NewZipf(rng, lines, theta), base: base}
+}
+
+// Next implements AddressStream.
+func (s *ZipfStream) Next() uint64 {
+	return s.base + uint64(s.z.Next())*chi.LineSize
+}
+
+// RequesterConfig shapes one generator.
+type RequesterConfig struct {
+	// Outstanding bounds in-flight transactions (the CHI table size).
+	Outstanding int
+	// Rate is the per-cycle issue probability; 1.0 is a closed loop
+	// limited only by Outstanding, lower values model background noise
+	// intensity (the Figure 11 sweep knob).
+	Rate float64
+	// ReadFraction of requests are reads; the rest are writes.
+	ReadFraction float64
+	// Stream supplies addresses.
+	Stream AddressStream
+	// TargetOf maps an address to the serving node (a DDR controller, an
+	// interleaved L2 slice, a home directory...).
+	TargetOf func(addr uint64) noc.NodeID
+	// WriteTargetOf, when set, routes writes to a different server than
+	// reads — how a DMA engine reads HBM and writes L2 slices. Defaults
+	// to TargetOf.
+	WriteTargetOf func(addr uint64) noc.NodeID
+	// MaxRequests stops the generator after this many issues (0 = run
+	// forever).
+	MaxRequests uint64
+	// IssuePerCycle is how many requests may start per cycle (defaults
+	// to 1). AI cores have line-wide load/store pipes and need several.
+	IssuePerCycle int
+	// LineBytes is the transfer granule (defaults to chi.LineSize). The
+	// AI die moves whole L2 lines, which are larger than 64 B.
+	LineBytes int
+	// WriteOutstanding, when positive, gives writes their own in-flight
+	// budget (CHI's read and write machinery are independent): reads are
+	// capped by Outstanding, writes by WriteOutstanding, and the
+	// transaction table holds both. Zero shares one pool.
+	WriteOutstanding int
+}
+
+// Requester is a CHI-level traffic generator attached to the NoC.
+type Requester struct {
+	name  string
+	net   *noc.Network
+	iface *noc.NodeInterface
+	cfg   RequesterConfig
+	rng   *sim.RNG
+
+	tracker *chi.Tracker
+	issueAt map[uint32]sim.Cycle
+	// per-class in-flight counts when WriteOutstanding splits the pool
+	readsInFlight, writesInFlight int
+	// sendq holds beat flits awaiting injection (multi-beat writes).
+	sendq []*noc.Flit
+	// beatsLeft tracks outstanding read-data beats per transaction.
+	beatsLeft map[uint32]int
+
+	// Latency collects per-transaction round trips; ReadLatency and
+	// WriteLatency split it by class.
+	Latency      stats.Histogram
+	ReadLatency  stats.Histogram
+	WriteLatency stats.Histogram
+
+	Issued, Completed     uint64
+	ReadsDone, WritesDone uint64
+	BytesMoved            uint64 // payload bytes in both directions
+}
+
+// NewRequester attaches a generator to a station.
+func NewRequester(net *noc.Network, name string, cfg RequesterConfig, rng *sim.RNG, st *noc.CrossStation) *Requester {
+	if cfg.Outstanding <= 0 {
+		panic("traffic: Outstanding must be positive")
+	}
+	if cfg.Stream == nil || cfg.TargetOf == nil {
+		panic("traffic: Stream and TargetOf are required")
+	}
+	tableSize := cfg.Outstanding + cfg.WriteOutstanding
+	r := &Requester{
+		name: name, net: net, cfg: cfg, rng: rng,
+		tracker:   chi.NewTracker(tableSize),
+		issueAt:   make(map[uint32]sim.Cycle),
+		beatsLeft: make(map[uint32]int),
+	}
+	node := net.NewNode(name)
+	r.iface = net.Attach(node, st)
+	net.AddDevice(r)
+	return r
+}
+
+// Name implements noc.Device.
+func (r *Requester) Name() string { return r.name }
+
+// Node returns the generator's NoC address.
+func (r *Requester) Node() noc.NodeID { return r.iface.Node() }
+
+// Interface exposes the generator's node interface so experiments can
+// attach bandwidth probes (the ejected-payload counters live there).
+func (r *Requester) Interface() *noc.NodeInterface { return r.iface }
+
+// Done reports whether a bounded generator has finished all its work.
+func (r *Requester) Done() bool {
+	return r.cfg.MaxRequests != 0 && r.Issued >= r.cfg.MaxRequests && r.tracker.Outstanding() == 0
+}
+
+// complete finishes a transaction and records its statistics.
+func (r *Requester) complete(req *chi.Message, now sim.Cycle) {
+	lat := uint64(now - r.issueAt[req.TxnID])
+	delete(r.issueAt, req.TxnID)
+	r.tracker.Complete(req.TxnID)
+	r.Latency.Add(float64(lat))
+	r.Completed++
+	r.BytesMoved += uint64(req.Bytes())
+	if req.IsWrite() {
+		r.WritesDone++
+		r.writesInFlight--
+		r.WriteLatency.Add(float64(lat))
+	} else {
+		r.ReadsDone++
+		r.readsInFlight--
+		r.ReadLatency.Add(float64(lat))
+	}
+}
+
+// Tick implements noc.Device.
+func (r *Requester) Tick(now sim.Cycle) {
+	// Completions first so their table slots can be reused this cycle.
+	// A read completes when the last data beat of its burst arrives.
+	for {
+		f := r.iface.Recv()
+		if f == nil {
+			break
+		}
+		m := chi.MsgOf(f)
+		req := r.tracker.Lookup(m.TxnID)
+		if req == nil {
+			continue // stale completion after a drop; ignore
+		}
+		switch m.Op {
+		case chi.CompData:
+			r.beatsLeft[m.TxnID]--
+			if r.beatsLeft[m.TxnID] <= 0 {
+				delete(r.beatsLeft, m.TxnID)
+				r.complete(req, now)
+			}
+		case chi.DBIDResp:
+			// Write-buffer grant: ship the data burst.
+			dst := f.Src
+			for b := 0; b < req.Beats(); b++ {
+				d := &chi.Message{TxnID: req.TxnID, Op: chi.NonCopyBackWrData, Addr: req.Addr, Requester: r.Node(), Size: req.Size}
+				r.sendq = append(r.sendq, d.NewFlit(r.net, r.Node(), dst))
+			}
+		case chi.Comp:
+			r.complete(req, now)
+		}
+	}
+	// Drain queued beats before starting new transactions.
+	for len(r.sendq) > 0 && r.iface.Send(r.sendq[0]) {
+		r.sendq = r.sendq[1:]
+	}
+	// Issue.
+	issues := r.cfg.IssuePerCycle
+	if issues <= 0 {
+		issues = 1
+	}
+	for i := 0; i < issues; i++ {
+		if r.cfg.MaxRequests != 0 && r.Issued >= r.cfg.MaxRequests {
+			return
+		}
+		if len(r.sendq) > 0 {
+			return // beat backlog first; keeps the backlog bounded
+		}
+		if r.cfg.Rate < 1 && !r.rng.Bernoulli(r.cfg.Rate) {
+			continue
+		}
+		if r.tracker.Full() {
+			return
+		}
+		op := chi.ReadNoSnp
+		if !r.rng.Bernoulli(r.cfg.ReadFraction) {
+			op = chi.WriteNoSnp
+		}
+		if r.cfg.WriteOutstanding > 0 {
+			// Independent read/write machinery: skip the class whose
+			// budget is exhausted.
+			if op == chi.WriteNoSnp && r.writesInFlight >= r.cfg.WriteOutstanding {
+				continue
+			}
+			if op == chi.ReadNoSnp && r.readsInFlight >= r.cfg.Outstanding {
+				continue
+			}
+		}
+		addr := r.cfg.Stream.Next()
+		m := &chi.Message{Op: op, Addr: addr, Requester: r.Node(), Size: r.cfg.LineBytes}
+		targetOf := r.cfg.TargetOf
+		if op == chi.WriteNoSnp && r.cfg.WriteTargetOf != nil {
+			targetOf = r.cfg.WriteTargetOf
+		}
+		dst := targetOf(addr)
+		if dst == r.Node() {
+			continue // interleaving landed on ourselves; skip
+		}
+		if !r.tracker.Open(m) {
+			return
+		}
+		// Both classes start with a header request; reads complete on the
+		// last returned data beat, writes continue with DBIDResp → data
+		// burst → Comp (the full CHI write flow).
+		r.sendq = append(r.sendq, m.NewFlit(r.net, r.Node(), dst))
+		if m.IsWrite() {
+			r.writesInFlight++
+		} else {
+			r.beatsLeft[m.TxnID] = m.Beats()
+			r.readsInFlight++
+		}
+		r.issueAt[m.TxnID] = now
+		r.Issued++
+		for len(r.sendq) > 0 && r.iface.Send(r.sendq[0]) {
+			r.sendq = r.sendq[1:]
+		}
+	}
+}
+
+// FixedTarget returns a TargetOf that always answers node.
+func FixedTarget(node noc.NodeID) func(uint64) noc.NodeID {
+	return func(uint64) noc.NodeID { return node }
+}
+
+// InterleavedTargets returns a TargetOf spreading 64 B lines across
+// nodes — the AI die's interleaved L2 association.
+func InterleavedTargets(nodes []noc.NodeID) func(uint64) noc.NodeID {
+	return InterleavedTargetsBy(nodes, chi.LineSize)
+}
+
+// InterleavedTargetsBy interleaves at an explicit granule; the granule
+// must match the requester's line size or sequential streams will skip
+// targets.
+func InterleavedTargetsBy(nodes []noc.NodeID, granuleBytes int) func(uint64) noc.NodeID {
+	if len(nodes) == 0 {
+		panic("traffic: no targets")
+	}
+	if granuleBytes <= 0 {
+		panic("traffic: non-positive interleave granule")
+	}
+	return func(addr uint64) noc.NodeID {
+		return nodes[(addr/uint64(granuleBytes))%uint64(len(nodes))]
+	}
+}

@@ -1,0 +1,21 @@
+package workloads
+
+import "math"
+
+func pow(x, y float64) float64 { return math.Pow(x, y) }
+
+// geomean returns the geometric mean of positive values (0 if empty or
+// any value is non-positive).
+func geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			return 0
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}

@@ -1,0 +1,213 @@
+package workloads
+
+import "fmt"
+
+// Layer is one operator of a training step: the compute and the memory
+// traffic it generates per sample, forward+backward.
+type Layer struct {
+	Name  string
+	FLOPs float64 // floating-point operations per sample
+	Bytes float64 // bytes moved through the memory system per sample
+}
+
+// convLayer computes a 2D convolution's training cost: forward FLOPs are
+// 2*K*K*Cin*Cout*H*W, backward roughly doubles it (data + weight grads);
+// traffic is activations in/out plus weights, in FP16 (2 bytes).
+func convLayer(name string, h, w, cin, cout, k, stride int) Layer {
+	oh, ow := h/stride, w/stride
+	fwd := 2 * float64(k*k*cin*cout) * float64(oh*ow)
+	actIn := float64(h*w*cin) * 2
+	actOut := float64(oh*ow*cout) * 2
+	weights := float64(k*k*cin*cout) * 2
+	return Layer{
+		Name:  name,
+		FLOPs: fwd * 3, // fwd + input-grad + weight-grad passes
+		Bytes: (actIn + actOut + weights) * 3,
+	}
+}
+
+// denseLayer computes a matmul layer's training cost for an (m x k) by
+// (k x n) product.
+func denseLayer(name string, m, k, n int) Layer {
+	fwd := 2 * float64(m) * float64(k) * float64(n)
+	bytes := (float64(m*k) + float64(k*n) + float64(m*n)) * 2
+	return Layer{Name: name, FLOPs: fwd * 3, Bytes: bytes * 3}
+}
+
+// ResNet50Layers returns a per-stage trace of ResNet-50 v1.5 at 224x224
+// (bottleneck blocks summarised per stage; the stage totals match the
+// published ~4 GFLOPs forward cost).
+func ResNet50Layers() []Layer {
+	var layers []Layer
+	layers = append(layers, convLayer("conv1", 224, 224, 3, 64, 7, 2))
+	type stage struct {
+		name          string
+		h, cin, cmid  int
+		cout, blocks  int
+		strideOfFirst int
+	}
+	stages := []stage{
+		{"conv2_x", 56, 64, 64, 256, 3, 1},
+		{"conv3_x", 56, 256, 128, 512, 4, 2},
+		{"conv4_x", 28, 512, 256, 1024, 6, 2},
+		{"conv5_x", 14, 1024, 512, 2048, 3, 2},
+	}
+	for _, s := range stages {
+		h := s.h / s.strideOfFirst
+		for b := 0; b < s.blocks; b++ {
+			cin := s.cin
+			if b > 0 {
+				cin = s.cout
+			}
+			prefix := fmt.Sprintf("%s.b%d", s.name, b)
+			layers = append(layers,
+				convLayer(prefix+".1x1a", h, h, cin, s.cmid, 1, 1),
+				convLayer(prefix+".3x3", h, h, s.cmid, s.cmid, 3, 1),
+				convLayer(prefix+".1x1b", h, h, s.cmid, s.cout, 1, 1),
+			)
+		}
+	}
+	layers = append(layers, denseLayer("fc", 1, 2048, 1000))
+	return layers
+}
+
+// BERTLayers returns a BERT-large training trace at sequence length 512:
+// 24 transformer blocks of self-attention plus feed-forward.
+func BERTLayers() []Layer {
+	const (
+		blocks = 24
+		hidden = 1024
+		ffn    = 4096
+		seq    = 512
+	)
+	var layers []Layer
+	for b := 0; b < blocks; b++ {
+		p := fmt.Sprintf("block%d", b)
+		layers = append(layers,
+			denseLayer(p+".qkv", seq, hidden, 3*hidden),
+			denseLayer(p+".attn_scores", seq, hidden, seq), // QK^T per head aggregate
+			denseLayer(p+".attn_ctx", seq, seq, hidden),
+			denseLayer(p+".proj", seq, hidden, hidden),
+			denseLayer(p+".ffn1", seq, hidden, ffn),
+			denseLayer(p+".ffn2", seq, ffn, hidden),
+		)
+	}
+	return layers
+}
+
+// MaskRCNNLayers returns a Mask R-CNN trace: the ResNet-50 backbone at
+// the detection resolution (800x800 costs ~12x the 224 backbone) plus
+// FPN/RPN/head dense work.
+func MaskRCNNLayers() []Layer {
+	var layers []Layer
+	for _, l := range ResNet50Layers() {
+		layers = append(layers, Layer{Name: "backbone." + l.Name, FLOPs: l.FLOPs * 12, Bytes: l.Bytes * 12})
+	}
+	layers = append(layers,
+		convLayer("fpn", 200, 200, 256, 256, 3, 1),
+		convLayer("rpn", 200, 200, 256, 256, 3, 1),
+		denseLayer("box_head", 1000, 12544, 1024),
+		denseLayer("mask_head", 100, 256*14*14, 256*28*28/4),
+	)
+	return layers
+}
+
+// TotalFLOPs sums a trace's compute.
+func TotalFLOPs(layers []Layer) float64 {
+	var s float64
+	for _, l := range layers {
+		s += l.FLOPs
+	}
+	return s
+}
+
+// Accelerator is a roofline model of one training chip.
+type Accelerator struct {
+	Name string
+	// PeakFLOPS is FP16 peak.
+	PeakFLOPS float64
+	// MemBW is sustained off-chip bandwidth (bytes/s).
+	MemBW float64
+	// NoCBW is sustained on-chip fabric bandwidth (bytes/s); data reuse
+	// multiplies traffic through the fabric, so a layer's on-chip bytes
+	// are ReuseFactor x its memory bytes.
+	NoCBW float64
+	// Efficiency derates peak compute (achieved/peak on dense kernels).
+	Efficiency float64
+	// ReuseFactor is on-chip to off-chip traffic amplification.
+	ReuseFactor float64
+	// PowerW is sustained board power.
+	PowerW float64
+}
+
+// ThisWorkAccelerator builds our chip's model; nocTBps comes from the
+// Table 7 measurement so the MLPerf result consumes the simulated NoC.
+func ThisWorkAccelerator(nocTBps float64) Accelerator {
+	return Accelerator{
+		Name:      "this-work",
+		PeakFLOPS: 640e12, // 32 cores x 16^3 MACs x 2 ops at ~1.2 GHz cube clock
+		MemBW:     3.0e12, // 6 HBM stacks x 500 GB/s
+		NoCBW:     nocTBps * 1e12,
+		// The balanced bufferless NoC keeps the cube arrays fed
+		// (Figure 14's equilibrium), so dense-kernel efficiency is high.
+		Efficiency:  0.62,
+		ReuseFactor: 4,
+		PowerW:      660,
+	}
+}
+
+// A100Accelerator is the published-parameter baseline of Table 8.
+func A100Accelerator() Accelerator {
+	return Accelerator{
+		Name:        "nvidia-a100",
+		PeakFLOPS:   312e12,
+		MemBW:       1.555e12,
+		NoCBW:       4.8e12, // L2/crossbar fabric
+		Efficiency:  0.42,   // typical MLPerf-train achieved/peak
+		ReuseFactor: 4,
+		PowerW:      400,
+	}
+}
+
+// StepTime evaluates the roofline: each layer takes the max of its
+// compute time, memory time and on-chip fabric time.
+func StepTime(layers []Layer, acc Accelerator) float64 {
+	var t float64
+	for _, l := range layers {
+		compute := l.FLOPs / (acc.PeakFLOPS * acc.Efficiency)
+		memory := l.Bytes / acc.MemBW
+		fabric := l.Bytes * acc.ReuseFactor / acc.NoCBW
+		t += max3(compute, memory, fabric)
+	}
+	return t
+}
+
+func max3(a, b, c float64) float64 {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}
+
+// MLPerfComparison is one Table 8 row.
+type MLPerfComparison struct {
+	Model string
+	// Speedup is baseline time / our time (>1 means we win).
+	Speedup float64
+	// EnergyRatio is baseline energy / our energy per step.
+	EnergyRatio float64
+}
+
+// CompareMLPerf evaluates a model on both accelerators.
+func CompareMLPerf(model string, layers []Layer, ours, theirs Accelerator) MLPerfComparison {
+	tOurs := StepTime(layers, ours)
+	tTheirs := StepTime(layers, theirs)
+	return MLPerfComparison{
+		Model:       model,
+		Speedup:     tTheirs / tOurs,
+		EnergyRatio: (tTheirs * theirs.PowerW) / (tOurs * ours.PowerW),
+	}
+}
