@@ -215,3 +215,28 @@ func BenchmarkAblationThrottle(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkTable7Sequential and BenchmarkTable7Parallel run the heaviest
+// fan-out artifact (six independent AI-die builds) with one worker and
+// with the default worker pool; their ratio is the measured speedup of
+// the parallel experiment harness on this machine.
+func BenchmarkTable7Sequential(b *testing.B) {
+	experiments.SetParallelism(1)
+	defer experiments.SetParallelism(0)
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTable7(experiments.Quick)
+		if len(r.Rows) != 6 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkTable7Parallel(b *testing.B) {
+	experiments.SetParallelism(0) // runtime.NumCPU()
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTable7(experiments.Quick)
+		if len(r.Rows) != 6 {
+			b.Fatal("bad result")
+		}
+	}
+}

@@ -9,7 +9,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
+	"time"
 
 	"chipletnoc/internal/experiments"
 )
@@ -19,7 +22,12 @@ func main() {
 		"experiment: all|table5|fig10|fig11|fig12|fig13|table6|table7|fig14|table8|scaleup|area|fabrics|replay|ablations")
 	quick := flag.Bool("quick", false, "quick scale (smaller systems, shorter windows)")
 	csvDir := flag.String("csv", "", "also write figure data as CSV files into this directory")
+	parallel := flag.Int("parallel", runtime.NumCPU(),
+		"worker goroutines for independent sub-simulations; 1 reproduces the sequential run")
+	timing := flag.Bool("timing", false, "print per-job wall-clock detail after each experiment")
 	flag.Parse()
+
+	experiments.SetParallelism(*parallel)
 
 	scale := experiments.Full
 	if *quick {
@@ -76,13 +84,42 @@ func main() {
 	}
 	order := []string{"table5", "fig10", "fig11", "fig12", "fig13", "table6", "table7+fig14+table8", "scaleup", "area", "fabrics", "replay", "ablations"}
 
+	// invoke runs one artifact and reports where its wall clock went:
+	// the serial-equivalent time is the sum of per-job wall clocks, so
+	// wall vs serial shows the speedup the worker pool delivered.
+	invoke := func(name string, run func()) {
+		start := time.Now()
+		run()
+		wall := time.Since(start)
+		var jobs int
+		var serial time.Duration
+		var all []experiments.JobTiming
+		for _, e := range experiments.DrainTimings() {
+			jobs += len(e.Jobs)
+			serial += e.SerialWall()
+			all = append(all, e.Jobs...)
+		}
+		if jobs == 0 {
+			return
+		}
+		fmt.Printf("[timing] %s: wall %v, %d jobs totalling %v serial (%d workers, %.2fx)\n",
+			name, wall.Round(time.Millisecond), jobs, serial.Round(time.Millisecond),
+			*parallel, float64(serial)/float64(wall))
+		if *timing {
+			sort.Slice(all, func(i, j int) bool { return all[i].Wall > all[j].Wall })
+			for _, j := range all {
+				fmt.Printf("[timing]   %-40s %v\n", j.Name, j.Wall.Round(time.Millisecond))
+			}
+		}
+	}
+
 	switch *exp {
 	case "all":
 		for _, k := range order {
-			runs[k]()
+			invoke(k, runs[k])
 		}
 	case "table7", "fig14", "table8":
-		runs["table7+fig14+table8"]()
+		invoke("table7+fig14+table8", runs["table7+fig14+table8"])
 	default:
 		run, ok := runs[*exp]
 		if !ok {
@@ -90,6 +127,6 @@ func main() {
 				*exp, strings.Join(order, ", "))
 			os.Exit(2)
 		}
-		run()
+		invoke(*exp, run)
 	}
 }

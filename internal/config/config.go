@@ -107,13 +107,39 @@ func (s *System) Run(n int) {
 	}
 }
 
-// Build validates the spec and constructs the network.
+// Construction limits. Untrusted specs (cmd/nocsim -config takes
+// arbitrary files) must fail with an error before they can exhaust
+// memory or trip a topology panic deeper in the noc package.
+const (
+	MaxRings         = 64
+	MaxRingPositions = 4096
+	MaxDevices       = 4096
+	MaxBridges       = 256
+	MaxBridgeLegs    = 16
+	MaxOutstanding   = 1 << 16
+	MaxLineBytes     = 1 << 20
+	MaxQueueDepth    = 1 << 20
+)
+
+// Build validates the spec and constructs the network. Invalid specs —
+// malformed ring sizes, duplicate names, duplicate station attachments,
+// unknown references, unreachable nodes — always return an error; Build
+// never panics on untrusted input.
 func (s *Spec) Build() (*System, error) {
 	if s.Name == "" {
 		return nil, fmt.Errorf("config: system needs a name")
 	}
 	if len(s.Rings) == 0 {
 		return nil, fmt.Errorf("config: at least one ring required")
+	}
+	if len(s.Rings) > MaxRings {
+		return nil, fmt.Errorf("config: %d rings exceeds the limit of %d", len(s.Rings), MaxRings)
+	}
+	if len(s.Devices) > MaxDevices {
+		return nil, fmt.Errorf("config: %d devices exceeds the limit of %d", len(s.Devices), MaxDevices)
+	}
+	if len(s.Bridges) > MaxBridges {
+		return nil, fmt.Errorf("config: %d bridges exceeds the limit of %d", len(s.Bridges), MaxBridges)
 	}
 	net := noc.NewNetwork(s.Name)
 	rings := make(map[string]*noc.Ring, len(s.Rings))
@@ -127,10 +153,18 @@ func (s *Spec) Build() (*System, error) {
 		if r.Positions < 2 {
 			return nil, fmt.Errorf("config: ring %q needs at least 2 positions", r.Name)
 		}
+		if r.Positions > MaxRingPositions {
+			return nil, fmt.Errorf("config: ring %q has %d positions, limit is %d",
+				r.Name, r.Positions, MaxRingPositions)
+		}
 		rings[r.Name] = net.AddRing(r.Positions, r.Full)
 	}
 
-	station := func(ref StationRef) (*noc.CrossStation, error) {
+	// Each station hosts exactly one endpoint (device or bridge leg):
+	// a second attachment at the same (ring, position) is a spec error,
+	// not a panic out of the noc package.
+	occupied := map[StationRef]string{}
+	station := func(ref StationRef, owner string) (*noc.CrossStation, error) {
 		ring, ok := rings[ref.Ring]
 		if !ok {
 			return nil, fmt.Errorf("config: unknown ring %q", ref.Ring)
@@ -139,6 +173,11 @@ func (s *Spec) Build() (*System, error) {
 			return nil, fmt.Errorf("config: position %d outside ring %q (%d positions)",
 				ref.Position, ref.Ring, ring.Positions())
 		}
+		if prev, dup := occupied[ref]; dup {
+			return nil, fmt.Errorf("config: %s and %s both attach at ring %q position %d",
+				prev, owner, ref.Ring, ref.Position)
+		}
+		occupied[ref] = owner
 		if st := ring.Station(ref.Position); st != nil {
 			return st, nil
 		}
@@ -166,7 +205,7 @@ func (s *Spec) Build() (*System, error) {
 			return nil, fmt.Errorf("config: duplicate device %q", d.Name)
 		}
 		seen[d.Name] = true
-		st, err := station(StationRef{Ring: d.Ring, Position: d.Position})
+		st, err := station(StationRef{Ring: d.Ring, Position: d.Position}, "device "+d.Name)
 		if err != nil {
 			return nil, fmt.Errorf("config: device %q: %w", d.Name, err)
 		}
@@ -179,6 +218,10 @@ func (s *Spec) Build() (*System, error) {
 			}
 			if cfg.AccessCycles <= 0 || cfg.BytesPerCycle <= 0 || cfg.QueueDepth <= 0 {
 				return nil, fmt.Errorf("config: memory %q needs accessCycles, bytesPerCycle and queueDepth", d.Name)
+			}
+			if cfg.QueueDepth > MaxQueueDepth {
+				return nil, fmt.Errorf("config: memory %q queueDepth %d exceeds the limit of %d",
+					d.Name, cfg.QueueDepth, MaxQueueDepth)
 			}
 			sys.Memories[d.Name] = mem.New(net, d.Name, cfg, st)
 		case "requester":
@@ -204,12 +247,20 @@ func (s *Spec) Build() (*System, error) {
 		if d.Outstanding <= 0 {
 			d.Outstanding = 8
 		}
+		if d.Outstanding > MaxOutstanding {
+			return nil, fmt.Errorf("config: requester %q outstanding %d exceeds the limit of %d",
+				d.Name, d.Outstanding, MaxOutstanding)
+		}
 		if d.Rate <= 0 {
 			d.Rate = 1
 		}
 		line := d.LineBytes
 		if line <= 0 {
 			line = 64
+		}
+		if line > MaxLineBytes {
+			return nil, fmt.Errorf("config: requester %q lineBytes %d exceeds the limit of %d",
+				d.Name, line, MaxLineBytes)
 		}
 		rc := traffic.RequesterConfig{
 			Outstanding:  d.Outstanding,
@@ -224,12 +275,28 @@ func (s *Spec) Build() (*System, error) {
 	}
 
 	for _, b := range s.Bridges {
+		if b.Name == "" {
+			return nil, fmt.Errorf("config: bridge needs a name")
+		}
+		if seen[b.Name] {
+			return nil, fmt.Errorf("config: duplicate name %q", b.Name)
+		}
+		seen[b.Name] = true
 		if len(b.Stations) < 2 {
 			return nil, fmt.Errorf("config: bridge %q needs at least 2 stations", b.Name)
 		}
+		if len(b.Stations) > MaxBridgeLegs {
+			return nil, fmt.Errorf("config: bridge %q has %d stations, limit is %d",
+				b.Name, len(b.Stations), MaxBridgeLegs)
+		}
+		legRings := map[string]bool{}
 		sts := make([]*noc.CrossStation, 0, len(b.Stations))
 		for _, ref := range b.Stations {
-			st, err := station(ref)
+			if legRings[ref.Ring] {
+				return nil, fmt.Errorf("config: bridge %q has two stations on ring %q", b.Name, ref.Ring)
+			}
+			legRings[ref.Ring] = true
+			st, err := station(ref, "bridge "+b.Name)
 			if err != nil {
 				return nil, fmt.Errorf("config: bridge %q: %w", b.Name, err)
 			}

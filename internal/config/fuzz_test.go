@@ -1,0 +1,127 @@
+package config
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// FuzzBuild feeds arbitrary bytes through the Parse -> Build pipeline the
+// cmd/nocsim -config path runs on untrusted files. The contract under
+// test: malformed specs (bad ring sizes, duplicate attachments, unknown
+// references, unreachable nodes, oversized fields) return an error and
+// NEVER panic; well-formed specs build a runnable system.
+//
+//	go test ./internal/config -fuzz=FuzzBuild -fuzztime=30s
+func FuzzBuild(f *testing.F) {
+	// The shipped example topology is the richest well-formed seed.
+	if data, err := os.ReadFile("../../examples/topologies/ai-mini.json"); err == nil {
+		f.Add(data)
+	}
+	seeds := []string{
+		// Minimal valid spec.
+		`{"name":"s","rings":[{"name":"r","positions":4}],
+		  "devices":[
+		    {"name":"m","type":"memory","ring":"r","position":0,
+		     "accessCycles":10,"bytesPerCycle":8,"queueDepth":4},
+		    {"name":"c","type":"requester","ring":"r","position":1,"targets":["m"]}]}`,
+		// Malformed ring count.
+		`{"name":"s","rings":[{"name":"r","positions":1}]}`,
+		`{"name":"s","rings":[{"name":"r","positions":-3}]}`,
+		`{"name":"s","rings":[{"name":"r","positions":99999999}]}`,
+		// Duplicate attachment at one station.
+		`{"name":"s","rings":[{"name":"r","positions":4}],
+		  "devices":[
+		    {"name":"a","type":"memory","ring":"r","position":0,
+		     "accessCycles":10,"bytesPerCycle":8,"queueDepth":4},
+		    {"name":"b","type":"memory","ring":"r","position":0,
+		     "accessCycles":10,"bytesPerCycle":8,"queueDepth":4}]}`,
+		// Bridge legs on one ring (would double-attach the bridge node).
+		`{"name":"s","rings":[{"name":"r","positions":6}],
+		  "bridges":[{"name":"x","type":"rbrg-l2",
+		    "stations":[{"ring":"r","position":0},{"ring":"r","position":3}]}]}`,
+		// Unreachable ring: no bridge between the two rings.
+		`{"name":"s","rings":[{"name":"a","positions":4},{"name":"b","positions":4}],
+		  "devices":[
+		    {"name":"m","type":"memory","ring":"a","position":0,
+		     "accessCycles":10,"bytesPerCycle":8,"queueDepth":4},
+		    {"name":"c","type":"requester","ring":"b","position":0,"targets":["m"]}]}`,
+		// Unknown references and types.
+		`{"name":"s","rings":[{"name":"r","positions":4}],
+		  "devices":[{"name":"c","type":"requester","ring":"nope","position":0,"targets":["m"]}]}`,
+		`{"name":"s","rings":[{"name":"r","positions":4}],
+		  "devices":[{"name":"c","type":"quantum","ring":"r","position":0}]}`,
+		// Not JSON at all.
+		`]]]`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Parse(data)
+		if err != nil {
+			return // malformed JSON must simply report an error
+		}
+		sys, err := spec.Build()
+		if err != nil {
+			if sys != nil {
+				t.Fatalf("Build returned both a system and error %v", err)
+			}
+			return // invalid topology must simply report an error
+		}
+		if sys == nil || sys.Net == nil {
+			t.Fatal("Build returned a nil system without error")
+		}
+		// A successfully built system must be runnable.
+		sys.Run(20)
+	})
+}
+
+// TestBuildRejectsMalformedSpecs pins the loader's error behaviour on the
+// fuzz corpus's deterministic cases — these run in every plain `go test`,
+// not only under -fuzz.
+func TestBuildRejectsMalformedSpecs(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string // substring of the expected error
+	}{
+		{"ring too small", `{"name":"s","rings":[{"name":"r","positions":1}]}`, "at least 2 positions"},
+		{"ring too big", `{"name":"s","rings":[{"name":"r","positions":99999999}]}`, "limit"},
+		{"duplicate attachment", `{"name":"s","rings":[{"name":"r","positions":4}],
+			"devices":[
+			  {"name":"a","type":"memory","ring":"r","position":0,"accessCycles":10,"bytesPerCycle":8,"queueDepth":4},
+			  {"name":"b","type":"memory","ring":"r","position":0,"accessCycles":10,"bytesPerCycle":8,"queueDepth":4}]}`,
+			"both attach"},
+		{"bridge legs on one ring", `{"name":"s","rings":[{"name":"r","positions":6}],
+			"bridges":[{"name":"x","type":"rbrg-l2","stations":[{"ring":"r","position":0},{"ring":"r","position":3}]}]}`,
+			"two stations on ring"},
+		{"unreachable memory", `{"name":"s","rings":[{"name":"a","positions":4},{"name":"b","positions":4}],
+			"devices":[
+			  {"name":"m","type":"memory","ring":"a","position":0,"accessCycles":10,"bytesPerCycle":8,"queueDepth":4},
+			  {"name":"c","type":"requester","ring":"b","position":0,"targets":["m"]}]}`,
+			"unreachable"},
+		{"oversized outstanding", `{"name":"s","rings":[{"name":"r","positions":4}],
+			"devices":[
+			  {"name":"m","type":"memory","ring":"r","position":0,"accessCycles":10,"bytesPerCycle":8,"queueDepth":4},
+			  {"name":"c","type":"requester","ring":"r","position":1,"outstanding":9999999,"targets":["m"]}]}`,
+			"exceeds the limit"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			spec, err := Parse([]byte(c.json))
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			_, err = spec.Build()
+			if err == nil {
+				t.Fatal("Build accepted a malformed spec")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}

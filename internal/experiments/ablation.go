@@ -29,12 +29,11 @@ func RunAblationBufferless(scale Scale) AblationBufferless {
 	warm := uint64(scale.cycles(300, 1000))
 	window := uint64(scale.cycles(1500, 6000))
 
-	measure := func(factory func() baseline.Fabric) (lat, thru, pj float64) {
-		light := baseline.MeasureUniform(factory(), 0.01, 64, warm, window, 0xAB1)
-		heavy := baseline.MeasureUniform(factory(), 0.5, 64, warm, window, 0xAB2)
+	// Per organisation, the light-load, heavy-load and energy runs use
+	// independent fabric instances — three jobs each.
+	measureEnergy := func(factory func() baseline.Fabric) (pj float64) {
 		f := factory()
-		heavy2 := baseline.MeasureUniform(f, 0.3, 64, warm, window, 0xAB3)
-		_ = heavy2
+		baseline.MeasureUniform(f, 0.3, 64, warm, window, 0xAB3)
 		pkts, _ := f.Delivered()
 		var counters struct{ hops, rtr, link uint64 }
 		if nc, ok := f.(interface {
@@ -52,14 +51,35 @@ func RunAblationBufferless(scale Scale) AblationBufferless {
 		if pkts > 0 {
 			pj = total / float64(pkts)
 		}
-		return light.MeanLatency, heavy.Throughput, pj
+		return pj
 	}
 
 	res := AblationBufferless{Nodes: nodes}
-	res.BufferlessLat, res.BufferlessThru, res.BufferlessPJ =
-		measure(func() baseline.Fabric { return baseline.NewMultiRing(nodes, true) })
-	res.BufferedLat, res.BufferedThru, res.BufferedPJ =
-		measure(func() baseline.Fabric { return baseline.NewBufferedRing(baseline.DefaultRingConfig(nodes)) })
+	orgs := []struct {
+		name          string
+		factory       func() baseline.Fabric
+		lat, thru, pj *float64
+	}{
+		{"bufferless", func() baseline.Fabric { return baseline.NewMultiRing(nodes, true) },
+			&res.BufferlessLat, &res.BufferlessThru, &res.BufferlessPJ},
+		{"buffered", func() baseline.Fabric { return baseline.NewBufferedRing(baseline.DefaultRingConfig(nodes)) },
+			&res.BufferedLat, &res.BufferedThru, &res.BufferedPJ},
+	}
+	var jobs []Job
+	for _, org := range orgs {
+		org := org
+		jobs = append(jobs,
+			Job{Name: "ablation-bufferless/" + org.name + "/light", Run: func() {
+				*org.lat = baseline.MeasureUniform(org.factory(), 0.01, 64, warm, window, 0xAB1).MeanLatency
+			}},
+			Job{Name: "ablation-bufferless/" + org.name + "/heavy", Run: func() {
+				*org.thru = baseline.MeasureUniform(org.factory(), 0.5, 64, warm, window, 0xAB2).Throughput
+			}},
+			Job{Name: "ablation-bufferless/" + org.name + "/energy", Run: func() {
+				*org.pj = measureEnergy(org.factory)
+			}})
+	}
+	RunJobs("ablation-bufferless", jobs)
 
 	m := phys.DefaultAreaModel()
 	res.BufferlessArea = m.NoCArea(nodes, nodes*16, 0, 0)
@@ -92,14 +112,30 @@ func RunAblationHalfFull(scale Scale) AblationHalfFull {
 	nodes := 12
 	warm := uint64(scale.cycles(300, 1000))
 	window := uint64(scale.cycles(1500, 6000))
-	measure := func(full bool) (float64, float64) {
-		light := baseline.MeasureUniform(baseline.NewMultiRing(nodes, full), 0.01, 64, warm, window, 0xAB4)
-		heavy := baseline.MeasureUniform(baseline.NewMultiRing(nodes, full), 0.4, 64, warm, window, 0xAB5)
-		return light.MeanLatency, heavy.Throughput
-	}
 	res := AblationHalfFull{Nodes: nodes}
-	res.HalfLat, res.HalfThru = measure(false)
-	res.FullLat, res.FullThru = measure(true)
+	cases := []struct {
+		name  string
+		full  bool
+		heavy bool
+		out   *float64
+	}{
+		{"half/light", false, false, &res.HalfLat},
+		{"half/heavy", false, true, &res.HalfThru},
+		{"full/light", true, false, &res.FullLat},
+		{"full/heavy", true, true, &res.FullThru},
+	}
+	var jobs []Job
+	for _, c := range cases {
+		c := c
+		jobs = append(jobs, Job{Name: "ablation-halffull/" + c.name, Run: func() {
+			if c.heavy {
+				*c.out = baseline.MeasureUniform(baseline.NewMultiRing(nodes, c.full), 0.4, 64, warm, window, 0xAB5).Throughput
+			} else {
+				*c.out = baseline.MeasureUniform(baseline.NewMultiRing(nodes, c.full), 0.01, 64, warm, window, 0xAB4).MeanLatency
+			}
+		}})
+	}
+	RunJobs("ablation-halffull", jobs)
 	positions := ((nodes + 1) / 2) * 2
 	res.HalfSlots = positions
 	res.FullSlots = positions * 2
@@ -164,8 +200,10 @@ func RunAblationWireFabric(scale Scale) AblationWireFabric {
 		}
 		return hist.Mean()
 	}
-	res.DenseLat = measure(res.DensePositions)
-	res.SpeedLat = measure(res.SpeedPositions)
+	RunJobs("ablation-wirefabric", []Job{
+		{Name: "ablation-wirefabric/high-dense", Run: func() { res.DenseLat = measure(res.DensePositions) }},
+		{Name: "ablation-wirefabric/high-speed", Run: func() { res.SpeedLat = measure(res.SpeedPositions) }},
+	})
 	bits := (64 + noc.HeaderBytes) * 8
 	res.DenseAreaMm2 = dense.EffectiveAreaMm2(loopUm, bits)
 	res.SpeedAreaMm2 = speed.EffectiveAreaMm2(loopUm, bits)
@@ -217,8 +255,14 @@ func RunAblationSwap(scale Scale) AblationSwap {
 		return net.DeliveredFlits, stalled, br.SwapEntries
 	}
 	var res AblationSwap
-	res.WithSwapDelivered, _, res.DRMActivations = run(true)
-	res.WithoutSwapDelivered, res.WithoutSwapStalled, _ = run(false)
+	RunJobs("ablation-swap", []Job{
+		{Name: "ablation-swap/with", Run: func() {
+			res.WithSwapDelivered, _, res.DRMActivations = run(true)
+		}},
+		{Name: "ablation-swap/without", Run: func() {
+			res.WithoutSwapDelivered, res.WithoutSwapStalled, _ = run(false)
+		}},
+	})
 	return res
 }
 
@@ -274,8 +318,14 @@ func RunAblationTags(scale Scale) AblationTags {
 		return net.DeliveredFlits, net.Deflections, maxLive
 	}
 	var res AblationTags
-	res.OnDelivered, res.OnDeflections, res.OnMaxLiveDeflect = run(true)
-	res.OffDelivered, res.OffDeflections, res.OffMaxLiveDeflect = run(false)
+	RunJobs("ablation-tags", []Job{
+		{Name: "ablation-tags/on", Run: func() {
+			res.OnDelivered, res.OnDeflections, res.OnMaxLiveDeflect = run(true)
+		}},
+		{Name: "ablation-tags/off", Run: func() {
+			res.OffDelivered, res.OffDeflections, res.OffMaxLiveDeflect = run(false)
+		}},
+	})
 	return res
 }
 
@@ -334,8 +384,14 @@ func RunAblationThrottle(scale Scale) AblationThrottle {
 		return tbps, defl
 	}
 	var res AblationThrottle
-	res.PlainTBps, res.PlainDefl = run(false)
-	res.ThrottledTBps, res.ThrottledDefl = run(true)
+	RunJobs("ablation-throttle", []Job{
+		{Name: "ablation-throttle/plain", Run: func() {
+			res.PlainTBps, res.PlainDefl = run(false)
+		}},
+		{Name: "ablation-throttle/throttled", Run: func() {
+			res.ThrottledTBps, res.ThrottledDefl = run(true)
+		}},
+	})
 	return res
 }
 

@@ -48,14 +48,24 @@ func RunAreaReport(scale Scale) AreaResult {
 		aiCfg.VRings, aiCfg.HRings = 6, 4
 		aiCfg.L2PerHRing = 3
 	}
-	srv := soc.BuildServerCPU(srvCfg, soc.CoherentCores, nil)
-	// Server bridges: compute-die pairs + compute x IO per package.
-	srvL2 := srvCfg.ComputeDies*(srvCfg.ComputeDies-1)/2 + srvCfg.ComputeDies*srvCfg.IODies
-	ai := soc.BuildAIProcessor(aiCfg)
-	return AreaResult{Rows: []AreaRow{
-		price("server-cpu", srv.Net, 0, srvL2),
-		price("ai-processor", ai.Net, len(ai.Bridges), 0),
-	}}
+	builders := []struct {
+		name string
+		f    func() AreaRow
+	}{
+		{"server-cpu", func() AreaRow {
+			srv := soc.BuildServerCPU(srvCfg, soc.CoherentCores, nil)
+			// Server bridges: compute-die pairs + compute x IO per package.
+			srvL2 := srvCfg.ComputeDies*(srvCfg.ComputeDies-1)/2 + srvCfg.ComputeDies*srvCfg.IODies
+			return price("server-cpu", srv.Net, 0, srvL2)
+		}},
+		{"ai-processor", func() AreaRow {
+			ai := soc.BuildAIProcessor(aiCfg)
+			return price("ai-processor", ai.Net, len(ai.Bridges), 0)
+		}},
+	}
+	return AreaResult{Rows: RunIndexed("area", len(builders),
+		func(i int) string { return "area/" + builders[i].name },
+		func(i int) AreaRow { return builders[i].f() })}
 }
 
 // Render prints the report.

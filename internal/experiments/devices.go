@@ -17,11 +17,11 @@ type floodNode struct {
 	dst   noc.NodeID
 }
 
-var floodSeq int
-
 func newFloodNode(net *noc.Network, st *noc.CrossStation, dst noc.NodeID) *floodNode {
-	floodSeq++
-	f := &floodNode{name: fmt.Sprintf("flood%d", floodSeq), net: net, dst: dst}
+	// Names derive from the per-network node count, not a package
+	// counter: device construction must stay race-free when experiment
+	// jobs build their networks on parallel worker goroutines.
+	f := &floodNode{name: fmt.Sprintf("flood%d", net.Nodes()), net: net, dst: dst}
 	f.node = net.NewNode(f.name)
 	f.iface = net.Attach(f.node, st)
 	net.AddDevice(f)
@@ -44,11 +44,8 @@ type drainNode struct {
 	perCycle int
 }
 
-var drainSeq int
-
 func newDrainNode(net *noc.Network, st *noc.CrossStation, perCycle int) *drainNode {
-	drainSeq++
-	d := &drainNode{name: fmt.Sprintf("drain%d", drainSeq), perCycle: perCycle}
+	d := &drainNode{name: fmt.Sprintf("drain%d", net.Nodes()), perCycle: perCycle}
 	d.node = net.NewNode(d.name)
 	d.iface = net.Attach(d.node, st)
 	net.AddDevice(d)
@@ -74,11 +71,8 @@ type crossNode struct {
 	partner noc.NodeID
 }
 
-var crossSeq int
-
 func newCrossNode(net *noc.Network, st *noc.CrossStation) *crossNode {
-	crossSeq++
-	c := &crossNode{name: fmt.Sprintf("cross%d", crossSeq), net: net}
+	c := &crossNode{name: fmt.Sprintf("cross%d", net.Nodes()), net: net}
 	c.node = net.NewNode(c.name)
 	c.iface = net.Attach(c.node, st)
 	net.AddDevice(c)

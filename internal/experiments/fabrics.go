@@ -45,16 +45,37 @@ func RunFabricComparison(scale Scale) FabricsResult {
 		{"switched-hub", func() baseline.Fabric { return baseline.NewSwitchedHub(baseline.DefaultHubConfig(4, 4)) }},
 	}
 
+	// Every (organisation, load point) is an independent fabric build and
+	// run: the sweep points use the same per-rate seeds baseline.Sweep
+	// derives, and the heavy-load saturation run rides along as one more
+	// job per organisation.
+	perOrg := len(rates) + 1
+	points := RunIndexed("fabrics", len(factories)*perOrg,
+		func(i int) string {
+			fa, p := factories[i/perOrg], i%perOrg
+			if p == len(rates) {
+				return "fabrics/" + fa.name + "/heavy"
+			}
+			return fmt.Sprintf("fabrics/%s/rate%.2f", fa.name, rates[p])
+		},
+		func(i int) baseline.LoadPoint {
+			fa, p := factories[i/perOrg], i%perOrg
+			if p == len(rates) {
+				return baseline.MeasureUniform(fa.f(), 0.6, 64, warm, window, 0xFAB)
+			}
+			return baseline.MeasureUniform(fa.f(), rates[p], 64, warm, window, 0xFAB+uint64(p))
+		})
+
 	var res FabricsResult
 	res.Nodes = nodes
-	for _, fa := range factories {
-		points := baseline.Sweep(fa.f, rates, 64, warm, window, 0xFAB)
-		heavy := baseline.MeasureUniform(fa.f(), 0.6, 64, warm, window, 0xFAB)
+	for fi, fa := range factories {
+		sweep := points[fi*perOrg : fi*perOrg+len(rates)]
+		heavy := points[fi*perOrg+len(rates)]
 		res.Rows = append(res.Rows, FabricRow{
 			Name:          fa.name,
-			ZeroLoadLat:   points[0].MeanLatency,
+			ZeroLoadLat:   sweep[0].MeanLatency,
 			SaturationThr: heavy.Throughput,
-			Knee:          baseline.Knee(points, 2),
+			Knee:          baseline.Knee(sweep, 2),
 		})
 	}
 	return res

@@ -32,9 +32,33 @@ func RunFig10(scale Scale) Fig10Result {
 			shrinkSpec(&specs[i])
 		}
 	}
-	suite := workloads.LMBenchSuite(specs, 0xF16)
+	// Every (system, kernel) pair is an independent closed-loop run — the
+	// same enumeration LMBenchSuite performs, fanned out as jobs.
+	kernels := workloads.LMBenchKernels()
+	type pair struct {
+		spec   workloads.SystemSpec
+		kernel workloads.LMBenchKernel
+	}
+	var pairs []pair
+	for _, s := range specs {
+		for _, k := range kernels {
+			pairs = append(pairs, pair{s, k})
+		}
+	}
+	measured := RunIndexed("fig10", len(pairs),
+		func(i int) string { return "fig10/" + pairs[i].spec.Name + "/" + pairs[i].kernel.Name },
+		func(i int) workloads.LMBenchResult {
+			return workloads.RunLMBench(pairs[i].spec, pairs[i].kernel, 0xF16)
+		})
+	suite := make(map[string]map[string]workloads.LMBenchResult)
+	for i, p := range pairs {
+		if suite[p.spec.Name] == nil {
+			suite[p.spec.Name] = make(map[string]workloads.LMBenchResult)
+		}
+		suite[p.spec.Name][p.kernel.Name] = measured[i]
+	}
 	res := Fig10Result{BySystem: suite}
-	for _, k := range workloads.LMBenchKernels() {
+	for _, k := range kernels {
 		res.Kernels = append(res.Kernels, k.Name)
 	}
 	ours := suite[specs[0].Name]

@@ -38,19 +38,29 @@ func RunFig11(scale Scale) Fig11Result {
 		ours = quickMultiRing()
 		intel = quickMesh("intel-6148", 6)
 	}
-	res := Fig11Result{Rates: rates}
+	// Each (system, scenario) sweep is one independent job.
+	type curve struct {
+		spec workloads.SystemSpec
+		sc   workloads.CompetitionScenario
+	}
+	var curves []curve
 	for _, spec := range []workloads.SystemSpec{ours, intel} {
 		for _, sc := range workloads.CompetitionScenarios() {
-			pts := workloads.RunCompetition(spec, sc, rates, 0xF11)
-			res.Series = append(res.Series, Fig11Series{
-				System:   spec.Name,
-				Scenario: sc.Name,
-				Points:   pts,
-				Turning:  workloads.TurningPoint(pts, 2),
-			})
+			curves = append(curves, curve{spec, sc})
 		}
 	}
-	return res
+	series := RunIndexed("fig11", len(curves),
+		func(i int) string { return "fig11/" + curves[i].spec.Name + "/" + curves[i].sc.Name },
+		func(i int) Fig11Series {
+			pts := workloads.RunCompetition(curves[i].spec, curves[i].sc, rates, 0xF11)
+			return Fig11Series{
+				System:   curves[i].spec.Name,
+				Scenario: curves[i].sc.Name,
+				Points:   pts,
+				Turning:  workloads.TurningPoint(pts, 2),
+			}
+		})
+	return Fig11Result{Rates: rates, Series: series}
 }
 
 // Render prints the curves and turning points.

@@ -51,8 +51,11 @@ func RunLayerReplay(scale Scale) LayerReplayResult {
 		{"conv (fabric-hungry)", conv, 16000},
 	}
 
-	var res LayerReplayResult
-	for _, c := range cases {
+	replay := func(c struct {
+		name   string
+		layer  workloads.Layer
+		demand float64
+	}) LayerReplayRow {
 		cfg := soc.DefaultAIConfig()
 		if scale == Quick {
 			cfg.VRings, cfg.HRings = 6, 4
@@ -117,9 +120,11 @@ func RunLayerReplay(scale Scale) LayerReplayResult {
 		if sched > 0 {
 			row.SlipFraction = float64(slip) / float64(sched)
 		}
-		res.Rows = append(res.Rows, row)
+		return row
 	}
-	return res
+	return LayerReplayResult{Rows: RunIndexed("replay", len(cases),
+		func(i int) string { return "replay/" + cases[i].name },
+		func(i int) LayerReplayRow { return replay(cases[i]) })}
 }
 
 // Render prints the replay validation.

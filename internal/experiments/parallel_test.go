@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParallelEquivalence proves the worker pool is invisible in the
+// results: for every experiment, running its jobs strictly sequentially
+// (parallelism 1, the historical behaviour) and running them on several
+// workers produce deep-equal typed results. Each job owns its whole
+// simulator, so the only way this fails is shared mutable state or
+// completion-order-dependent collection — exactly the bugs this test is
+// here to catch.
+func TestParallelEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func() interface{}
+	}{
+		{"table5", func() interface{} { return RunTable5(Quick) }},
+		{"fig10", func() interface{} { return RunFig10(Quick) }},
+		{"fig11", func() interface{} { return RunFig11(Quick) }},
+		{"fig12-specint2017", func() interface{} { return RunSpecInt(Quick, true) }},
+		{"fig13-specint2006", func() interface{} { return RunSpecInt(Quick, false) }},
+		{"table6", func() interface{} { return RunTable6(Quick) }},
+		{"table7", func() interface{} { return RunTable7(Quick) }},
+		{"fig14", func() interface{} { return RunFig14(Quick, nil) }},
+		{"table8", func() interface{} { return RunTable8(Quick, nil) }},
+		{"scaleup", func() interface{} { return RunScaleUp(Quick) }},
+		{"area", func() interface{} { return RunAreaReport(Quick) }},
+		{"fabrics", func() interface{} { return RunFabricComparison(Quick) }},
+		{"replay", func() interface{} { return RunLayerReplay(Quick) }},
+		{"ablation-bufferless", func() interface{} { return RunAblationBufferless(Quick) }},
+		{"ablation-halffull", func() interface{} { return RunAblationHalfFull(Quick) }},
+		{"ablation-wirefabric", func() interface{} { return RunAblationWireFabric(Quick) }},
+		{"ablation-swap", func() interface{} { return RunAblationSwap(Quick) }},
+		{"ablation-tags", func() interface{} { return RunAblationTags(Quick) }},
+		{"ablation-throttle", func() interface{} { return RunAblationThrottle(Quick) }},
+	}
+	defer SetParallelism(0)
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			SetParallelism(1)
+			sequential := c.run()
+			// 4 workers forces out-of-order job completion even on a
+			// single-CPU host: the goroutines interleave, so any
+			// completion-order dependence or shared state shows up.
+			SetParallelism(4)
+			parallel := c.run()
+			if !reflect.DeepEqual(sequential, parallel) {
+				t.Fatalf("-parallel 1 and -parallel 4 disagree:\nsequential: %+v\nparallel:   %+v",
+					sequential, parallel)
+			}
+		})
+	}
+	DrainTimings() // keep the package-level log empty for other tests
+}
+
+// TestRunJobsOrderAndTimings pins the RunJobs contract: timings come back
+// in enumeration order regardless of completion order, and every job ran
+// exactly once.
+func TestRunJobsOrderAndTimings(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(3)
+	n := 17
+	ran := make([]int, n)
+	jobs := make([]Job, n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = Job{Name: string(rune('a' + i)), Run: func() { ran[i]++ }}
+	}
+	timings := RunJobs("order-test", jobs)
+	if len(timings) != n {
+		t.Fatalf("timings = %d, want %d", len(timings), n)
+	}
+	for i, tm := range timings {
+		if tm.Name != jobs[i].Name {
+			t.Fatalf("timing %d is %q, want %q (enumeration order)", i, tm.Name, jobs[i].Name)
+		}
+	}
+	for i, c := range ran {
+		if c != 1 {
+			t.Fatalf("job %d ran %d times", i, c)
+		}
+	}
+	entries := DrainTimings()
+	if len(entries) == 0 || entries[len(entries)-1].Experiment != "order-test" {
+		t.Fatalf("timing log missing the RunJobs entry: %+v", entries)
+	}
+	if got := entries[len(entries)-1].SerialWall(); got <= 0 {
+		t.Fatalf("serial wall = %v", got)
+	}
+}
+
+// TestSetParallelism pins the bound semantics.
+func TestSetParallelism(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(7)
+	if Parallelism() != 7 {
+		t.Fatalf("parallelism = %d", Parallelism())
+	}
+	SetParallelism(0)
+	if Parallelism() < 1 {
+		t.Fatalf("default parallelism = %d", Parallelism())
+	}
+}

@@ -29,8 +29,11 @@ type ScaleUpResult struct {
 // RunScaleUp measures coherent read latency as the system grows from 1P
 // to 4P.
 func RunScaleUp(scale Scale) ScaleUpResult {
-	var res ScaleUpResult
-	for _, pkgs := range []int{1, 2, 4} {
+	// One job per package count; the intra and cross measurements within
+	// a job share the built system deliberately (cross reads follow the
+	// intra warm-up, as in the original sequential run).
+	pkgCounts := []int{1, 2, 4}
+	measurePkg := func(pkgs int) ScaleUpRow {
 		cfg := soc.DefaultServerConfig()
 		cfg.Packages = pkgs
 		if scale == Quick {
@@ -65,9 +68,11 @@ func RunScaleUp(scale Scale) ScaleUpResult {
 		if pkgs > 1 {
 			row.CrossLatency = measure(s.Cores[(pkgs-1)*perPkg+2])
 		}
-		res.Rows = append(res.Rows, row)
+		return row
 	}
-	return res
+	return ScaleUpResult{Rows: RunIndexed("scaleup", len(pkgCounts),
+		func(i int) string { return fmt.Sprintf("scaleup/%dP", pkgCounts[i]) },
+		func(i int) ScaleUpRow { return measurePkg(pkgCounts[i]) })}
 }
 
 // Render prints the scale-up table.

@@ -47,37 +47,51 @@ func RunSpecInt(scale Scale, suite2017 bool) SpecIntResult {
 		oursVsAMD = quickMultiRing()
 	}
 
-	prof := func(s workloads.SystemSpec) workloads.MemProfile {
-		return workloads.MeasureMemProfile(s, 0xF12)
+	// The memory-profile measurements are the expensive simulations; one
+	// job per panel side, panels assembled from the collected profiles.
+	type panelSpec struct {
+		name   string
+		a, b   workloads.SystemSpec
+		single bool
 	}
-	panel := func(name string, a, b workloads.SystemSpec, single bool) SpecIntPanel {
-		sa := workloads.ScoreSpec(suite, prof(a), a.Cores)
-		sb := workloads.ScoreSpec(suite, prof(b), b.Cores)
-		p := SpecIntPanel{Name: name, Baseline: b.Name, PerBench: make(map[string]float64)}
+	panels := []panelSpec{
+		{"single-core", ours, intel, true},
+		{"package", ours, intel, false},
+		{"scaled-vs-8180", oursVs8180, intel8180, false},
+		{"scaled-vs-7742", oursVsAMD, amd, false},
+	}
+	sides := make([]workloads.SystemSpec, 0, 2*len(panels))
+	for _, p := range panels {
+		sides = append(sides, p.a, p.b)
+	}
+	profs := RunIndexed("specint", len(sides),
+		func(i int) string { return "specint/" + panels[i/2].name + "/" + sides[i].Name },
+		func(i int) workloads.MemProfile { return workloads.MeasureMemProfile(sides[i], 0xF12) })
+
+	panel := func(p panelSpec, profA, profB workloads.MemProfile) SpecIntPanel {
+		sa := workloads.ScoreSpec(suite, profA, p.a.Cores)
+		sb := workloads.ScoreSpec(suite, profB, p.b.Cores)
+		out := SpecIntPanel{Name: p.name, Baseline: p.b.Name, PerBench: make(map[string]float64)}
 		for _, bench := range suite {
-			if single {
-				p.PerBench[bench.Name] = sa.PerBenchSingle[bench.Name] / sb.PerBenchSingle[bench.Name]
+			if p.single {
+				out.PerBench[bench.Name] = sa.PerBenchSingle[bench.Name] / sb.PerBenchSingle[bench.Name]
 			} else {
-				p.PerBench[bench.Name] = sa.PerBenchRate[bench.Name] / sb.PerBenchRate[bench.Name]
+				out.PerBench[bench.Name] = sa.PerBenchRate[bench.Name] / sb.PerBenchRate[bench.Name]
 			}
 		}
-		if single {
-			p.Geomean = sa.GeomeanSingle / sb.GeomeanSingle
+		if p.single {
+			out.Geomean = sa.GeomeanSingle / sb.GeomeanSingle
 		} else {
-			p.Geomean = sa.GeomeanRate / sb.GeomeanRate
+			out.Geomean = sa.GeomeanRate / sb.GeomeanRate
 		}
-		return p
+		return out
 	}
 
-	return SpecIntResult{
-		Suite: name,
-		Panels: []SpecIntPanel{
-			panel("single-core", ours, intel, true),
-			panel("package", ours, intel, false),
-			panel("scaled-vs-8180", oursVs8180, intel8180, false),
-			panel("scaled-vs-7742", oursVsAMD, amd, false),
-		},
+	res := SpecIntResult{Suite: name}
+	for i, p := range panels {
+		res.Panels = append(res.Panels, panel(p, profs[2*i], profs[2*i+1]))
 	}
+	return res
 }
 
 // Render prints the four panels.

@@ -79,23 +79,48 @@ func RunTable5(scale Scale) Table5Result {
 	// cross-socket access: two of the three messages cross the UPI link.
 	const upiCrossing = 18         // cycles per UPI traversal at the NoC clock
 	intel := workloads.Intel6148() // the paper uses the best-latency Intel part
-	intelOneWay := measureOneWay(intel.NewFabric(), scale.cycles(100, 400), 1)
-	intelLat := 3*intelOneWay + 2*upiCrossing + float64(cfg.TagLookup) + float64(cfg.SnoopCycles)
 	amd := workloads.AMD7742()
-	amdOneWay := measureOneWay(amd.NewFabric(), scale.cycles(100, 400), amd.Cores/2)
-	amdLat := 3*amdOneWay + float64(cfg.TagLookup) + float64(cfg.SnoopCycles)
 
-	var res Table5Result
+	// Every (scope, state) cell and both baseline one-way measurements
+	// are independent simulations — one job each, results slotted by
+	// enumeration index.
+	type cell struct {
+		scope string
+		state coherence.State
+	}
+	var cells []cell
 	for _, scope := range []string{"intra", "inter"} {
 		for _, st := range []coherence.State{coherence.Modified, coherence.Exclusive, coherence.Shared} {
-			row := Table5Row{Scope: scope, State: st}
-			row.ThisWork = measure(st, scope == "intra")
-			if scope == "inter" {
-				row.Intel6248 = intelLat
-			}
-			row.AMD7742 = amdLat
-			res.Rows = append(res.Rows, row)
+			cells = append(cells, cell{scope, st})
 		}
+	}
+	thisWork := make([]float64, len(cells))
+	var intelOneWay, amdOneWay float64
+	jobs := make([]Job, 0, len(cells)+2)
+	for i, c := range cells {
+		i, c := i, c
+		jobs = append(jobs, Job{Name: "table5/" + c.scope + "-" + c.state.String(), Run: func() {
+			thisWork[i] = measure(c.state, c.scope == "intra")
+		}})
+	}
+	jobs = append(jobs,
+		Job{Name: "table5/intel-oneway", Run: func() {
+			intelOneWay = measureOneWay(intel.NewFabric(), scale.cycles(100, 400), 1)
+		}},
+		Job{Name: "table5/amd-oneway", Run: func() {
+			amdOneWay = measureOneWay(amd.NewFabric(), scale.cycles(100, 400), amd.Cores/2)
+		}})
+	RunJobs("table5", jobs)
+
+	intelLat := 3*intelOneWay + 2*upiCrossing + float64(cfg.TagLookup) + float64(cfg.SnoopCycles)
+	amdLat := 3*amdOneWay + float64(cfg.TagLookup) + float64(cfg.SnoopCycles)
+	var res Table5Result
+	for i, c := range cells {
+		row := Table5Row{Scope: c.scope, State: c.state, ThisWork: thisWork[i], AMD7742: amdLat}
+		if c.scope == "inter" {
+			row.Intel6248 = intelLat
+		}
+		res.Rows = append(res.Rows, row)
 	}
 	return res
 }

@@ -26,11 +26,9 @@ func RunTable6(scale Scale) Table6Result {
 	if scale == Quick {
 		specs = []workloads.SystemSpec{quickMultiRing(), quickMesh("intel-8280", 6), quickHub()}
 	}
-	var res Table6Result
-	for _, s := range specs {
-		res.Rows = append(res.Rows, workloads.RunSpecPower(s, 0xF6))
-	}
-	return res
+	return Table6Result{Rows: RunIndexed("table6", len(specs),
+		func(i int) string { return "table6/" + specs[i].Name },
+		func(i int) workloads.SpecPowerResult { return workloads.RunSpecPower(specs[i], 0xF6) })}
 }
 
 // Render prints the table with ratios against this work.

@@ -60,8 +60,15 @@ func RunTable7(scale Scale) Table7Result {
 	window := scale.cycles(1500, 6000)
 	probeWindow := uint64(scale.cycles(500, 1000))
 
-	var res Table7Result
-	for _, ratio := range Table7Ratios() {
+	// One job per read:write mix; each builds and runs its own AI die.
+	// The 1:1 job additionally captures the per-core probe series
+	// Figure 14 consumes.
+	type mixOut struct {
+		row    Table7Row
+		series [][]float64
+	}
+	ratios := Table7Ratios()
+	measure := func(ratio Ratio) mixOut {
 		cfg := soc.DefaultAIConfig()
 		if scale == Quick {
 			cfg.VRings, cfg.HRings = 6, 4
@@ -135,11 +142,24 @@ func RunTable7(scale Scale) Table7Result {
 			DMA:   soc.BandwidthTBps(dma, elapsed),
 		}
 		row.Total = row.Read + row.Write + row.DMA
-		res.Rows = append(res.Rows, row)
+		out := mixOut{row: row}
 		if isEquilibriumRun {
 			for _, p := range probes {
-				res.Probes.Series = append(res.Probes.Series, p.Series())
+				out.series = append(out.series, p.Series())
 			}
+		}
+		return out
+	}
+
+	outs := RunIndexed("table7", len(ratios),
+		func(i int) string { return "table7/" + ratios[i].Name },
+		func(i int) mixOut { return measure(ratios[i]) })
+
+	var res Table7Result
+	for _, o := range outs {
+		res.Rows = append(res.Rows, o.row)
+		if o.series != nil {
+			res.Probes.Series = o.series
 			res.Probes.Window = probeWindow
 		}
 	}

@@ -41,13 +41,21 @@ func RunTable8(scale Scale, t7 *Table7Result) Table8Result {
 	}
 	ours := workloads.ThisWorkAccelerator(nocTBps)
 	a100 := workloads.A100Accelerator()
+	models := []struct {
+		name   string
+		layers []workloads.Layer
+	}{
+		{"ResNet-50", workloads.ResNet50Layers()},
+		{"BERT", workloads.BERTLayers()},
+		{"Mask R-CNN", workloads.MaskRCNNLayers()},
+	}
 	return Table8Result{
 		NoCTBps: nocTBps,
-		Rows: []workloads.MLPerfComparison{
-			workloads.CompareMLPerf("ResNet-50", workloads.ResNet50Layers(), ours, a100),
-			workloads.CompareMLPerf("BERT", workloads.BERTLayers(), ours, a100),
-			workloads.CompareMLPerf("Mask R-CNN", workloads.MaskRCNNLayers(), ours, a100),
-		},
+		Rows: RunIndexed("table8", len(models),
+			func(i int) string { return "table8/" + models[i].name },
+			func(i int) workloads.MLPerfComparison {
+				return workloads.CompareMLPerf(models[i].name, models[i].layers, ours, a100)
+			}),
 	}
 }
 

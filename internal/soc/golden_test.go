@@ -1,0 +1,134 @@
+package soc
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"testing"
+
+	"chipletnoc/internal/coherence"
+	"chipletnoc/internal/noc"
+)
+
+// The golden determinism tests pin the cycle-level behaviour of the two
+// evaluated systems: a fixed-seed run must always produce exactly these
+// flit-level digests — injected/delivered/deflection/hop counters plus an
+// FNV-1a hash over the per-flit delivery latencies in delivery order. Any
+// change that silently alters cycle behaviour (tick ordering, routing,
+// arbitration, RNG streams) fails these tests loudly instead of silently
+// shifting every published number. If a change alters cycle behaviour on
+// purpose, rerun `go test ./internal/soc -run TestGolden`: the failure
+// message prints the new digest to adopt — update the golden constants
+// and record the reason in the commit message.
+type flitDigest struct {
+	Injected    uint64
+	Delivered   uint64
+	Deflections uint64
+	Hops        uint64
+	Latencies   uint64 // number of latency samples folded into the hash
+	LatencyFNV  uint64
+}
+
+// hashLatencies registers a latency recorder on net that folds every
+// delivered flit's latency into an FNV-1a hash, in delivery order —
+// delivery order is deterministic because the whole simulation is.
+func hashLatencies(net *noc.Network) (count *uint64, sum func() uint64) {
+	h := fnv.New64a()
+	n := new(uint64)
+	net.RecordLatency(func(f *noc.Flit, cycles uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], cycles)
+		h.Write(b[:])
+		*n++
+	})
+	return n, h.Sum64
+}
+
+func digestNet(net *noc.Network, latencies *uint64, latencyFNV func() uint64) flitDigest {
+	return flitDigest{
+		Injected:    net.InjectedFlits,
+		Delivered:   net.DeliveredFlits,
+		Deflections: net.Deflections,
+		Hops:        net.TotalHops,
+		Latencies:   *latencies,
+		LatencyFNV:  latencyFNV(),
+	}
+}
+
+func checkDigest(t *testing.T, got, want flitDigest) {
+	t.Helper()
+	if got != want {
+		t.Fatalf("flit digest drifted — cycle behaviour changed.\n got: %#v\nwant: %#v\n"+
+			"If intentional, update the golden constants and record why.", got, want)
+	}
+}
+
+// TestGoldenServerCPUDigest runs a fixed coherent-read scenario on the
+// Server-CPU: cores on both compute dies read M/E/S lines primed in the
+// die-0 directories, for a fixed cycle budget.
+func TestGoldenServerCPUDigest(t *testing.T) {
+	cfg := DefaultServerConfig()
+	cfg.ClustersPerDie = 3
+	s := BuildServerCPU(cfg, CoherentCores, nil)
+	latencies, latencyFNV := hashLatencies(s.Net)
+
+	perDie := cfg.ClustersPerDie * cfg.CoresPerCluster
+	owner := s.Cores[0]
+	states := []coherence.State{coherence.Modified, coherence.Exclusive, coherence.Shared}
+	var addrs []uint64
+	for i := 0; len(addrs) < 24; i++ {
+		addr := uint64(i) * 4096
+		home := s.Homes.HomeOf(addr)
+		if home >= cfg.ClustersPerDie {
+			continue // keep every home on die 0
+		}
+		s.Dirs[home].SetLine(addr, states[len(addrs)%len(states)], owner.Node())
+		addrs = append(addrs, addr)
+	}
+	// Half the reads come from a die-0 core, half from the other die.
+	for i, a := range addrs {
+		reader := s.Cores[2]
+		if i%2 == 1 {
+			reader = s.Cores[perDie+2]
+		}
+		reader.Read(a)
+	}
+	s.Run(4000)
+
+	checkDigest(t, digestNet(s.Net, latencies, latencyFNV), goldenServerDigest)
+}
+
+// TestGoldenAIProcessorDigest runs the self-driving AI die (cores, DMA
+// engines and the IO die all active from their fixed seeds) for a fixed
+// cycle budget.
+func TestGoldenAIProcessorDigest(t *testing.T) {
+	cfg := DefaultAIConfig()
+	cfg.VRings, cfg.HRings = 4, 2
+	cfg.CoresPerVRing, cfg.L2PerHRing = 2, 4
+	cfg.HBMStacks, cfg.DMAEngines = 2, 2
+	a := BuildAIProcessor(cfg)
+	latencies, latencyFNV := hashLatencies(a.Net)
+	a.Run(3000)
+
+	checkDigest(t, digestNet(a.Net, latencies, latencyFNV), goldenAIDigest)
+}
+
+// Golden values. Derived once from the committed simulator; every field
+// is an integer so the digest is identical on every platform.
+var (
+	goldenServerDigest = flitDigest{
+		Injected:    0x48,
+		Delivered:   0x48,
+		Deflections: 0x0,
+		Hops:        0x100,
+		Latencies:   0x48,
+		LatencyFNV:  0xfa3f0fd12932a8ab,
+	}
+	goldenAIDigest = flitDigest{
+		Injected:    0x30c3,
+		Delivered:   0x2b41,
+		Deflections: 0x46ae,
+		Hops:        0x4c154,
+		Latencies:   0x2b41,
+		LatencyFNV:  0x16a68fe7dc337024,
+	}
+)
