@@ -19,7 +19,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: all|table5|fig10|fig11|fig12|fig13|table6|table7|fig14|table8|scaleup|area|fabrics|replay|ablations")
+		"experiment: all|table5|fig10|fig11|fig12|fig13|table6|table7|fig14|table8|scaleup|area|fabrics|replay|ablations|resilience")
 	quick := flag.Bool("quick", false, "quick scale (smaller systems, shorter windows)")
 	csvDir := flag.String("csv", "", "also write figure data as CSV files into this directory")
 	parallel := flag.Int("parallel", runtime.NumCPU(),
@@ -73,6 +73,11 @@ func main() {
 			writeCSV("fabrics.csv", r.CSV())
 		},
 		"replay": func() { fmt.Println(experiments.RunLayerReplay(scale).Render()) },
+		"resilience": func() {
+			r := experiments.RunResilience(scale)
+			fmt.Println(r.Render())
+			writeCSV("resilience.csv", r.CSV())
+		},
 		"ablations": func() {
 			fmt.Println(experiments.RunAblationBufferless(scale).Render())
 			fmt.Println(experiments.RunAblationHalfFull(scale).Render())
@@ -82,7 +87,7 @@ func main() {
 			fmt.Println(experiments.RunAblationThrottle(scale).Render())
 		},
 	}
-	order := []string{"table5", "fig10", "fig11", "fig12", "fig13", "table6", "table7+fig14+table8", "scaleup", "area", "fabrics", "replay", "ablations"}
+	order := []string{"table5", "fig10", "fig11", "fig12", "fig13", "table6", "table7+fig14+table8", "scaleup", "area", "fabrics", "replay", "ablations", "resilience"}
 
 	// invoke runs one artifact and reports where its wall clock went:
 	// the serial-equivalent time is the sum of per-job wall clocks, so

@@ -21,6 +21,7 @@ import (
 
 	"chipletnoc/internal/baseline"
 	"chipletnoc/internal/config"
+	"chipletnoc/internal/fault"
 	"chipletnoc/internal/stats"
 )
 
@@ -29,6 +30,9 @@ func main() {
 	configPath := flag.String("config", "", "JSON topology file (overrides -fabric; see internal/config)")
 	cycles := flag.Int("cycles", 20000, "cycles to run a -config system")
 	describe := flag.Bool("describe", false, "print the -config topology before running")
+	faultsPath := flag.String("faults", "", "JSON fault-schedule file applied to a -config run (see internal/fault)")
+	retryCycles := flag.Int("retry", 0, "arm CHI timeout/retry on every -config requester with this timeout (cycles); 0 disables")
+	retryMax := flag.Int("retries", 3, "retry budget per transaction when -retry is set")
 	nodes := flag.Int("nodes", 16, "endpoint count")
 	dies := flag.Int("dies", 2, "dies (chiplets/hub fabrics)")
 	rate := flag.Float64("rate", 0.05, "injection probability per node per cycle")
@@ -40,7 +44,7 @@ func main() {
 	flag.Parse()
 
 	if *configPath != "" {
-		if err := runConfig(*configPath, *cycles, *describe); err != nil {
+		if err := runConfig(*configPath, *faultsPath, *cycles, *describe, *retryCycles, *retryMax); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -81,7 +85,7 @@ func main() {
 
 // runConfig builds and runs a JSON-defined system, reporting per-device
 // statistics.
-func runConfig(path string, cycles int, describe bool) error {
+func runConfig(path, faultsPath string, cycles int, describe bool, retryCycles, retryMax int) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -89,6 +93,26 @@ func runConfig(path string, cycles int, describe bool) error {
 	spec, err := config.Parse(data)
 	if err != nil {
 		return err
+	}
+	if faultsPath != "" {
+		fdata, err := os.ReadFile(faultsPath)
+		if err != nil {
+			return err
+		}
+		sched, err := fault.ParseSchedule(fdata)
+		if err != nil {
+			return err
+		}
+		spec.Faults = sched
+	}
+	if retryCycles > 0 {
+		// The flag arms every requester that did not set its own knobs.
+		for i := range spec.Devices {
+			d := &spec.Devices[i]
+			if d.Type == "requester" && d.RetryTimeout == 0 {
+				d.RetryTimeout, d.RetryMax = retryCycles, retryMax
+			}
+		}
 	}
 	sys, err := spec.Build()
 	if err != nil {
@@ -125,6 +149,21 @@ func runConfig(path string, cycles int, describe bool) error {
 	fmt.Print(t2.String())
 	fmt.Printf("network: injected=%d delivered=%d deflections=%d\n",
 		sys.Net.InjectedFlits, sys.Net.DeliveredFlits, sys.Net.Deflections)
+	if !spec.Faults.Empty() {
+		fmt.Printf("faults:  applied=%d skipped=%d dropped=%d (watchdog=%d unroutable=%d fault=%d corrupt=%d) rerouted=%d\n",
+			sys.Injector.FaultsApplied, sys.Injector.FaultsSkipped, sys.Net.DroppedFlits,
+			sys.Net.WatchdogDrops, sys.Net.UnroutableDrops, sys.Net.FaultDrops, sys.Net.CorruptDrops,
+			sys.Net.ReroutedFlits)
+	}
+	var retried, aborted uint64
+	for _, r := range sys.Requesters {
+		rt, ab := r.RetryStats()
+		retried += rt
+		aborted += ab
+	}
+	if retried+aborted > 0 {
+		fmt.Printf("chi:     retried=%d aborted=%d\n", retried, aborted)
+	}
 	return nil
 }
 

@@ -28,6 +28,8 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"chipletnoc/internal/chi"
+	"chipletnoc/internal/fault"
 	"chipletnoc/internal/mem"
 	"chipletnoc/internal/noc"
 	"chipletnoc/internal/sim"
@@ -61,6 +63,10 @@ type DeviceSpec struct {
 	LineBytes    int      `json:"lineBytes,omitempty"`
 	Targets      []string `json:"targets,omitempty"`
 	MaxRequests  uint64   `json:"maxRequests,omitempty"`
+	// RetryTimeout/RetryMax arm CHI-level timeout and retry on this
+	// requester (see chi.RetryConfig); zero timeout disables it.
+	RetryTimeout int `json:"retryTimeout,omitempty"`
+	RetryMax     int `json:"retryMax,omitempty"`
 
 	// memory fields
 	AccessCycles  int     `json:"accessCycles,omitempty"`
@@ -82,6 +88,10 @@ type Spec struct {
 	Rings   []RingSpec   `json:"rings"`
 	Devices []DeviceSpec `json:"devices"`
 	Bridges []BridgeSpec `json:"bridges,omitempty"`
+	// Faults is an optional deterministic fault schedule (see
+	// internal/fault): bridge kills, station stalls, flit drops. An
+	// absent or empty schedule changes nothing.
+	Faults *fault.Schedule `json:"faults,omitempty"`
 }
 
 // Parse decodes a JSON spec.
@@ -98,6 +108,8 @@ type System struct {
 	Net        *noc.Network
 	Requesters map[string]*traffic.Requester
 	Memories   map[string]*mem.Controller
+	// Injector replays the spec's fault schedule (nil without one).
+	Injector *fault.Injector
 }
 
 // Run advances the system n cycles.
@@ -262,6 +274,9 @@ func (s *Spec) Build() (*System, error) {
 			return nil, fmt.Errorf("config: requester %q lineBytes %d exceeds the limit of %d",
 				d.Name, line, MaxLineBytes)
 		}
+		if d.RetryTimeout < 0 || d.RetryMax < 0 {
+			return nil, fmt.Errorf("config: requester %q has negative retry settings", d.Name)
+		}
 		rc := traffic.RequesterConfig{
 			Outstanding:  d.Outstanding,
 			Rate:         d.Rate,
@@ -270,6 +285,7 @@ func (s *Spec) Build() (*System, error) {
 			MaxRequests:  d.MaxRequests,
 			Stream:       traffic.NewSeqStream(uint64(i)<<28+uint64(i*line), uint64(line), 1<<24),
 			TargetOf:     traffic.InterleavedTargetsBy(nodes, line),
+			Retry:        chi.RetryConfig{TimeoutCycles: d.RetryTimeout, MaxRetries: d.RetryMax},
 		}
 		sys.Requesters[d.Name] = traffic.NewRequester(net, d.Name, rc, rng.Derive(uint64(i)), p.st)
 	}
@@ -317,6 +333,13 @@ func (s *Spec) Build() (*System, error) {
 
 	if err := net.Finalize(); err != nil {
 		return nil, fmt.Errorf("config: %w", err)
+	}
+	if !s.Faults.Empty() {
+		inj, err := fault.NewInjector(net, s.Faults, s.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("config: %w", err)
+		}
+		sys.Injector = inj
 	}
 	return sys, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -370,6 +371,40 @@ func TestCSVOutputs(t *testing.T) {
 	fab := RunFabricComparison(Quick)
 	if !strings.Contains(fab.CSV(), "bufferless-multiring") {
 		t.Fatal("fabrics csv broken")
+	}
+}
+
+func TestResilienceDegradesGracefully(t *testing.T) {
+	r := RunResilience(Quick)
+	if len(r.Points) != 2*len(r.Counts) {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	byKey := map[string]ResiliencePoint{}
+	for _, p := range r.Points {
+		byKey[fmt.Sprintf("%s/%d", p.System, p.Faults)] = p
+		// Graceful degradation, not collapse: every point still delivers.
+		if p.Throughput <= 0 {
+			t.Fatalf("%s with %d faults delivered nothing", p.System, p.Faults)
+		}
+	}
+	for _, sys := range []string{"server-cpu", "ai-processor"} {
+		healthy := byKey[sys+"/0"]
+		worst := byKey[fmt.Sprintf("%s/%d", sys, r.Counts[len(r.Counts)-1])]
+		// The zero-fault run must be clean: no drops, no aborts.
+		if healthy.Dropped != 0 || healthy.Aborted != 0 {
+			t.Fatalf("%s fault-free run dropped %d flits, aborted %d txns", sys, healthy.Dropped, healthy.Aborted)
+		}
+		// The faulted run must actually have exercised the machinery.
+		if worst.Dropped == 0 {
+			t.Fatalf("%s with %d faults dropped nothing", sys, worst.Faults)
+		}
+	}
+	out := r.Render()
+	if !strings.Contains(out, "Resilience") {
+		t.Fatal("render broken")
+	}
+	if !strings.Contains(r.CSV(), "server-cpu") {
+		t.Fatal("csv broken")
 	}
 }
 

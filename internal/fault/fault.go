@@ -1,0 +1,139 @@
+// Package fault implements deterministic fault injection for the NoC:
+// a JSON-described schedule of failures (bridge kills, station stalls,
+// flit drops/corruptions) replayed by a seeded Injector device. The
+// injector is driven purely by simulation cycles and the sim.RNG stream
+// — never the wall clock — so a (schedule, seed) pair reproduces the
+// exact same failure sequence on every run, which is what lets the
+// golden tests pin recovery behaviour byte-for-byte.
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// EventKind names one class of injected failure.
+type EventKind string
+
+// Supported fault kinds.
+const (
+	// KillBridge removes a named bridge node at cycle At (permanently,
+	// or until RepairAt when set): routes rebuild without it and its
+	// buffered flits are lost.
+	KillBridge EventKind = "kill-bridge"
+	// StallStationKind freezes the station at (Ring, Position) for
+	// Cycles cycles: nothing ejects or injects there while flits fly
+	// past.
+	StallStationKind EventKind = "stall-station"
+	// DropFlit removes one random in-flight flit from a ring slot.
+	DropFlit EventKind = "drop-flit"
+	// CorruptFlit marks one random in-flight flit corrupted; the
+	// destination discards it on arrival.
+	CorruptFlit EventKind = "corrupt-flit"
+)
+
+// Construction limits: a hostile schedule (the parser is fuzzed) must
+// not be able to allocate unbounded state.
+const (
+	// MaxEvents bounds the schedule length.
+	MaxEvents = 4096
+	// MaxStallCycles bounds a single station stall.
+	MaxStallCycles = 1 << 30
+	// MaxWatchdogCycles bounds the watchdog budget a schedule may set.
+	MaxWatchdogCycles = 1 << 30
+)
+
+// Event is one scheduled failure.
+type Event struct {
+	// At is the cycle the fault takes effect.
+	At uint64 `json:"at"`
+	// Kind selects the failure class.
+	Kind EventKind `json:"kind"`
+
+	// Bridge names the victim bridge node (kill-bridge).
+	Bridge string `json:"bridge,omitempty"`
+	// RepairAt, when nonzero, restores a killed bridge at that cycle
+	// (transient fault); zero means permanent.
+	RepairAt uint64 `json:"repairAt,omitempty"`
+
+	// Ring / Position locate the victim station (stall-station).
+	Ring     int `json:"ring,omitempty"`
+	Position int `json:"position,omitempty"`
+	// Cycles is the stall duration (stall-station).
+	Cycles int `json:"cycles,omitempty"`
+}
+
+// Schedule is a complete fault plan for one run. The zero value (no
+// events, no watchdog) injects nothing and leaves the simulation
+// bit-identical to a fault-free build.
+type Schedule struct {
+	// Seed salts the injector's RNG stream (victim selection for
+	// drop/corrupt events).
+	Seed uint64 `json:"seed,omitempty"`
+	// WatchdogCycles arms the network's per-flit age watchdog with this
+	// budget; 0 leaves it off.
+	WatchdogCycles int `json:"watchdogCycles,omitempty"`
+	// Events are the scheduled failures, in any order (the injector
+	// sorts by cycle, ties kept in schedule order).
+	Events []Event `json:"events,omitempty"`
+}
+
+// Empty reports whether the schedule would change nothing.
+func (s *Schedule) Empty() bool {
+	return s == nil || (len(s.Events) == 0 && s.WatchdogCycles == 0)
+}
+
+// ParseSchedule decodes and validates a JSON fault schedule. Unknown
+// fields are rejected so typos in hand-written schedules fail loudly.
+func ParseSchedule(data []byte) (*Schedule, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Schedule
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("fault: parse schedule: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("fault: trailing data after schedule")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks schedule-level constraints that do not need a
+// topology (bridge-name resolution happens when the injector binds to a
+// network).
+func (s *Schedule) Validate() error {
+	if len(s.Events) > MaxEvents {
+		return fmt.Errorf("fault: %d events exceeds limit %d", len(s.Events), MaxEvents)
+	}
+	if s.WatchdogCycles < 0 || s.WatchdogCycles > MaxWatchdogCycles {
+		return fmt.Errorf("fault: watchdogCycles %d out of range [0, %d]", s.WatchdogCycles, MaxWatchdogCycles)
+	}
+	for i := range s.Events {
+		e := &s.Events[i]
+		switch e.Kind {
+		case KillBridge:
+			if e.Bridge == "" {
+				return fmt.Errorf("fault: event %d: kill-bridge needs a bridge name", i)
+			}
+			if e.RepairAt != 0 && e.RepairAt <= e.At {
+				return fmt.Errorf("fault: event %d: repairAt %d must be after at %d", i, e.RepairAt, e.At)
+			}
+		case StallStationKind:
+			if e.Ring < 0 || e.Position < 0 {
+				return fmt.Errorf("fault: event %d: negative ring/position", i)
+			}
+			if e.Cycles <= 0 || e.Cycles > MaxStallCycles {
+				return fmt.Errorf("fault: event %d: stall cycles %d out of range (0, %d]", i, e.Cycles, MaxStallCycles)
+			}
+		case DropFlit, CorruptFlit:
+			// no operands beyond At
+		default:
+			return fmt.Errorf("fault: event %d: unknown kind %q", i, e.Kind)
+		}
+	}
+	return nil
+}

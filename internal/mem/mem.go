@@ -66,6 +66,7 @@ type Controller struct {
 	Reads, Writes  uint64
 	BytesServed    uint64
 	QueueFullDrops uint64 // cycles the queue refused arrivals
+	StrayWrData    uint64 // surplus write beats from retried transactions
 }
 
 // wrKey identifies a write burst in flight.
@@ -117,7 +118,12 @@ func (c *Controller) Tick(now sim.Cycle) {
 		case m.Op == chi.NonCopyBackWrData:
 			req, open := c.wrOpen[k]
 			if !open {
-				panic(fmt.Sprintf("mem: %s got write data for unknown txn %d", c.name, m.TxnID))
+				// With CHI retry active a write can be re-issued while its
+				// first data burst is still in flight (the original grant
+				// was delayed, not lost); beats landing after the write
+				// entered service are surplus, not a protocol error.
+				c.StrayWrData++
+				continue
 			}
 			c.wrBeats[k]++
 			if c.wrBeats[k] < m.Beats() {

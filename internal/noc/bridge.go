@@ -65,6 +65,9 @@ type RBRGL1 struct {
 	cfg  RBRGL1Config
 
 	halves []*l1half
+	// dead latches the one-time buffer purge after FailBridge kills this
+	// node; cleared again on repair.
+	dead bool
 
 	Forwarded   uint64
 	SwapEntries uint64
@@ -109,6 +112,14 @@ func (b *RBRGL1) InDRM() bool {
 // queue stalls the head (and, transitively, fills the eject queue, whose
 // fullness deflects ring flits — that is the bridge's backpressure).
 func (b *RBRGL1) Tick(now sim.Cycle) {
+	if b.net.NodeFailed(b.node) {
+		if !b.dead {
+			b.dead = true
+			b.dropBuffers()
+		}
+		return // dead silicon: queues fill, arrivals deflect, watchdog reaps
+	}
+	b.dead = false
 	for _, in := range b.halves {
 		for moved := 0; moved < b.cfg.ForwardPerCycle; moved++ {
 			var f *Flit
@@ -123,7 +134,16 @@ func (b *RBRGL1) Tick(now sim.Cycle) {
 			}
 			out := b.net.forwardInterface(b.node, in.iface, f)
 			if out == nil {
-				panic(fmt.Sprintf("noc: bridge %s cannot forward flit %d to node %d", b.name, f.ID, f.Dst))
+				// Every onward ring lost its route (failed bridges):
+				// discard rather than wedge the whole forward pipeline
+				// behind an undeliverable head.
+				if fromEscape {
+					in.escape = in.escape[1:]
+				} else {
+					in.iface.Recv()
+				}
+				b.net.dropFlit(f, &b.net.UnroutableDrops, in.iface.station.ring, trace.Reroute, b.name, "no forward route")
+				continue
 			}
 			if !out.Send(f) {
 				break
@@ -141,6 +161,33 @@ func (b *RBRGL1) Tick(now sim.Cycle) {
 	for _, h := range b.halves {
 		b.runDRM(h)
 	}
+}
+
+// dropBuffers discards everything the bridge holds — escape buffers and
+// its interface queues — when the node is killed. DRM state resets so a
+// later repair starts clean.
+func (b *RBRGL1) dropBuffers() {
+	for _, h := range b.halves {
+		for _, f := range h.escape {
+			b.net.dropFlit(f, &b.net.FaultDrops, h.iface.station.ring, trace.Fault, b.name, "lost in dead bridge")
+		}
+		h.escape = nil
+		h.drm = false
+		h.stalledCycles = 0
+		h.blockedCycles = 0
+		h.iface.swapMode = false
+		b.net.dropInterfaceQueues(h.iface)
+	}
+}
+
+// BufferedFlits implements FlitBufferer: flits held in escape buffers
+// (the interface queues are counted by the network itself).
+func (b *RBRGL1) BufferedFlits() int {
+	total := 0
+	for _, h := range b.halves {
+		total += len(h.escape)
+	}
+	return total
 }
 
 // runDRM mirrors the RBRG-L2 SWAP logic (Section 4.4) at an intra-die
@@ -201,8 +248,8 @@ func (n *Network) forwardInterface(node NodeID, arrived *NodeInterface, f *Flit)
 		if ni == arrived {
 			continue
 		}
-		dstRing, local, ok := n.routeFrom(ni.station.ring.id, f.Dst)
-		if !ok {
+		dstRing, local, err := n.routeFrom(ni.station.ring.id, f.Dst)
+		if err != nil {
 			continue
 		}
 		d := 0
@@ -286,6 +333,9 @@ type RBRGL2 struct {
 	node NodeID
 	cfg  RBRGL2Config
 	half [2]l2half
+	// dead latches the one-time buffer purge after FailBridge kills this
+	// node; cleared again on repair.
+	dead bool
 
 	// statistics
 	Transferred uint64 // flits moved die-to-die
@@ -317,8 +367,54 @@ func (b *RBRGL2) Node() NodeID { return b.node }
 // mode.
 func (b *RBRGL2) InDRM() bool { return b.half[0].drm || b.half[1].drm }
 
+// dropBuffers discards everything the bridge holds — tx/reserve/pipe/rx
+// on both sides plus its interface queues — when the node is killed. DRM
+// state resets so a later repair starts clean.
+func (b *RBRGL2) dropBuffers() {
+	for side := 0; side < 2; side++ {
+		h := &b.half[side]
+		r := h.iface.station.ring
+		for _, f := range h.tx {
+			b.net.dropFlit(f, &b.net.FaultDrops, r, trace.Fault, b.name, "lost in dead bridge")
+		}
+		for _, f := range h.reserve {
+			b.net.dropFlit(f, &b.net.FaultDrops, r, trace.Fault, b.name, "lost in dead bridge")
+		}
+		for _, pf := range h.pipe {
+			b.net.dropFlit(pf.f, &b.net.FaultDrops, r, trace.Fault, b.name, "lost on dead link")
+		}
+		for _, f := range h.rx {
+			b.net.dropFlit(f, &b.net.FaultDrops, r, trace.Fault, b.name, "lost in dead bridge")
+		}
+		h.tx, h.reserve, h.pipe, h.rx = nil, nil, nil, nil
+		h.drm = false
+		h.stalledCycles = 0
+		h.iface.swapMode = false
+		b.net.dropInterfaceQueues(h.iface)
+	}
+}
+
+// BufferedFlits implements FlitBufferer: flits in tx/reserve/pipe/rx on
+// both sides (the interface queues are counted by the network itself).
+func (b *RBRGL2) BufferedFlits() int {
+	total := 0
+	for side := 0; side < 2; side++ {
+		h := &b.half[side]
+		total += len(h.tx) + len(h.reserve) + len(h.pipe) + len(h.rx)
+	}
+	return total
+}
+
 // Tick advances both directions of the bridge by one cycle.
 func (b *RBRGL2) Tick(now sim.Cycle) {
+	if b.net.NodeFailed(b.node) {
+		if !b.dead {
+			b.dead = true
+			b.dropBuffers()
+		}
+		return // dead silicon: queues fill, arrivals deflect, watchdog reaps
+	}
+	b.dead = false
 	// 1. Link arrivals: normal flits land in the far side's rx buffer;
 	//    escape flits land straight on the far interface's priority
 	//    lane (their reserved credit guaranteed the space).

@@ -137,3 +137,144 @@ func TestDRMEntryAndExit(t *testing.T) {
 		t.Fatal("bridge stuck in deadlock-resolution mode after drain")
 	}
 }
+
+// TestKillOnlyBridgeWatchdogDrains kills the rig's single bridge mid-run.
+// Every cross-ring flit already in flight is stranded with no possible
+// route, so the only acceptable outcome is graceful degradation: the
+// watchdog reaps the stranded flits, conservation holds at every sampled
+// cycle, and the run terminates instead of wedging.
+func TestKillOnlyBridgeWatchdogDrains(t *testing.T) {
+	net, gens, _ := buildDeadlockRig(t, true, 500)
+	net.SetWatchdog(2000, 0)
+	// Kill while the flood is mid-flight so flits are stranded on rings
+	// and in queues, not just refused at injection.
+	runCycles(net, 300)
+	bridge, ok := net.NodeByName("l2")
+	if !ok {
+		t.Fatal("bridge node missing")
+	}
+	if err := net.FailBridge(bridge); err != nil {
+		t.Fatalf("FailBridge: %v", err)
+	}
+	quiesced := false
+	for c := 0; c < 200000; c++ {
+		runCycles(net, 1)
+		if c%512 == 0 {
+			if err := net.CheckConservation(); err != nil {
+				t.Fatalf("cycle %d after kill: %v", c, err)
+			}
+		}
+		remain := 0
+		for _, g := range gens {
+			remain += g.remain
+		}
+		if remain == 0 && net.InFlight() == 0 {
+			quiesced = true
+			break
+		}
+	}
+	if !quiesced {
+		t.Fatalf("run did not terminate: in flight %d, watchdog drops %d",
+			net.InFlight(), net.WatchdogDrops)
+	}
+	if err := net.CheckConservation(); err != nil {
+		t.Fatalf("after drain: %v", err)
+	}
+	if net.WatchdogDrops == 0 {
+		t.Fatal("watchdog never reaped a stranded flit")
+	}
+	if net.InjectedFlits != net.DeliveredFlits+net.DroppedFlits {
+		t.Fatalf("conservation violated after drain: injected %d != delivered %d + dropped %d",
+			net.InjectedFlits, net.DeliveredFlits, net.DroppedFlits)
+	}
+	got := 0
+	for _, g := range gens {
+		got += g.got
+	}
+	if uint64(got) != net.DeliveredFlits {
+		t.Fatalf("endpoints received %d flits but network counted %d delivered",
+			got, net.DeliveredFlits)
+	}
+}
+
+// buildParallelBridgeRig joins two full rings with two parallel RBRG-L2
+// bridges, a source endpoint on each ring. Killing either bridge must
+// leave the other carrying all cross-ring traffic.
+func buildParallelBridgeRig(t *testing.T) (*Network, *source, *source) {
+	t.Helper()
+	net := NewNetwork("t")
+	cfg := RBRGL2Config{
+		InjectDepth: 8, EjectDepth: 8,
+		TxDepth: 8, RxDepth: 8,
+		ReserveDepth:      8,
+		LinkLatency:       4,
+		LinkWidth:         1,
+		DeadlockThreshold: 64,
+		EnableSwap:        true,
+	}
+	r0 := net.AddRing(8, true)
+	r1 := net.AddRing(8, true)
+	a := newSource(t, net, r0.AddStation(0), "a")
+	b := newSource(t, net, r1.AddStation(0), "b")
+	NewRBRGL2(net, "br0", cfg, r0.AddStation(3), r1.AddStation(3))
+	NewRBRGL2(net, "br1", cfg, r0.AddStation(6), r1.AddStation(6))
+	net.MustFinalize()
+	return net, a, b
+}
+
+// TestParallelBridgeFailoverLossless kills one of two parallel bridges
+// between bursts: the survivor must carry everything and not a single
+// flit may be lost — degraded, not lossy.
+func TestParallelBridgeFailoverLossless(t *testing.T) {
+	net, a, b := buildParallelBridgeRig(t)
+	burst := func(n int) {
+		for i := 0; i < n; i++ {
+			a.queue(net.NewFlit(a.Node(), b.Node(), KindData, LineBytes))
+			b.queue(net.NewFlit(b.Node(), a.Node(), KindData, LineBytes))
+		}
+	}
+	drain := func(limit int) bool {
+		for i := 0; i < limit; i++ {
+			runCycles(net, 1)
+			if len(a.pending) == 0 && len(b.pending) == 0 && net.InFlight() == 0 {
+				return true
+			}
+		}
+		return false
+	}
+
+	burst(200)
+	if !drain(60000) {
+		t.Fatalf("healthy phase did not drain: in flight %d", net.InFlight())
+	}
+	if len(a.got) != 200 || len(b.got) != 200 {
+		t.Fatalf("healthy phase delivered %d/%d of 200/200", len(a.got), len(b.got))
+	}
+
+	bridge, ok := net.NodeByName("br0")
+	if !ok {
+		t.Fatal("bridge node missing")
+	}
+	if err := net.FailBridge(bridge); err != nil {
+		t.Fatalf("FailBridge: %v", err)
+	}
+	if failed := net.FailedBridges(); len(failed) != 1 {
+		t.Fatalf("expected 1 failed bridge, got %v", failed)
+	}
+
+	burst(200)
+	if !drain(120000) {
+		t.Fatalf("degraded phase did not drain: in flight %d, dropped %d",
+			net.InFlight(), net.DroppedFlits)
+	}
+	if net.DroppedFlits != 0 {
+		t.Fatalf("failover lost %d flits (watchdog %d, fault %d, unroutable %d)",
+			net.DroppedFlits, net.WatchdogDrops, net.FaultDrops, net.UnroutableDrops)
+	}
+	if len(a.got) != 400 || len(b.got) != 400 {
+		t.Fatalf("degraded phase delivered %d/%d of 400/400", len(a.got), len(b.got))
+	}
+	if err := net.CheckConservation(); err != nil {
+		t.Fatalf("after failover drain: %v", err)
+	}
+}

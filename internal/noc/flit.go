@@ -105,6 +105,10 @@ type Flit struct {
 	Deflections int
 	// RingChanges counts bridge traversals.
 	RingChanges int
+	// Corrupted marks a flit damaged by fault injection: it still
+	// consumes network bandwidth but the destination's link-level check
+	// discards it on arrival (counted in CorruptDrops, never delivered).
+	Corrupted bool
 
 	// in-network bookkeeping (current ring only)
 	localDst   int // station position to leave the current ring at

@@ -56,6 +56,13 @@ type Network struct {
 	// throttle is the optional congestion controller (SetThrottle).
 	throttle *throttleState
 
+	// fault machinery: currently failed bridge nodes and the per-flit
+	// age watchdog (see fault.go). All off by default, so fault-free
+	// runs are bit-identical to a build without this subsystem.
+	failed         map[NodeID]bool
+	watchdogBudget uint64
+	watchdogPeriod uint64
+
 	// delivery hook and aggregate statistics
 	OnDeliver      func(f *Flit, now sim.Cycle)
 	InjectedFlits  uint64
@@ -64,6 +71,16 @@ type Network struct {
 	Deflections    uint64
 	TotalHops      uint64 // occupied-slot movements (wire energy metric)
 	latency        latencyRecorder
+
+	// drop accounting: DroppedFlits is the aggregate in the conservation
+	// invariant Injected == Delivered + Dropped + AccountedFlits(); the
+	// rest break it down by cause.
+	DroppedFlits    uint64
+	WatchdogDrops   uint64 // aged out by the watchdog
+	UnroutableDrops uint64 // destination unreachable at (re)route time
+	FaultDrops      uint64 // killed by the injector or lost in a dead bridge
+	CorruptDrops    uint64 // corrupted payloads discarded at delivery
+	ReroutedFlits   uint64 // live flits retargeted after a table rebuild
 }
 
 // latencyRecorder lets experiments capture per-flit latency without
@@ -189,7 +206,6 @@ func (n *Network) Finalize() error {
 		return fmt.Errorf("noc: %s has no rings", n.name)
 	}
 	// Every multi-ring node is a potential bridge edge.
-	adj := make([][]RingID, R)
 	for id, info := range n.nodes {
 		if len(info.ifaces) < 2 {
 			continue
@@ -204,12 +220,56 @@ func (n *Network) Finalize() error {
 				if i == j {
 					continue
 				}
+				key := [2]RingID{ringIDs[i], ringIDs[j]}
+				n.bridges[key] = append(n.bridges[key], NodeID(id))
+			}
+		}
+	}
+	n.rebuildRoutes()
+	// Validate reachability: every node must be reachable from every ring.
+	for rid := 0; rid < R; rid++ {
+		for id, info := range n.nodes {
+			if len(info.ifaces) == 0 {
+				return fmt.Errorf("noc: node %q has no interface", info.name)
+			}
+			if _, _, err := n.routeFrom(RingID(rid), NodeID(id)); err != nil {
+				return fmt.Errorf("noc: %w", err)
+			}
+		}
+	}
+	n.finalized = true
+	return nil
+}
+
+// rebuildRoutes recomputes the all-pairs ring-graph BFS from the bridge
+// inventory, excluding failed bridges. Finalize runs it once at
+// construction; FailBridge/RepairBridge re-run it at fault time. Ring
+// pairs whose every bridge has failed simply lose their edge — routes
+// through them disappear and affected flits become unreachable.
+func (n *Network) rebuildRoutes() {
+	R := len(n.rings)
+	adj := make([][]RingID, R)
+	seen := make(map[[2]RingID]bool)
+	for id, info := range n.nodes {
+		if len(info.ifaces) < 2 || n.failed[NodeID(id)] {
+			continue
+		}
+		ringIDs := make([]RingID, 0, len(info.ifaces))
+		for rid := range info.onRing {
+			ringIDs = append(ringIDs, rid)
+		}
+		sort.Slice(ringIDs, func(i, j int) bool { return ringIDs[i] < ringIDs[j] })
+		for i := 0; i < len(ringIDs); i++ {
+			for j := 0; j < len(ringIDs); j++ {
+				if i == j {
+					continue
+				}
 				a, b := ringIDs[i], ringIDs[j]
 				key := [2]RingID{a, b}
-				if len(n.bridges[key]) == 0 {
+				if !seen[key] {
+					seen[key] = true
 					adj[a] = append(adj[a], b)
 				}
-				n.bridges[key] = append(n.bridges[key], NodeID(id))
 			}
 		}
 	}
@@ -244,19 +304,6 @@ func (n *Network) Finalize() error {
 		n.ringDist[s] = dist
 		n.ringNext[s] = next
 	}
-	// Validate reachability: every node must be reachable from every ring.
-	for rid := 0; rid < R; rid++ {
-		for id, info := range n.nodes {
-			if len(info.ifaces) == 0 {
-				return fmt.Errorf("noc: node %q has no interface", info.name)
-			}
-			if _, _, ok := n.routeFrom(RingID(rid), NodeID(id)); !ok {
-				return fmt.Errorf("noc: node %q unreachable from ring %d", info.name, rid)
-			}
-		}
-	}
-	n.finalized = true
-	return nil
 }
 
 // MustFinalize panics on Finalize errors; topology construction errors
@@ -268,11 +315,12 @@ func (n *Network) MustFinalize() {
 }
 
 // routeFrom picks the destination ring and (if remote) the next ring on
-// the path from ring r to node dst.
-func (n *Network) routeFrom(r RingID, dst NodeID) (dstRing RingID, local bool, ok bool) {
+// the path from ring r to node dst. A destination with no surviving path
+// yields a typed *ErrUnreachable.
+func (n *Network) routeFrom(r RingID, dst NodeID) (dstRing RingID, local bool, err error) {
 	info := n.nodes[dst]
 	if _, here := info.onRing[r]; here {
-		return r, true, true
+		return r, true, nil
 	}
 	best, bestDist := RingID(-1), math.MaxInt32
 	for rid := range info.onRing {
@@ -281,33 +329,43 @@ func (n *Network) routeFrom(r RingID, dst NodeID) (dstRing RingID, local bool, o
 		}
 	}
 	if best < 0 || bestDist == math.MaxInt32 {
-		return 0, false, false
+		return 0, false, n.unreachable(r, dst)
 	}
-	return best, false, true
+	return best, false, nil
 }
 
 // localTarget returns the station position and interface index a flit on
 // ring r must leave at to reach its destination: the destination itself
 // when local, otherwise a bridge towards the destination's ring. Multiple
 // parallel bridges between the same ring pair are load-balanced by flit
-// ID, which is stable for the flit's lifetime.
-func (n *Network) localTarget(r *Ring, f *Flit) (pos, iface int, ok bool) {
-	dstRing, local, ok := n.routeFrom(r.id, f.Dst)
-	if !ok {
-		return 0, 0, false
+// ID, which is stable for the flit's lifetime; failed bridges are skipped,
+// and a pair whose every bridge failed is unreachable.
+func (n *Network) localTarget(r *Ring, f *Flit) (pos, iface int, err error) {
+	dstRing, local, err := n.routeFrom(r.id, f.Dst)
+	if err != nil {
+		return 0, 0, err
 	}
 	if local {
 		ni := n.nodes[f.Dst].onRing[r.id]
-		return ni.station.pos, ni.index, true
+		return ni.station.pos, ni.index, nil
 	}
 	next := n.ringNext[r.id][dstRing]
 	cands := n.bridges[[2]RingID{r.id, next}]
+	if len(n.failed) > 0 {
+		alive := make([]NodeID, 0, len(cands))
+		for _, b := range cands {
+			if !n.failed[b] {
+				alive = append(alive, b)
+			}
+		}
+		cands = alive
+	}
 	if len(cands) == 0 {
-		return 0, 0, false
+		return 0, 0, n.unreachable(r.id, f.Dst)
 	}
 	b := cands[int(f.ID)%len(cands)]
 	ni := n.nodes[b].onRing[r.id]
-	return ni.station.pos, ni.index, true
+	return ni.station.pos, ni.index, nil
 }
 
 // trace records an event when a tracer is attached.
@@ -318,6 +376,13 @@ func (n *Network) trace(kind trace.Kind, flitID uint64, where, detail string) {
 	n.Tracer.Record(trace.Event{Cycle: n.now, Kind: kind, FlitID: flitID, Where: where, Detail: detail})
 }
 
+// Trace records a structured event when a tracer is attached (no-op
+// otherwise). The fault injector and the CHI retry layer use it for
+// Fault/Retry events the core NoC cannot see.
+func (n *Network) Trace(kind trace.Kind, flitID uint64, where, detail string) {
+	n.trace(kind, flitID, where, detail)
+}
+
 // flitEjected is called by stations when a flit leaves a ring into an
 // eject queue. Bridges receive transit flits; anything else is a final
 // delivery.
@@ -325,6 +390,16 @@ func (n *Network) flitEjected(ni *NodeInterface, f *Flit, now sim.Cycle) {
 	if ni.node != f.Dst {
 		n.trace(trace.Eject, f.ID, n.nodes[ni.node].name, "")
 		return // transit stop at a bridge; the bridge forwards it
+	}
+	if f.Corrupted {
+		// The destination's link-level check rejects the payload. The
+		// flit was appended to the eject queue by this very ejection, so
+		// it is the tail entry; remove it and count the drop instead of
+		// a delivery.
+		ni.eject = ni.eject[:len(ni.eject)-1]
+		n.dropFlit(f, &n.CorruptDrops, ni.station.ring, trace.Fault, n.nodes[ni.node].name, "corrupt payload discarded")
+		ni.promoteReservations()
+		return
 	}
 	n.trace(trace.Deliver, f.ID, n.nodes[ni.node].name, "")
 	n.DeliveredFlits++
@@ -337,9 +412,11 @@ func (n *Network) flitEjected(ni *NodeInterface, f *Flit, now sim.Cycle) {
 	}
 }
 
-// InFlight returns injected minus delivered flits (queued, on rings, or
-// inside bridges).
-func (n *Network) InFlight() uint64 { return n.InjectedFlits - n.DeliveredFlits }
+// InFlight returns injected minus delivered minus dropped flits (queued,
+// on rings, or inside bridges). With fault injection active, dropped
+// flits are no longer in flight — see AccountedFlits for the full
+// conservation accounting.
+func (n *Network) InFlight() uint64 { return n.InjectedFlits - n.DeliveredFlits - n.DroppedFlits }
 
 // Tick implements sim.Component: rings advance, stations work, devices
 // (including bridges and generators) run.
@@ -358,5 +435,8 @@ func (n *Network) Tick(now sim.Cycle) {
 	}
 	for _, d := range n.devices {
 		d.Tick(now)
+	}
+	if n.watchdogBudget > 0 && n.ticks%n.watchdogPeriod == 0 {
+		n.watchdogSweep(now)
 	}
 }

@@ -76,7 +76,15 @@ func TestPropertyConservation(t *testing.T) {
 			}
 			src.queue(net.NewFlit(src.Node(), dst.Node(), KindData, LineBytes))
 		}
-		runCycles(net, 60000)
+		for chunk := 0; chunk < 60; chunk++ {
+			runCycles(net, 1000)
+			// The accounting invariant must hold at every cycle boundary,
+			// not just after the drain.
+			if err := net.CheckConservation(); err != nil {
+				t.Logf("params %+v: cycle %d: %v", p, (chunk+1)*1000, err)
+				return false
+			}
+		}
 		if net.InFlight() != 0 {
 			t.Logf("params %+v: in flight %d (inj=%d del=%d)",
 				p, net.InFlight(), net.InjectedFlits, net.DeliveredFlits)
@@ -94,6 +102,73 @@ func TestPropertyConservation(t *testing.T) {
 	}
 	cfg := &quick.Config{MaxCount: 25}
 	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyConservationUnderFaults: with random in-flight drops and
+// payload corruptions hammering the network and a watchdog armed, the
+// extended invariant Injected == Delivered + Dropped + in-network still
+// holds at every sampled cycle, and the run still terminates with every
+// flit accounted for.
+func TestPropertyConservationUnderFaults(t *testing.T) {
+	f := func(p rigParams) bool {
+		net, endpoints := buildRandomRig(t, p)
+		net.SetWatchdog(3000, 0)
+		rng := sim.NewRNG(p.Seed ^ 0xfa017)
+		nFlits := int(p.Flits%300) + 1
+		for i := 0; i < nFlits; i++ {
+			src := endpoints[rng.Intn(len(endpoints))]
+			dst := endpoints[rng.Intn(len(endpoints))]
+			if src == dst {
+				continue
+			}
+			src.queue(net.NewFlit(src.Node(), dst.Node(), KindData, LineBytes))
+		}
+		for cyc := 0; cyc < 60000; cyc++ {
+			runCycles(net, 1)
+			if cyc%97 == 0 {
+				if live := net.LiveSlotCount(); live > 0 {
+					net.DropLiveFlit(rng.Intn(live))
+				}
+			}
+			if cyc%131 == 0 {
+				if live := net.LiveSlotCount(); live > 0 {
+					net.CorruptLiveFlit(rng.Intn(live))
+				}
+			}
+			if cyc%251 == 0 {
+				if err := net.CheckConservation(); err != nil {
+					t.Logf("params %+v: cycle %d: %v", p, cyc, err)
+					return false
+				}
+			}
+		}
+		if net.InFlight() != 0 {
+			t.Logf("params %+v: in flight %d (inj=%d del=%d drop=%d)",
+				p, net.InFlight(), net.InjectedFlits, net.DeliveredFlits, net.DroppedFlits)
+			return false
+		}
+		if err := net.CheckConservation(); err != nil {
+			t.Logf("params %+v: after drain: %v", p, err)
+			return false
+		}
+		if net.InjectedFlits != net.DeliveredFlits+net.DroppedFlits {
+			t.Logf("params %+v: injected %d != delivered %d + dropped %d",
+				p, net.InjectedFlits, net.DeliveredFlits, net.DroppedFlits)
+			return false
+		}
+		got := 0
+		for _, e := range endpoints {
+			got += len(e.got)
+		}
+		if uint64(got) != net.DeliveredFlits {
+			t.Logf("params %+v: endpoint receipts %d != delivered %d", p, got, net.DeliveredFlits)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"chipletnoc/internal/sim"
+	"chipletnoc/internal/trace"
 )
 
 // DefaultInjectDepth and DefaultEjectDepth size the node-interface queues.
@@ -93,24 +94,33 @@ func (ni *NodeInterface) EjectLen() int { return len(ni.eject) }
 // returns false when the inject queue is full; the caller retries next
 // cycle (that back-pressure is the device-side flow control). Send
 // computes the flit's exit point on this ring — either its destination
-// station or the bridge that leads towards the destination ring.
+// station or the bridge that leads towards the destination ring. A flit
+// whose destination is unreachable (every bridge towards it failed) is
+// accepted but immediately counted dropped, never queued: returning
+// false would make the sender spin retrying a flit no topology change
+// short of a repair can route.
 func (ni *NodeInterface) Send(f *Flit) bool {
 	if len(ni.inject) >= ni.injectCap {
 		return false
 	}
-	ni.route(f)
+	if !ni.route(f) {
+		return true // unroutable: counted and dropped, nothing queued
+	}
 	ni.inject = append(ni.inject, f)
 	return true
 }
 
 // SendPriority enqueues a flit on the escape lane, ahead of the normal
 // inject queue. Only deadlock-resolution machinery uses it; capacity is
-// the reserved escape-lane depth.
+// the reserved escape-lane depth. Unroutable flits are swallowed and
+// counted as in Send.
 func (ni *NodeInterface) SendPriority(f *Flit) bool {
 	if len(ni.bypass) >= ni.bypassCap {
 		return false
 	}
-	ni.route(f)
+	if !ni.route(f) {
+		return true
+	}
 	ni.bypass = append(ni.bypass, f)
 	return true
 }
@@ -120,7 +130,10 @@ func (ni *NodeInterface) SendPriority(f *Flit) bool {
 func (ni *NodeInterface) BypassSpace() int { return ni.bypassCap - len(ni.bypass) }
 
 // route validates and computes a flit's path on this interface's ring.
-func (ni *NodeInterface) route(f *Flit) {
+// It returns false when the destination is unreachable: the flit has
+// been counted injected and dropped (UnroutableDrops) so the
+// conservation invariant holds, and the caller must not queue it.
+func (ni *NodeInterface) route(f *Flit) bool {
 	if f == nil {
 		panic("noc: Send(nil)")
 	}
@@ -133,13 +146,15 @@ func (ni *NodeInterface) route(f *Flit) {
 		f.Created = net.now
 		net.InjectedFlits++
 	}
-	pos, iface, ok := net.localTarget(ni.station.ring, f)
-	if !ok {
-		panic(fmt.Sprintf("noc: no route from ring %d to node %d", ni.station.ring.id, f.Dst))
+	pos, iface, err := net.localTarget(ni.station.ring, f)
+	if err != nil {
+		net.dropFlit(f, &net.UnroutableDrops, nil, trace.Reroute, net.nodes[ni.node].name, err.Error())
+		return false
 	}
 	f.localDst = pos
 	f.localIface = iface
 	f.dir = ni.station.ring.shortestDir(ni.station.pos, pos)
+	return true
 }
 
 // Recv dequeues the oldest ejected flit, or nil. Draining the eject queue
@@ -277,6 +292,11 @@ type CrossStation struct {
 	pos    int
 	ifaces [2]*NodeInterface
 	rr     int // round-robin pointer for injection arbitration
+
+	// stalledUntil freezes the station logic (fault injection): while
+	// now < stalledUntil nothing ejects, injects or transfers locally —
+	// flits fly past on the ring.
+	stalledUntil sim.Cycle
 }
 
 // Ring returns the owning ring.
@@ -314,6 +334,9 @@ func (st *CrossStation) attach(node NodeID, injectDepth, ejectDepth int) *NodeIn
 // transfers, then for each direction arrival handling (eject/deflect)
 // followed by injection arbitration into the (possibly just freed) slot.
 func (st *CrossStation) tick(now sim.Cycle) {
+	if now < st.stalledUntil {
+		return
+	}
 	st.localTransfers(now)
 	st.handleDirection(CW, now)
 	if st.ring.full {

@@ -3,6 +3,7 @@ package soc
 import (
 	"fmt"
 
+	"chipletnoc/internal/chi"
 	"chipletnoc/internal/mem"
 	"chipletnoc/internal/noc"
 	"chipletnoc/internal/sim"
@@ -49,6 +50,12 @@ type AIConfig struct {
 	// Compute Die can connect to I/O Dies through the RBRG-L2 nodes")
 	// with a PCIe-class host link used by host DMA traffic.
 	IODie bool
+
+	// Retry arms CHI-level timeout/retry on every requester (AI cores,
+	// DMA engines, host DMA) so fault-injection runs recover dropped
+	// transactions. The zero value disables it and keeps fault-free runs
+	// bit-identical to earlier builds.
+	Retry chi.RetryConfig
 
 	// L2 and HBM calibrate the slice SRAM and HBM stacks.
 	L2, HBM mem.Config
@@ -214,6 +221,7 @@ func BuildAIProcessor(cfg AIConfig) *AIProcessor {
 				TargetOf:         traffic.InterleavedTargetsBy(l2Nodes, cfg.LineBytes),
 				IssuePerCycle:    cfg.CoreIssueWidth,
 				LineBytes:        cfg.LineBytes,
+				Retry:            cfg.Retry,
 			}
 			core := traffic.NewRequester(net, fmt.Sprintf("ai.%d.%d", v, c),
 				rc, rng.Derive(uint64(idx)), vCoreSts[v][c])
@@ -236,6 +244,7 @@ func BuildAIProcessor(cfg AIConfig) *AIProcessor {
 			TargetOf:      traffic.InterleavedTargetsBy(hbmNodes, cfg.LineBytes),
 			WriteTargetOf: traffic.InterleavedTargetsBy(l2Nodes, cfg.LineBytes),
 			LineBytes:     cfg.LineBytes,
+			Retry:         cfg.Retry,
 		}
 		dma := traffic.NewRequester(net, fmt.Sprintf("dma.%d", i),
 			rc, rng.Derive(uint64(0x1000+i)), st)
@@ -258,6 +267,7 @@ func BuildAIProcessor(cfg AIConfig) *AIProcessor {
 			Stream:        traffic.NewSeqStream(uint64(0x7F)<<32, uint64(cfg.LineBytes), 1<<24),
 			TargetOf:      traffic.FixedTarget(a.Host.Node()),
 			WriteTargetOf: traffic.InterleavedTargetsBy(l2Nodes, cfg.LineBytes),
+			Retry:         cfg.Retry,
 		}
 		a.HostDMA = traffic.NewRequester(net, "io.hostdma", rc, rng.Derive(0x7F), ioRing.AddStation(2))
 	}

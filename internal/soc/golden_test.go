@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"chipletnoc/internal/coherence"
+	"chipletnoc/internal/fault"
 	"chipletnoc/internal/noc"
 )
 
@@ -22,6 +23,7 @@ import (
 type flitDigest struct {
 	Injected    uint64
 	Delivered   uint64
+	Dropped     uint64
 	Deflections uint64
 	Hops        uint64
 	Latencies   uint64 // number of latency samples folded into the hash
@@ -47,6 +49,7 @@ func digestNet(net *noc.Network, latencies *uint64, latencyFNV func() uint64) fl
 	return flitDigest{
 		Injected:    net.InjectedFlits,
 		Delivered:   net.DeliveredFlits,
+		Dropped:     net.DroppedFlits,
 		Deflections: net.Deflections,
 		Hops:        net.TotalHops,
 		Latencies:   *latencies,
@@ -112,6 +115,66 @@ func TestGoldenAIProcessorDigest(t *testing.T) {
 	checkDigest(t, digestNet(a.Net, latencies, latencyFNV), goldenAIDigest)
 }
 
+// goldenAIBuild is the fixed AI-Processor configuration shared by the
+// golden tests: the plain digest, the fault-injection digest, and the
+// empty-schedule inertness check all build exactly this system.
+func goldenAIBuild() *AIProcessor {
+	cfg := DefaultAIConfig()
+	cfg.VRings, cfg.HRings = 4, 2
+	cfg.CoresPerVRing, cfg.L2PerHRing = 2, 4
+	cfg.HBMStacks, cfg.DMAEngines = 2, 2
+	return BuildAIProcessor(cfg)
+}
+
+// TestGoldenEmptyFaultScheduleIsInert attaches a fault injector with a
+// completely empty schedule to the golden AI run: the digest must equal
+// goldenAIDigest bit for bit. This is the guarantee that the whole fault
+// subsystem is free when unused — merely wiring it up changes nothing.
+func TestGoldenEmptyFaultScheduleIsInert(t *testing.T) {
+	a := goldenAIBuild()
+	if _, err := fault.NewInjector(a.Net, &fault.Schedule{}, 0x5e5); err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	latencies, latencyFNV := hashLatencies(a.Net)
+	a.Run(3000)
+	checkDigest(t, digestNet(a.Net, latencies, latencyFNV), goldenAIDigest)
+}
+
+// TestGoldenFaultInjectionDigest pins a fixed-seed fault run: the golden
+// AI system with a watchdog armed, one bridge killed transiently and one
+// flit dropped and corrupted mid-run. Kill/repair ordering, watchdog
+// sweep timing, reroute decisions and the injector's victim RNG stream
+// are all load-bearing here — any silent change to recovery behaviour
+// shifts this digest.
+func TestGoldenFaultInjectionDigest(t *testing.T) {
+	a := goldenAIBuild()
+	names := a.Net.BridgeNames()
+	if len(names) == 0 {
+		t.Fatal("golden AI build has no bridges")
+	}
+	sched := &fault.Schedule{
+		WatchdogCycles: 1200,
+		Events: []fault.Event{
+			{At: 500, Kind: fault.KillBridge, Bridge: names[0], RepairAt: 1800},
+			{At: 900, Kind: fault.DropFlit},
+			{At: 1000, Kind: fault.CorruptFlit},
+		},
+	}
+	inj, err := fault.NewInjector(a.Net, sched, 0x5e5)
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	latencies, latencyFNV := hashLatencies(a.Net)
+	a.Run(3000)
+	if inj.Pending() != 0 {
+		t.Fatalf("%d schedule events never fired", inj.Pending())
+	}
+	if err := a.Net.CheckConservation(); err != nil {
+		t.Fatalf("conservation after fault run: %v", err)
+	}
+	checkDigest(t, digestNet(a.Net, latencies, latencyFNV), goldenAIFaultDigest)
+}
+
 // Golden values. Derived once from the committed simulator; every field
 // is an integer so the digest is identical on every platform.
 var (
@@ -130,5 +193,14 @@ var (
 		Hops:        0x4c154,
 		Latencies:   0x2b41,
 		LatencyFNV:  0x16a68fe7dc337024,
+	}
+	goldenAIFaultDigest = flitDigest{
+		Injected:    0x3066,
+		Delivered:   0x2965,
+		Dropped:     0x237,
+		Deflections: 0x3c51,
+		Hops:        0x45d68,
+		Latencies:   0x2965,
+		LatencyFNV:  0xf8e7ad4b7ecedac9,
 	}
 )

@@ -30,6 +30,14 @@ func (h *Histogram) Add(v float64) {
 // Count returns the number of samples recorded.
 func (h *Histogram) Count() int { return len(h.samples) }
 
+// Merge folds another histogram's samples into h (o is unchanged) —
+// experiments aggregate per-requester latencies into one population.
+func (h *Histogram) Merge(o *Histogram) {
+	h.samples = append(h.samples, o.samples...)
+	h.sum += o.sum
+	h.sorted = false
+}
+
 // Mean returns the arithmetic mean, or 0 with no samples.
 func (h *Histogram) Mean() float64 {
 	if len(h.samples) == 0 {
@@ -229,6 +237,67 @@ func PeakMeanRate(series [][]float64) float64 {
 		}
 	}
 	return peak
+}
+
+// RecoverySummary quantifies throughput degradation and recovery around
+// an injected fault, computed over a windowed delivery-rate series.
+type RecoverySummary struct {
+	// Before is the mean rate of the windows strictly before the fault.
+	Before float64
+	// Floor is the worst (minimum) rate at or after the fault window —
+	// the depth of the degradation dip.
+	Floor float64
+	// After is the mean rate over the final quarter of the series, the
+	// steady state the system settled into.
+	After float64
+	// Ratio is After/Before: 1.0 means full recovery, 0 a dead system.
+	Ratio float64
+}
+
+// Recovery summarises a delivery-rate series around a fault injected at
+// the start of window faultWindow. With no pre-fault windows (or an
+// empty series) the undefined fields stay zero.
+func Recovery(series []float64, faultWindow int) RecoverySummary {
+	var out RecoverySummary
+	if len(series) == 0 {
+		return out
+	}
+	if faultWindow < 0 {
+		faultWindow = 0
+	}
+	if faultWindow > len(series) {
+		faultWindow = len(series)
+	}
+	if faultWindow > 0 {
+		sum := 0.0
+		for _, v := range series[:faultWindow] {
+			sum += v
+		}
+		out.Before = sum / float64(faultWindow)
+	}
+	if faultWindow < len(series) {
+		out.Floor = math.Inf(1)
+		for _, v := range series[faultWindow:] {
+			if v < out.Floor {
+				out.Floor = v
+			}
+		}
+	} else {
+		out.Floor = 0
+	}
+	tail := len(series) / 4
+	if tail < 1 {
+		tail = 1
+	}
+	sum := 0.0
+	for _, v := range series[len(series)-tail:] {
+		sum += v
+	}
+	out.After = sum / float64(tail)
+	if out.Before > 0 {
+		out.Ratio = out.After / out.Before
+	}
+	return out
 }
 
 // Table renders aligned experiment output; every cmd uses it so that

@@ -34,11 +34,24 @@ const (
 	DRMExit
 	// Swap: an ejection handed its freed slot to an inject head.
 	Swap
+	// Fault: an injected failure (bridge kill/repair, station stall,
+	// flit drop/corruption) took effect.
+	Fault
+	// Reroute: routing tables were rebuilt and a live flit's exit point
+	// changed, or a flit was found unroutable.
+	Reroute
+	// Retry: the CHI layer re-issued a timed-out transaction (or aborted
+	// it after exhausting its retry budget).
+	Retry
+	// WatchdogDrop: the per-flit age watchdog removed a livelocked or
+	// stranded flit from the network.
+	WatchdogDrop
 )
 
 // String implements fmt.Stringer.
 func (k Kind) String() string {
-	return [...]string{"inject", "eject", "deliver", "deflect", "bridge", "drm+", "drm-", "swap"}[k]
+	return [...]string{"inject", "eject", "deliver", "deflect", "bridge", "drm+", "drm-", "swap",
+		"fault", "reroute", "retry", "wdog"}[k]
 }
 
 // Event is one traced occurrence.

@@ -7,10 +7,13 @@
 package traffic
 
 import (
+	"fmt"
+
 	"chipletnoc/internal/chi"
 	"chipletnoc/internal/noc"
 	"chipletnoc/internal/sim"
 	"chipletnoc/internal/stats"
+	"chipletnoc/internal/trace"
 )
 
 // AddressStream produces the next line address of a workload.
@@ -118,6 +121,10 @@ type RequesterConfig struct {
 	// capped by Outstanding, writes by WriteOutstanding, and the
 	// transaction table holds both. Zero shares one pool.
 	WriteOutstanding int
+	// Retry arms CHI-level timeout/retry so transactions whose flits a
+	// fault dropped are re-issued instead of wedging the table. The zero
+	// value disables it (healthy runs stay bit-identical).
+	Retry chi.RetryConfig
 }
 
 // Requester is a CHI-level traffic generator attached to the NoC.
@@ -136,6 +143,10 @@ type Requester struct {
 	sendq []*noc.Flit
 	// beatsLeft tracks outstanding read-data beats per transaction.
 	beatsLeft map[uint32]int
+	// retrier is the CHI timeout/retry watcher (nil when disabled);
+	// reqDst remembers each open transaction's server for re-issue.
+	retrier *chi.Retrier
+	reqDst  map[uint32]noc.NodeID
 
 	// Latency collects per-transaction round trips; ReadLatency and
 	// WriteLatency split it by class.
@@ -146,6 +157,7 @@ type Requester struct {
 	Issued, Completed     uint64
 	ReadsDone, WritesDone uint64
 	BytesMoved            uint64 // payload bytes in both directions
+	Aborted               uint64 // transactions abandoned after the retry budget
 }
 
 // NewRequester attaches a generator to a station.
@@ -162,6 +174,10 @@ func NewRequester(net *noc.Network, name string, cfg RequesterConfig, rng *sim.R
 		tracker:   chi.NewTracker(tableSize),
 		issueAt:   make(map[uint32]sim.Cycle),
 		beatsLeft: make(map[uint32]int),
+		retrier:   chi.NewRetrier(cfg.Retry),
+	}
+	if r.retrier.Enabled() {
+		r.reqDst = make(map[uint32]noc.NodeID)
 	}
 	node := net.NewNode(name)
 	r.iface = net.Attach(node, st)
@@ -184,10 +200,21 @@ func (r *Requester) Done() bool {
 	return r.cfg.MaxRequests != 0 && r.Issued >= r.cfg.MaxRequests && r.tracker.Outstanding() == 0
 }
 
+// RetryStats returns the CHI-level retry/abort counters (zero when
+// retry is disabled).
+func (r *Requester) RetryStats() (retried, aborted uint64) {
+	if r.retrier == nil {
+		return 0, 0
+	}
+	return r.retrier.RetriedTxns, r.retrier.AbortedTxns
+}
+
 // complete finishes a transaction and records its statistics.
 func (r *Requester) complete(req *chi.Message, now sim.Cycle) {
 	lat := uint64(now - r.issueAt[req.TxnID])
 	delete(r.issueAt, req.TxnID)
+	r.retrier.Disarm(req.TxnID)
+	delete(r.reqDst, req.TxnID)
 	r.tracker.Complete(req.TxnID)
 	r.Latency.Add(float64(lat))
 	r.Completed++
@@ -200,6 +227,50 @@ func (r *Requester) complete(req *chi.Message, now sim.Cycle) {
 		r.ReadsDone++
 		r.readsInFlight--
 		r.ReadLatency.Add(float64(lat))
+	}
+}
+
+// abort abandons a transaction whose retry budget is exhausted: the
+// table slot is reclaimed so traffic continues (a real system would
+// raise a machine-check here). No latency sample is recorded — the
+// transaction never completed.
+func (r *Requester) abort(req *chi.Message) {
+	delete(r.issueAt, req.TxnID)
+	delete(r.beatsLeft, req.TxnID)
+	delete(r.reqDst, req.TxnID)
+	r.tracker.Complete(req.TxnID)
+	r.Aborted++
+	if req.IsWrite() {
+		r.writesInFlight--
+	} else {
+		r.readsInFlight--
+	}
+}
+
+// runRetries re-issues timed-out transactions and closes the ones whose
+// budget is gone.
+func (r *Requester) runRetries(now sim.Cycle) {
+	retry, abort := r.retrier.Expired(now)
+	for _, id := range retry {
+		req := r.tracker.Lookup(id)
+		if req == nil {
+			continue
+		}
+		if !req.IsWrite() {
+			// The whole data burst will be re-sent; stale beats from the
+			// first attempt just complete the transaction sooner.
+			r.beatsLeft[id] = req.Beats()
+		}
+		r.sendq = append(r.sendq, req.NewFlit(r.net, r.Node(), r.reqDst[id]))
+		r.net.Trace(trace.Retry, 0, r.name, fmt.Sprintf("txn %d re-issued", id))
+	}
+	for _, id := range abort {
+		req := r.tracker.Lookup(id)
+		if req == nil {
+			continue
+		}
+		r.abort(req)
+		r.net.Trace(trace.Retry, 0, r.name, fmt.Sprintf("txn %d aborted", id))
 	}
 }
 
@@ -234,6 +305,10 @@ func (r *Requester) Tick(now sim.Cycle) {
 		case chi.Comp:
 			r.complete(req, now)
 		}
+	}
+	// Timeouts next: re-issues join the send queue ahead of new work.
+	if r.retrier != nil {
+		r.runRetries(now)
 	}
 	// Drain queued beats before starting new transactions.
 	for len(r.sendq) > 0 && r.iface.Send(r.sendq[0]) {
@@ -295,6 +370,10 @@ func (r *Requester) Tick(now sim.Cycle) {
 			r.readsInFlight++
 		}
 		r.issueAt[m.TxnID] = now
+		if r.retrier.Enabled() {
+			r.reqDst[m.TxnID] = dst
+			r.retrier.Arm(m.TxnID, now)
+		}
 		r.Issued++
 		for len(r.sendq) > 0 && r.iface.Send(r.sendq[0]) {
 			r.sendq = r.sendq[1:]
