@@ -1,0 +1,62 @@
+// Command benchreg runs the Quick-scale bench-regression suite and
+// writes a machine-readable report: wall time, allocation volume,
+// simulation cycles/sec and latency percentiles per case. CI archives
+// the report (BENCH_noc.json) per commit so performance regressions
+// surface as diffs.
+//
+//	benchreg -out BENCH_noc.json
+//	benchreg -case ref/       # only the reference simulations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"chipletnoc/internal/experiments"
+)
+
+func main() {
+	out := flag.String("out", "BENCH_noc.json", "report output file (- for stdout)")
+	casePrefix := flag.String("case", "", "run only cases whose name starts with this prefix")
+	parallel := flag.Int("parallel", 0, "worker goroutines for experiment fan-out (0 = all CPUs)")
+	flag.Parse()
+
+	experiments.SetParallelism(*parallel)
+
+	var filter func(string) bool
+	if *casePrefix != "" {
+		filter = func(name string) bool { return strings.HasPrefix(name, *casePrefix) }
+	}
+	report := experiments.RunBenchSuite(filter)
+	if len(report.Cases) == 0 {
+		fmt.Fprintf(os.Stderr, "benchreg: no cases match prefix %q\n", *casePrefix)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := report.WriteJSON(w); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *out != "-" {
+		fmt.Printf("wrote %s (%d cases)\n", *out, len(report.Cases))
+		for _, c := range report.Cases {
+			line := fmt.Sprintf("  %-28s %8.1f ms  %8.2f MB", c.Name, c.WallMS, float64(c.AllocBytes)/1e6)
+			if c.CyclesPerSec > 0 {
+				line += fmt.Sprintf("  %10.0f cyc/s", c.CyclesPerSec)
+			}
+			fmt.Println(line)
+		}
+	}
+}

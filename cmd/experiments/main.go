@@ -7,6 +7,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -pprof serves /debug/pprof (profiles + runtime/trace)
 	"os"
 	"path/filepath"
 	"runtime"
@@ -25,9 +27,23 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(),
 		"worker goroutines for independent sub-simulations; 1 reproduces the sequential run")
 	timing := flag.Bool("timing", false, "print per-job wall-clock detail after each experiment")
+	metricsOn := flag.Bool("metrics", false, "also run the instrumented AI-Processor reference and write its metrics snapshot")
+	metricsOut := flag.String("metrics-out", "metrics.json", "metrics snapshot output file (JSON) when -metrics is set")
+	metricsInterval := flag.Uint64("metrics-interval", 100, "cycles between series samples for the instrumented reference run")
+	traceChrome := flag.String("trace-chrome", "", "write a Chrome trace-event JSON of the instrumented AI-Processor reference run to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof (profiles + runtime/trace) on this address, e.g. localhost:6060")
 	flag.Parse()
 
 	experiments.SetParallelism(*parallel)
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof: serving http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	scale := experiments.Full
 	if *quick {
@@ -134,4 +150,50 @@ func main() {
 		}
 		invoke(*exp, run)
 	}
+
+	// The experiments keep instrumentation off so their numbers stay
+	// bit-identical to the golden runs; observability artifacts come from
+	// a separate fixed-seed instrumented reference run of the AI die.
+	if *metricsOn || *traceChrome != "" {
+		if err := writeObserved(scale, *metricsOn, *metricsOut, *metricsInterval, *traceChrome); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeObserved runs the instrumented AI-Processor reference and writes
+// the requested artifacts.
+func writeObserved(scale experiments.Scale, metricsOn bool, metricsOut string, interval uint64, traceChrome string) error {
+	obs := experiments.RunObservedAI(scale, interval)
+	if metricsOn {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := obs.Snapshot.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("metrics: wrote %s (instrumented AI reference, %d cycles)\n", metricsOut, obs.Cycles)
+	}
+	if traceChrome != "" {
+		f, err := os.Create(traceChrome)
+		if err != nil {
+			return err
+		}
+		if err := obs.Tracer.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace:   wrote %s (%d events retained) — load in https://ui.perfetto.dev\n",
+			traceChrome, obs.Tracer.Len())
+	}
+	return nil
 }

@@ -16,13 +16,17 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
+	_ "net/http/pprof" // -pprof serves /debug/pprof (profiles + runtime/trace)
 	"os"
 	"sort"
 
 	"chipletnoc/internal/baseline"
 	"chipletnoc/internal/config"
 	"chipletnoc/internal/fault"
+	"chipletnoc/internal/metrics"
 	"chipletnoc/internal/stats"
+	"chipletnoc/internal/trace"
 )
 
 func main() {
@@ -33,6 +37,11 @@ func main() {
 	faultsPath := flag.String("faults", "", "JSON fault-schedule file applied to a -config run (see internal/fault)")
 	retryCycles := flag.Int("retry", 0, "arm CHI timeout/retry on every -config requester with this timeout (cycles); 0 disables")
 	retryMax := flag.Int("retries", 3, "retry budget per transaction when -retry is set")
+	metricsOn := flag.Bool("metrics", false, "attach the metrics registry to a -config run")
+	metricsOut := flag.String("metrics-out", "metrics.json", "metrics snapshot output file (JSON) when -metrics is set")
+	metricsInterval := flag.Uint64("metrics-interval", 100, "cycles between series samples when -metrics is set")
+	traceChrome := flag.String("trace-chrome", "", "write a Chrome trace-event (Perfetto-loadable) JSON of a -config run to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof (profiles + runtime/trace) on this address, e.g. localhost:6060")
 	nodes := flag.Int("nodes", 16, "endpoint count")
 	dies := flag.Int("dies", 2, "dies (chiplets/hub fabrics)")
 	rate := flag.Float64("rate", 0.05, "injection probability per node per cycle")
@@ -43,12 +52,32 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	flag.Parse()
 
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof: serving http://%s/debug/pprof/\n", *pprofAddr)
+	}
+
 	if *configPath != "" {
-		if err := runConfig(*configPath, *faultsPath, *cycles, *describe, *retryCycles, *retryMax); err != nil {
+		obs := observeOpts{
+			metricsOut:  *metricsOut,
+			interval:    *metricsInterval,
+			traceChrome: *traceChrome,
+		}
+		if !*metricsOn {
+			obs.metricsOut = ""
+		}
+		if err := runConfig(*configPath, *faultsPath, *cycles, *describe, *retryCycles, *retryMax, obs); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *metricsOn || *traceChrome != "" {
+		fmt.Fprintln(os.Stderr, "nocsim: -metrics and -trace-chrome only apply to -config runs")
 	}
 
 	factory, err := fabricFactory(*fabricName, *nodes, *dies)
@@ -83,9 +112,22 @@ func main() {
 	fmt.Printf("knee (2x zero-load latency): rate %.2f\n", baseline.Knee(points, 2))
 }
 
+// observeOpts carries the observability flags into a -config run. An
+// empty metricsOut disables the registry; an empty traceChrome disables
+// the structured tracer.
+type observeOpts struct {
+	metricsOut  string
+	interval    uint64
+	traceChrome string
+}
+
+// traceCap bounds the tracer ring buffer for -trace-chrome runs: long
+// runs retain their tail (the steady state), short runs fit entirely.
+const traceCap = 1 << 17
+
 // runConfig builds and runs a JSON-defined system, reporting per-device
 // statistics.
-func runConfig(path, faultsPath string, cycles int, describe bool, retryCycles, retryMax int) error {
+func runConfig(path, faultsPath string, cycles int, describe bool, retryCycles, retryMax int, obs observeOpts) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -118,10 +160,53 @@ func runConfig(path, faultsPath string, cycles int, describe bool, retryCycles, 
 	if err != nil {
 		return err
 	}
+	var reg *metrics.Registry
+	if obs.metricsOut != "" {
+		interval := obs.interval
+		if interval == 0 {
+			interval = 100
+		}
+		reg = metrics.New(interval)
+		sys.EnableMetrics(reg)
+	}
+	if obs.traceChrome != "" {
+		sys.Net.Tracer = trace.New(traceCap)
+	}
 	if describe {
 		fmt.Print(sys.Net.Describe())
 	}
 	sys.Run(cycles)
+	if reg != nil {
+		snap := reg.Snapshot(spec.Name, uint64(cycles))
+		f, err := os.Create(obs.metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := snap.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("metrics: wrote %s (%d counters, %d gauges, %d series)\n",
+			obs.metricsOut, len(snap.Counters), len(snap.Gauges), len(snap.Series))
+	}
+	if obs.traceChrome != "" {
+		f, err := os.Create(obs.traceChrome)
+		if err != nil {
+			return err
+		}
+		if err := sys.Net.Tracer.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace:   wrote %s (%d events retained of %d recorded) — load in https://ui.perfetto.dev\n",
+			obs.traceChrome, sys.Net.Tracer.Len(), sys.Net.Tracer.Total)
+	}
 
 	fmt.Printf("system %s after %d cycles:\n", spec.Name, cycles)
 	t := stats.NewTable("requester", "completed", "mean lat", "p99 lat", "bytes")

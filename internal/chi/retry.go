@@ -1,6 +1,9 @@
 package chi
 
-import "chipletnoc/internal/sim"
+import (
+	"chipletnoc/internal/metrics"
+	"chipletnoc/internal/sim"
+)
 
 // RetryConfig enables CHI-level transaction timeout and retry: when a
 // fault drops a request or response flit, the requester re-issues the
@@ -84,6 +87,29 @@ func (r *Retrier) Disarm(id uint32) {
 		t.dead = true
 		delete(r.byID, id)
 	}
+}
+
+// RegisterMetrics exposes the retrier's timeout/retry counters on a
+// metrics registry under "chi.<name>.*". It is nil-receiver safe: a
+// requester with retry disabled registers constant zeros, so dashboards
+// keep a uniform schema whether or not the mechanism is armed.
+func (r *Retrier) RegisterMetrics(reg *metrics.Registry, name string) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("chi."+name+".retried", func() uint64 {
+		if r == nil {
+			return 0
+		}
+		return r.RetriedTxns
+	})
+	reg.Counter("chi."+name+".aborted", func() uint64 {
+		if r == nil {
+			return 0
+		}
+		return r.AbortedTxns
+	})
+	reg.Gauge("chi."+name+".armed", func() float64 { return float64(r.Armed()) })
 }
 
 // backoffShift caps the exponential backoff exponent so deadlines never

@@ -27,10 +27,12 @@ package config
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"chipletnoc/internal/chi"
 	"chipletnoc/internal/fault"
 	"chipletnoc/internal/mem"
+	"chipletnoc/internal/metrics"
 	"chipletnoc/internal/noc"
 	"chipletnoc/internal/sim"
 	"chipletnoc/internal/traffic"
@@ -116,6 +118,33 @@ type System struct {
 func (s *System) Run(n int) {
 	for i := 0; i < n; i++ {
 		s.Net.Tick(sim.Cycle(s.Net.Ticks()))
+	}
+}
+
+// EnableMetrics attaches a metrics registry to the whole system: the
+// network's standard probes plus every requester and memory controller,
+// registered in sorted name order so series ordering is deterministic.
+// A nil registry is a no-op; metrics never perturb the simulation.
+func (s *System) EnableMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	s.Net.EnableMetrics(reg)
+	names := make([]string, 0, len(s.Requesters))
+	for n := range s.Requesters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s.Requesters[n].RegisterMetrics(reg)
+	}
+	names = names[:0]
+	for n := range s.Memories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s.Memories[n].RegisterMetrics(reg)
 	}
 }
 

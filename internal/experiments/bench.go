@@ -1,0 +1,152 @@
+// Bench regression runner: one process that executes the Quick-scale
+// benchmark suite (the same artifacts bench_test.go exercises, plus two
+// instrumentable reference runs) and emits a machine-readable report —
+// simulation throughput in cycles per second, allocation volume, and the
+// key latency percentiles. CI archives the report (BENCH_noc.json) per
+// commit so performance regressions show up as a diff, not a vibe.
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"chipletnoc/internal/baseline"
+	"chipletnoc/internal/soc"
+	"chipletnoc/internal/stats"
+)
+
+// BenchCase is one timed entry of the report.
+type BenchCase struct {
+	Name string `json:"name"`
+	// WallMS is the case's wall-clock time in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// AllocBytes / AllocObjects are the heap allocation deltas over the
+	// case (runtime.ReadMemStats TotalAlloc / Mallocs).
+	AllocBytes   uint64 `json:"alloc_bytes"`
+	AllocObjects uint64 `json:"alloc_objects"`
+	// SimCycles and CyclesPerSec report simulation throughput for the
+	// reference cases that run one network for a known cycle count;
+	// zero for experiment wrappers that run many internal simulations.
+	SimCycles    uint64  `json:"sim_cycles,omitempty"`
+	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
+	// Latency percentiles (NoC cycles) for the reference cases.
+	LatencyP50 float64 `json:"latency_p50,omitempty"`
+	LatencyP90 float64 `json:"latency_p90,omitempty"`
+	LatencyP99 float64 `json:"latency_p99,omitempty"`
+	LatencyMax float64 `json:"latency_max,omitempty"`
+}
+
+// BenchReport is the whole suite's result.
+type BenchReport struct {
+	Suite     string      `json:"suite"`
+	Scale     string      `json:"scale"`
+	GoVersion string      `json:"go_version"`
+	NumCPU    int         `json:"num_cpu"`
+	Cases     []BenchCase `json:"cases"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// benchAICycles is the reference AI-die run length (Quick golden length).
+const benchAICycles = 3000
+
+// measureCase times fn with allocation accounting. A GC before each case
+// keeps one case's garbage from billing the next.
+func measureCase(name string, fn func(c *BenchCase)) BenchCase {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	c := BenchCase{Name: name}
+	fn(&c)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	c.WallMS = float64(wall) / float64(time.Millisecond)
+	c.AllocBytes = after.TotalAlloc - before.TotalAlloc
+	c.AllocObjects = after.Mallocs - before.Mallocs
+	if c.SimCycles > 0 && wall > 0 {
+		c.CyclesPerSec = float64(c.SimCycles) / wall.Seconds()
+	}
+	return c
+}
+
+// benchSuite lists every case. The ref/* entries run a single known-size
+// simulation so cycles/sec and latency percentiles are meaningful; the
+// exp/* entries wrap the Quick-scale paper artifacts (what bench_test.go
+// benchmarks) so their wall and allocation costs are tracked too.
+func benchSuite() []struct {
+	name string
+	run  func(c *BenchCase)
+} {
+	return []struct {
+		name string
+		run  func(c *BenchCase)
+	}{
+		{"ref/ai-processor", func(c *BenchCase) {
+			cfg := soc.DefaultAIConfig()
+			cfg.VRings, cfg.HRings = 4, 2
+			cfg.CoresPerVRing, cfg.L2PerHRing = 2, 4
+			cfg.HBMStacks, cfg.DMAEngines = 2, 2
+			a := soc.BuildAIProcessor(cfg)
+			a.Run(benchAICycles)
+			c.SimCycles = benchAICycles
+			var lat stats.Histogram
+			for _, core := range a.Cores {
+				lat.Merge(&core.Latency)
+			}
+			c.LatencyP50 = lat.Percentile(50)
+			c.LatencyP90 = lat.Percentile(90)
+			c.LatencyP99 = lat.Percentile(99)
+			c.LatencyMax = lat.Max()
+		}},
+		{"ref/multiring-uniform", func(c *BenchCase) {
+			const warmup, window = 2000, 10000
+			p := baseline.MeasureUniform(baseline.NewMultiRing(32, true), 0.1, 64, warmup, window, 1)
+			c.SimCycles = warmup + window
+			c.LatencyP50 = p.MeanLatency // LoadPoint keeps mean + p99 only
+			c.LatencyP99 = p.P99
+		}},
+		{"exp/table5", func(*BenchCase) { RunTable5(Quick) }},
+		{"exp/fig10", func(*BenchCase) { RunFig10(Quick) }},
+		{"exp/fig11", func(*BenchCase) { RunFig11(Quick) }},
+		{"exp/specint2017", func(*BenchCase) { RunSpecInt(Quick, true) }},
+		{"exp/table6", func(*BenchCase) { RunTable6(Quick) }},
+		{"exp/table7", func(*BenchCase) { RunTable7(Quick) }},
+		{"exp/scaleup", func(*BenchCase) { RunScaleUp(Quick) }},
+		{"exp/fabrics", func(*BenchCase) { RunFabricComparison(Quick) }},
+		{"exp/replay", func(*BenchCase) { RunLayerReplay(Quick) }},
+		{"exp/resilience", func(*BenchCase) { RunResilience(Quick) }},
+		{"exp/ablation-bufferless", func(*BenchCase) { RunAblationBufferless(Quick) }},
+		{"exp/ablation-tags", func(*BenchCase) { RunAblationTags(Quick) }},
+	}
+}
+
+// RunBenchSuite executes the Quick-scale regression suite. A non-nil
+// filter restricts the run to cases it accepts (used by tests and by
+// cmd/benchreg -case).
+func RunBenchSuite(filter func(name string) bool) BenchReport {
+	report := BenchReport{
+		Suite:     "noc-quick",
+		Scale:     "quick",
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, entry := range benchSuite() {
+		if filter != nil && !filter(entry.name) {
+			continue
+		}
+		report.Cases = append(report.Cases, measureCase(entry.name, entry.run))
+	}
+	return report
+}

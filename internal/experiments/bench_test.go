@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestBenchSuiteReferenceCases runs only the two reference simulations
+// (the exp/* wrappers are covered by the experiment tests) and checks
+// the report carries the fields CI diffs against.
+func TestBenchSuiteReferenceCases(t *testing.T) {
+	report := RunBenchSuite(func(name string) bool { return strings.HasPrefix(name, "ref/") })
+	if len(report.Cases) != 2 {
+		t.Fatalf("got %d ref cases, want 2", len(report.Cases))
+	}
+	for _, c := range report.Cases {
+		if c.SimCycles == 0 || c.CyclesPerSec <= 0 {
+			t.Errorf("%s: cycles/sec not measured: %+v", c.Name, c)
+		}
+		if c.WallMS <= 0 || c.AllocBytes == 0 {
+			t.Errorf("%s: wall/alloc not measured: %+v", c.Name, c)
+		}
+		if c.LatencyP50 <= 0 || c.LatencyP99 < c.LatencyP50 {
+			t.Errorf("%s: implausible latency percentiles: %+v", c.Name, c)
+		}
+	}
+	if report.GoVersion == "" || report.NumCPU <= 0 {
+		t.Errorf("report metadata incomplete: %+v", report)
+	}
+
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if len(back.Cases) != len(report.Cases) {
+		t.Errorf("round-trip lost cases: %d != %d", len(back.Cases), len(report.Cases))
+	}
+}
+
+// TestBenchSuiteFilter checks the filter is honoured and unknown
+// prefixes produce an empty (not panicking) report.
+func TestBenchSuiteFilter(t *testing.T) {
+	report := RunBenchSuite(func(name string) bool { return false })
+	if len(report.Cases) != 0 {
+		t.Errorf("filter rejected everything but got %d cases", len(report.Cases))
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"chipletnoc/internal/chi"
+	"chipletnoc/internal/metrics"
 	"chipletnoc/internal/noc"
 	"chipletnoc/internal/sim"
 )
@@ -188,6 +189,23 @@ func (c *Controller) Tick(now sim.Cycle) {
 	for len(c.replies) > 0 && c.iface.Send(c.replies[0]) {
 		c.replies = c.replies[1:]
 	}
+}
+
+// RegisterMetrics exposes the controller's counters and queue depths on
+// a metrics registry under "mem.<name>.*". Everything registered only
+// reads controller state, so instrumentation never changes behaviour.
+func (c *Controller) RegisterMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	p := "mem." + c.name
+	reg.Counter(p+".reads", func() uint64 { return c.Reads })
+	reg.Counter(p+".writes", func() uint64 { return c.Writes })
+	reg.Counter(p+".bytes_served", func() uint64 { return c.BytesServed })
+	reg.Counter(p+".queue_full_cycles", func() uint64 { return c.QueueFullDrops })
+	reg.Counter(p+".stray_write_beats", func() uint64 { return c.StrayWrData })
+	reg.Series(p+".queue", func() float64 { return float64(len(c.queue) + len(c.inSvc)) })
+	reg.Series(p+".reply_backlog", func() float64 { return float64(len(c.replies)) })
 }
 
 // Pending returns requests inside the controller (queued or in service).

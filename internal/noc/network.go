@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"chipletnoc/internal/metrics"
 	"chipletnoc/internal/sim"
 	"chipletnoc/internal/trace"
 )
@@ -52,6 +53,10 @@ type Network struct {
 	// Tracer, when set, records structured NoC events (injections,
 	// deflections, bridge hops, DRM transitions). Nil costs nothing.
 	Tracer *trace.Tracer
+
+	// metrics is the observability registry attached by EnableMetrics;
+	// nil (the default) costs one pointer test per Tick and nothing else.
+	metrics *metrics.Registry
 
 	// throttle is the optional congestion controller (SetThrottle).
 	throttle *throttleState
@@ -438,5 +443,8 @@ func (n *Network) Tick(now sim.Cycle) {
 	}
 	if n.watchdogBudget > 0 && n.ticks%n.watchdogPeriod == 0 {
 		n.watchdogSweep(now)
+	}
+	if n.metrics != nil {
+		n.metrics.TickSample(n.ticks)
 	}
 }

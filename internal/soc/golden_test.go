@@ -65,14 +65,14 @@ func checkDigest(t *testing.T, got, want flitDigest) {
 	}
 }
 
-// TestGoldenServerCPUDigest runs a fixed coherent-read scenario on the
-// Server-CPU: cores on both compute dies read M/E/S lines primed in the
-// die-0 directories, for a fixed cycle budget.
-func TestGoldenServerCPUDigest(t *testing.T) {
+// goldenServerBuild constructs the fixed Server-CPU scenario shared by
+// the golden digest test and the instrumentation differential test:
+// cores on both compute dies read M/E/S lines primed in the die-0
+// directories. Run(4000) after this reproduces goldenServerDigest.
+func goldenServerBuild() *ServerCPU {
 	cfg := DefaultServerConfig()
 	cfg.ClustersPerDie = 3
 	s := BuildServerCPU(cfg, CoherentCores, nil)
-	latencies, latencyFNV := hashLatencies(s.Net)
 
 	perDie := cfg.ClustersPerDie * cfg.CoresPerCluster
 	owner := s.Cores[0]
@@ -95,6 +95,14 @@ func TestGoldenServerCPUDigest(t *testing.T) {
 		}
 		reader.Read(a)
 	}
+	return s
+}
+
+// TestGoldenServerCPUDigest runs the fixed coherent-read scenario for a
+// fixed cycle budget.
+func TestGoldenServerCPUDigest(t *testing.T) {
+	s := goldenServerBuild()
+	latencies, latencyFNV := hashLatencies(s.Net)
 	s.Run(4000)
 
 	checkDigest(t, digestNet(s.Net, latencies, latencyFNV), goldenServerDigest)

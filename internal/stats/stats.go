@@ -32,6 +32,8 @@ func (h *Histogram) Count() int { return len(h.samples) }
 
 // Merge folds another histogram's samples into h (o is unchanged) —
 // experiments aggregate per-requester latencies into one population.
+// Sort state is discarded, so merging sorted or unsorted operands in any
+// order yields the same population and identical percentile answers.
 func (h *Histogram) Merge(o *Histogram) {
 	h.samples = append(h.samples, o.samples...)
 	h.sum += o.sum
@@ -54,7 +56,11 @@ func (h *Histogram) sort() {
 }
 
 // Percentile returns the p-th percentile (p in [0,100]) using
-// nearest-rank, or 0 with no samples.
+// nearest-rank over the sorted samples: the value at index
+// ceil(p/100*n)-1, never an interpolation — every answer is an observed
+// sample. p <= 0 returns the minimum, p >= 100 the maximum, and an empty
+// histogram returns 0 for every p. With an even count this means p=50
+// picks the lower of the two middle samples (rank n/2, not their mean).
 func (h *Histogram) Percentile(p float64) float64 {
 	if len(h.samples) == 0 {
 		return 0
@@ -158,6 +164,12 @@ func (p *BandwidthProbe) MeanRate(elapsedCycles uint64) float64 {
 // (probe, window) points at or above the threshold. The paper's claim is
 // "for most of the time, all probes get more than 80% of the maximum
 // bandwidth" — i.e. Equilibrium(probes, 0.8) ≈ 1.
+//
+// Edge semantics: series of unequal length are truncated to the shortest
+// one; an empty input, a zero-length shortest series, or series that are
+// all-zero in every window (no max to compare against) all return 0.
+// All-zero windows are skipped entirely — they contribute no points to
+// either side of the ratio.
 func Equilibrium(series [][]float64, threshold float64) float64 {
 	if len(series) == 0 {
 		return 0

@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export: renders a Tracer's retained events in the
+// Trace Event Format that chrome://tracing and Perfetto
+// (https://ui.perfetto.dev) load directly, so any fixed-seed run can be
+// replayed visually. One simulated cycle maps to one microsecond of
+// trace time (the format's native unit); each distinct Where (station,
+// bridge, interface) becomes one named track, assigned in first-
+// appearance order so output is deterministic.
+//
+// Most events render as thread-scoped instants. DRM transitions are the
+// exception: DRMEnter/DRMExit become duration begin/end pairs, so
+// deadlock-resolution residency shows up as spans on the bridge's track
+// — the cross-ring deadlock debugging view of Section 4.4. Unbalanced
+// transitions (an exit whose enter was overwritten in the ring buffer,
+// or an enter still open at the end of the trace) are repaired so the
+// JSON always contains balanced pairs.
+
+// chromeEvent is one Trace Event Format record.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeProcessName labels the single process every track lives in.
+const chromeProcessName = "chipletnoc"
+
+// WriteChrome renders events (oldest first, as Tracer.Events returns
+// them) as a Chrome trace-event JSON document. Events must be in
+// non-decreasing cycle order — true for any Tracer dump — so every
+// track's timestamps are monotonic.
+func WriteChrome(w io.Writer, events []Event) error {
+	// Pass 1: assign one track per Where, in first-appearance order.
+	tids := make(map[string]int)
+	var tracks []string
+	for _, e := range events {
+		if _, ok := tids[e.Where]; !ok {
+			tids[e.Where] = len(tracks)
+			tracks = append(tracks, e.Where)
+		}
+	}
+
+	out := make([]chromeEvent, 0, len(events)+len(tracks)+1)
+	out = append(out, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]any{"name": chromeProcessName},
+	})
+	for tid, name := range tracks {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	// Pass 2: the events themselves. openDRM counts unclosed DRM begin
+	// events per track so exits without a begin (lost to the ring
+	// buffer) degrade to instants instead of corrupting span nesting.
+	openDRM := make(map[int]int)
+	var maxTs uint64
+	for _, e := range events {
+		tid := tids[e.Where]
+		ts := uint64(e.Cycle)
+		if ts > maxTs {
+			maxTs = ts
+		}
+		switch e.Kind {
+		case DRMEnter:
+			out = append(out, chromeEvent{
+				Name: "DRM", Ph: "B", Ts: ts, Pid: 0, Tid: tid,
+				Cat: "drm", Args: drmArgs(e),
+			})
+			openDRM[tid]++
+		case DRMExit:
+			if openDRM[tid] > 0 {
+				openDRM[tid]--
+				out = append(out, chromeEvent{Name: "DRM", Ph: "E", Ts: ts, Pid: 0, Tid: tid, Cat: "drm"})
+			} else {
+				out = append(out, chromeEvent{
+					Name: e.Kind.String(), Ph: "i", Ts: ts, Pid: 0, Tid: tid,
+					S: "t", Cat: "drm", Args: drmArgs(e),
+				})
+			}
+		default:
+			out = append(out, chromeEvent{
+				Name: e.Kind.String(), Ph: "i", Ts: ts, Pid: 0, Tid: tid,
+				S: "t", Cat: e.Kind.String(), Args: eventArgs(e),
+			})
+		}
+	}
+	// Close any DRM span still open so the document is balanced. Track
+	// order is ascending tid — deterministic.
+	for tid := 0; tid < len(tracks); tid++ {
+		for i := 0; i < openDRM[tid]; i++ {
+			out = append(out, chromeEvent{Name: "DRM", Ph: "E", Ts: maxTs, Pid: 0, Tid: tid, Cat: "drm"})
+		}
+	}
+
+	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, ce := range out {
+		data, err := json.Marshal(ce)
+		if err != nil {
+			return fmt.Errorf("trace: chrome export: %w", err)
+		}
+		if i > 0 {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := w.Write(data); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n],\"displayTimeUnit\":\"ms\"}\n")
+	return err
+}
+
+// eventArgs builds the args payload for a generic event; empty fields
+// are omitted so the export stays compact.
+func eventArgs(e Event) map[string]any {
+	var args map[string]any
+	if e.FlitID != 0 {
+		args = map[string]any{"flit": e.FlitID}
+	}
+	if e.Detail != "" {
+		if args == nil {
+			args = map[string]any{}
+		}
+		args["detail"] = e.Detail
+	}
+	return args
+}
+
+// drmArgs carries the DRM level (l1/l2) recorded in the event detail.
+func drmArgs(e Event) map[string]any {
+	if e.Detail == "" {
+		return nil
+	}
+	return map[string]any{"level": e.Detail}
+}
+
+// WriteChrome renders the tracer's retained events as a Chrome
+// trace-event JSON document (see the package-level WriteChrome).
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	return WriteChrome(w, t.Events())
+}

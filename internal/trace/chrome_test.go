@@ -1,0 +1,274 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"hash/fnv"
+	"testing"
+
+	"chipletnoc/internal/config"
+	"chipletnoc/internal/trace"
+)
+
+// chromeDoc mirrors the exported document shape for assertions.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   uint64         `json:"ts"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// chromeTopology is a fixed-seed two-ring system small enough that its
+// whole trace fits the tracer's ring buffer. Any change to the exporter
+// or to cycle behaviour shifts the golden digest below.
+const chromeTopology = `{
+  "name": "chrome-mini",
+  "seed": 7,
+  "rings": [
+    {"name": "v0", "positions": 6, "full": true},
+    {"name": "h0", "positions": 6, "full": true}
+  ],
+  "devices": [
+    {"name": "core0", "type": "requester", "ring": "v0", "position": 0,
+     "outstanding": 4, "rate": 0.5, "readFraction": 0.5, "lineBytes": 256,
+     "targets": ["l2"]},
+    {"name": "l2", "type": "memory", "ring": "h0", "position": 0,
+     "accessCycles": 6, "bytesPerCycle": 256, "queueDepth": 32}
+  ],
+  "bridges": [
+    {"name": "x0", "type": "rbrg-l1",
+     "stations": [{"ring": "v0", "position": 3}, {"ring": "h0", "position": 3}]}
+  ]
+}`
+
+// goldenChromeDigest pins the byte-exact Chrome export of the fixed-seed
+// run above (FNV-1a over the document). If an intentional exporter or
+// simulator change moves it, re-run with -run TestChromeExportGolden -v
+// and update.
+const goldenChromeDigest uint64 = 0xa7c7d35777da9266
+
+func buildChromeTrace(t *testing.T) []byte {
+	t.Helper()
+	spec, err := config.Parse([]byte(chromeTopology))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sys, err := spec.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	sys.Net.Tracer = trace.New(16384)
+	sys.Run(400)
+	var buf bytes.Buffer
+	if err := sys.Net.Tracer.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestChromeExportGolden(t *testing.T) {
+	out := buildChromeTrace(t)
+	if !json.Valid(out) {
+		t.Fatalf("export is not valid JSON:\n%s", out)
+	}
+	h := fnv.New64a()
+	h.Write(out)
+	if got := h.Sum64(); got != goldenChromeDigest {
+		t.Errorf("chrome export digest = %#x, want %#x (cycle behaviour or exporter changed)", got, goldenChromeDigest)
+	}
+
+	var doc chromeDoc
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+
+	// Metadata first: one process_name, then one thread_name per track,
+	// tids dense from zero.
+	if doc.TraceEvents[0].Name != "process_name" || doc.TraceEvents[0].Ph != "M" {
+		t.Errorf("first event = %+v, want process_name metadata", doc.TraceEvents[0])
+	}
+	tracks := make(map[int]string)
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" && e.Name == "thread_name" {
+			name, _ := e.Args["name"].(string)
+			if name == "" {
+				t.Errorf("thread_name metadata for tid %d has no name", e.Tid)
+			}
+			if _, dup := tracks[e.Tid]; dup {
+				t.Errorf("duplicate thread_name metadata for tid %d", e.Tid)
+			}
+			tracks[e.Tid] = name
+		}
+	}
+	if len(tracks) == 0 {
+		t.Fatal("no thread_name metadata events")
+	}
+	for tid := 0; tid < len(tracks); tid++ {
+		if _, ok := tracks[tid]; !ok {
+			t.Errorf("tids are not dense: missing %d of %d", tid, len(tracks))
+		}
+	}
+
+	// Timestamps must be monotonic (non-decreasing) per track, and every
+	// real event must land on a named track.
+	lastTs := make(map[int]uint64)
+	for i, e := range doc.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		if _, ok := tracks[e.Tid]; !ok {
+			t.Errorf("event %d (%s) on unnamed tid %d", i, e.Name, e.Tid)
+		}
+		if prev, seen := lastTs[e.Tid]; seen && e.Ts < prev {
+			t.Errorf("event %d (%s) ts %d < previous %d on tid %d", i, e.Name, e.Ts, prev, e.Tid)
+		}
+		lastTs[e.Tid] = e.Ts
+	}
+
+	// DRM spans must be balanced per track.
+	open := make(map[int]int)
+	for i, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "B":
+			open[e.Tid]++
+		case "E":
+			open[e.Tid]--
+			if open[e.Tid] < 0 {
+				t.Errorf("event %d: E without matching B on tid %d", i, e.Tid)
+			}
+		}
+	}
+	for tid, n := range open {
+		if n != 0 {
+			t.Errorf("tid %d ends with %d unclosed B events", tid, n)
+		}
+	}
+}
+
+func TestChromeExportDeterministic(t *testing.T) {
+	a := buildChromeTrace(t)
+	b := buildChromeTrace(t)
+	if !bytes.Equal(a, b) {
+		t.Error("two identical fixed-seed runs exported different Chrome traces")
+	}
+}
+
+// collect unmarshals an export built from synthetic events.
+func exportEvents(t *testing.T, events []trace.Event) chromeDoc {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, events); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("export is not valid JSON:\n%s", buf.String())
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	return doc
+}
+
+func TestChromeDRMSpans(t *testing.T) {
+	doc := exportEvents(t, []trace.Event{
+		{Cycle: 10, Kind: trace.DRMEnter, Where: "x0/a", Detail: "l1"},
+		{Cycle: 25, Kind: trace.DRMExit, Where: "x0/a"},
+	})
+	var b, e int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "B":
+			b++
+			if ev.Ts != 10 || ev.Name != "DRM" {
+				t.Errorf("B event = %+v, want DRM at ts 10", ev)
+			}
+			if lvl, _ := ev.Args["level"].(string); lvl != "l1" {
+				t.Errorf("B event level = %v, want l1", ev.Args["level"])
+			}
+		case "E":
+			e++
+			if ev.Ts != 25 {
+				t.Errorf("E event ts = %d, want 25", ev.Ts)
+			}
+		}
+	}
+	if b != 1 || e != 1 {
+		t.Errorf("got %d B / %d E events, want 1 / 1", b, e)
+	}
+}
+
+func TestChromeDRMExitWithoutEnter(t *testing.T) {
+	// The enter was overwritten in the ring buffer: the orphan exit must
+	// degrade to an instant, never emit an unmatched E.
+	doc := exportEvents(t, []trace.Event{
+		{Cycle: 5, Kind: trace.Eject, FlitID: 1, Where: "v0/0"},
+		{Cycle: 9, Kind: trace.DRMExit, Where: "x0/a", Detail: "l1"},
+	})
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "E" || ev.Ph == "B" {
+			t.Errorf("orphan DRM exit produced a span event: %+v", ev)
+		}
+		if ev.Ph == "i" && ev.Name == "drm-" && ev.Ts != 9 {
+			t.Errorf("orphan exit instant ts = %d, want 9", ev.Ts)
+		}
+	}
+}
+
+func TestChromeDRMAutoClose(t *testing.T) {
+	// An enter still open at the end of the trace is closed at the final
+	// timestamp so the document stays balanced.
+	doc := exportEvents(t, []trace.Event{
+		{Cycle: 3, Kind: trace.DRMEnter, Where: "x0/a", Detail: "l2"},
+		{Cycle: 40, Kind: trace.Deliver, FlitID: 2, Where: "h0/1"},
+	})
+	var closes []uint64
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "E" {
+			closes = append(closes, ev.Ts)
+		}
+	}
+	if len(closes) != 1 || closes[0] != 40 {
+		t.Errorf("auto-close E events at %v, want exactly one at ts 40", closes)
+	}
+}
+
+func TestChromeEmptyTrace(t *testing.T) {
+	doc := exportEvents(t, nil)
+	if len(doc.TraceEvents) != 1 || doc.TraceEvents[0].Name != "process_name" {
+		t.Errorf("empty trace exported %+v, want just process_name metadata", doc.TraceEvents)
+	}
+}
+
+func TestChromeInstantEventArgs(t *testing.T) {
+	doc := exportEvents(t, []trace.Event{
+		{Cycle: 1, Kind: trace.Inject, FlitID: 42, Where: "v0/0", Detail: "to h0/1"},
+	})
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "i" {
+			continue
+		}
+		found = true
+		if ev.Name != "inject" {
+			t.Errorf("instant name = %q, want inject", ev.Name)
+		}
+		if flit, _ := ev.Args["flit"].(float64); flit != 42 {
+			t.Errorf("instant flit arg = %v, want 42", ev.Args["flit"])
+		}
+		if det, _ := ev.Args["detail"].(string); det != "to h0/1" {
+			t.Errorf("instant detail arg = %v, want %q", ev.Args["detail"], "to h0/1")
+		}
+	}
+	if !found {
+		t.Error("no instant event exported")
+	}
+}

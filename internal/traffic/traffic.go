@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"chipletnoc/internal/chi"
+	"chipletnoc/internal/metrics"
 	"chipletnoc/internal/noc"
 	"chipletnoc/internal/sim"
 	"chipletnoc/internal/stats"
@@ -198,6 +199,28 @@ func (r *Requester) Interface() *noc.NodeInterface { return r.iface }
 // Done reports whether a bounded generator has finished all its work.
 func (r *Requester) Done() bool {
 	return r.cfg.MaxRequests != 0 && r.Issued >= r.cfg.MaxRequests && r.tracker.Outstanding() == 0
+}
+
+// RegisterMetrics exposes the requester's issue/completion counters,
+// latency summaries, transaction-table occupancy and CHI retry counters
+// on a metrics registry under "traffic.<name>.*" and "chi.<name>.*".
+// Latency gauges are read only at snapshot time (sorting the histogram
+// there does not touch simulated state), so instrumentation never
+// changes behaviour.
+func (r *Requester) RegisterMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	p := "traffic." + r.name
+	reg.Counter(p+".issued", func() uint64 { return r.Issued })
+	reg.Counter(p+".completed", func() uint64 { return r.Completed })
+	reg.Counter(p+".bytes_moved", func() uint64 { return r.BytesMoved })
+	reg.Counter(p+".aborted", func() uint64 { return r.Aborted })
+	reg.Gauge(p+".latency_mean", func() float64 { return r.Latency.Mean() })
+	reg.Gauge(p+".latency_p50", func() float64 { return r.Latency.Percentile(50) })
+	reg.Gauge(p+".latency_p99", func() float64 { return r.Latency.Percentile(99) })
+	reg.Series(p+".outstanding", func() float64 { return float64(r.tracker.Outstanding()) })
+	r.retrier.RegisterMetrics(reg, r.name)
 }
 
 // RetryStats returns the CHI-level retry/abort counters (zero when
