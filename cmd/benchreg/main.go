@@ -6,6 +6,8 @@
 //
 //	benchreg -out BENCH_noc.json
 //	benchreg -case ref/       # only the reference simulations
+//	benchreg -compare old.json new.json   # diff two reports; exit 1 on
+//	                                      # >15% wall-time regression
 package main
 
 import (
@@ -21,7 +23,32 @@ func main() {
 	out := flag.String("out", "BENCH_noc.json", "report output file (- for stdout)")
 	casePrefix := flag.String("case", "", "run only cases whose name starts with this prefix")
 	parallel := flag.Int("parallel", 0, "worker goroutines for experiment fan-out (0 = all CPUs)")
+	compare := flag.Bool("compare", false, "compare two report files (old new) instead of running the suite")
+	tolerance := flag.Float64("tolerance", 15, "with -compare, wall-time growth percent that counts as a regression")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchreg: -compare needs exactly two report files: old.json new.json")
+			os.Exit(2)
+		}
+		oldRep, err := experiments.LoadBenchReport(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchreg:", err)
+			os.Exit(2)
+		}
+		newRep, err := experiments.LoadBenchReport(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchreg:", err)
+			os.Exit(2)
+		}
+		cmp := experiments.CompareReports(oldRep, newRep, *tolerance)
+		cmp.Format(os.Stdout)
+		if cmp.HasRegressions() {
+			os.Exit(1)
+		}
+		return
+	}
 
 	experiments.SetParallelism(*parallel)
 

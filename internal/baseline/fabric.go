@@ -58,3 +58,27 @@ func (d *deliveryStats) deliver(p *packet, now uint64) {
 		p.done(now - p.injected)
 	}
 }
+
+// packetPool recycles packets within one fabric. Recycling is LIFO and
+// single-threaded (each fabric instance belongs to one experiment
+// goroutine), so allocation order — and therefore behaviour — is
+// deterministic. Callers release a packet exactly once, after its
+// delivery callback has run and no queue references it.
+type packetPool struct {
+	free []*packet
+}
+
+func (pp *packetPool) get() *packet {
+	if n := len(pp.free); n > 0 {
+		p := pp.free[n-1]
+		pp.free[n-1] = nil
+		pp.free = pp.free[:n-1]
+		return p
+	}
+	return &packet{}
+}
+
+func (pp *packetPool) put(p *packet) {
+	p.done = nil
+	pp.free = append(pp.free, p)
+}

@@ -1,6 +1,10 @@
 package baseline
 
-import "fmt"
+import (
+	"fmt"
+
+	"chipletnoc/internal/sim"
+)
 
 // HubConfig sizes the switched-hub chiplet fabric.
 type HubConfig struct {
@@ -39,6 +43,7 @@ type SwitchedHub struct {
 	// local carries intra-die packets as (readyAt, packet) pairs.
 	local []*packet
 	stats deliveryStats
+	pool  packetPool
 
 	// HubTraversals counts switch passages (energy/contention metric).
 	HubTraversals uint64
@@ -85,9 +90,10 @@ func (h *SwitchedHub) TrySend(src, dst, payloadBytes int, done DeliverFunc) bool
 	if src == dst {
 		panic("baseline: hub send to self")
 	}
-	p := &packet{dst: dst, payload: payloadBytes, done: done, injected: h.now}
 	if h.dieOf(src) == h.dieOf(dst) {
 		// Intra-die: fixed-latency transport, no hub involvement.
+		p := h.pool.get()
+		*p = packet{dst: dst, payload: payloadBytes, done: done, injected: h.now}
 		p.readyAt = h.now + h.cfg.IntraDelay
 		h.local = append(h.local, p)
 		return true
@@ -96,6 +102,8 @@ func (h *SwitchedHub) TrySend(src, dst, payloadBytes int, done DeliverFunc) bool
 	if len(h.egress[d]) >= h.cfg.QueueDepth {
 		return false
 	}
+	p := h.pool.get()
+	*p = packet{dst: dst, payload: payloadBytes, done: done, injected: h.now}
 	p.readyAt = h.now + h.cfg.IntraDelay // reach the die edge first
 	h.egress[d] = append(h.egress[d], p)
 	return true
@@ -108,9 +116,13 @@ func (h *SwitchedHub) Tick() {
 	for _, p := range h.local {
 		if p.readyAt <= h.now {
 			h.stats.deliver(p, h.now)
+			h.pool.put(p)
 		} else {
 			keep = append(keep, p)
 		}
+	}
+	for i := len(keep); i < len(h.local); i++ {
+		h.local[i] = nil // drop stale tails so delivered packets can recycle
 	}
 	h.local = keep
 	// Hub crossbar: up to HubPorts packets per cycle move from egress
@@ -126,8 +138,7 @@ func (h *SwitchedHub) Tick() {
 		if len(h.ingress[dd]) >= h.cfg.QueueDepth {
 			continue
 		}
-		p := q[0]
-		h.egress[d] = q[1:]
+		p := sim.PopFront(&h.egress[d])
 		p.readyAt = h.now + h.cfg.HubDelay
 		h.ingress[dd] = append(h.ingress[dd], p)
 		h.HubTraversals++
@@ -139,8 +150,7 @@ func (h *SwitchedHub) Tick() {
 		if len(q) == 0 || q[0].readyAt > h.now {
 			continue
 		}
-		p := q[0]
-		h.ingress[d] = q[1:]
+		p := sim.PopFront(&h.ingress[d])
 		p.readyAt = h.now + h.cfg.IntraDelay
 		h.local = append(h.local, p)
 	}

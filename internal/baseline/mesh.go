@@ -1,6 +1,10 @@
 package baseline
 
-import "fmt"
+import (
+	"fmt"
+
+	"chipletnoc/internal/sim"
+)
 
 // Mesh port indices.
 const (
@@ -38,10 +42,24 @@ type BufferedMesh struct {
 	inq   [][numPorts][]*packet // [router][port]queue
 	rr    [][numPorts]int       // round-robin pointers per output port
 	stats deliveryStats
+	pool  packetPool
+
+	// Per-Tick scratch, reused across cycles to keep the hot loop
+	// allocation-free: claimed counts downstream (router,port) claims
+	// this cycle, moves records the decided transfers.
+	claimed []int
+	moves   []meshMove
 
 	// RouterTraversals counts buffered-router passages for the energy
 	// model.
 	RouterTraversals uint64
+}
+
+// meshMove is one decided packet transfer within a Tick.
+type meshMove struct {
+	fromR, fromP int
+	toR, toP     int
+	deliver      bool
 }
 
 // NewBufferedMesh builds a w x h mesh.
@@ -51,9 +69,10 @@ func NewBufferedMesh(cfg MeshConfig) *BufferedMesh {
 	}
 	n := cfg.Width * cfg.Height
 	return &BufferedMesh{
-		cfg: cfg,
-		inq: make([][numPorts][]*packet, n),
-		rr:  make([][numPorts]int, n),
+		cfg:     cfg,
+		inq:     make([][numPorts][]*packet, n),
+		rr:      make([][numPorts]int, n),
+		claimed: make([]int, n*numPorts),
 	}
 }
 
@@ -124,10 +143,12 @@ func (m *BufferedMesh) TrySend(src, dst, payloadBytes int, done DeliverFunc) boo
 	if len(m.inq[src][portL]) >= m.cfg.QueueDepth {
 		return false
 	}
-	m.inq[src][portL] = append(m.inq[src][portL], &packet{
+	p := m.pool.get()
+	*p = packet{
 		dst: dst, payload: payloadBytes, done: done,
 		injected: m.now, readyAt: m.now + m.cfg.RouterDelay,
-	})
+	}
+	m.inq[src][portL] = append(m.inq[src][portL], p)
 	return true
 }
 
@@ -136,16 +157,15 @@ func (m *BufferedMesh) TrySend(src, dst, payloadBytes int, done DeliverFunc) boo
 // credit (queue space) checks at the downstream router.
 func (m *BufferedMesh) Tick() {
 	n := m.Nodes()
-	type move struct {
-		fromR, fromP int
-		toR, toP     int
-		deliver      bool
-	}
-	var moves []move
+	moves := m.moves[:0]
 	// Phase 1: decide all moves against the pre-cycle state so routers
 	// evaluate simultaneously (downstream space is checked against the
-	// snapshot, which keeps credits conservative).
-	claimed := make(map[[2]int]int) // downstream (router,port) -> claims this cycle
+	// snapshot, which keeps credits conservative). claimed counts this
+	// cycle's downstream (router,port) claims, dense-indexed.
+	claimed := m.claimed
+	for i := range claimed {
+		claimed[i] = 0
+	}
 	for r := 0; r < n; r++ {
 		for out := 0; out < numPorts; out++ {
 			// Round-robin over input ports for this output.
@@ -160,17 +180,17 @@ func (m *BufferedMesh) Tick() {
 					continue
 				}
 				if out == portL {
-					moves = append(moves, move{fromR: r, fromP: in, deliver: true})
+					moves = append(moves, meshMove{fromR: r, fromP: in, deliver: true})
 					m.rr[r][out] = (in + 1) % numPorts
 					break
 				}
 				nr, np := m.neighbor(r, out)
-				key := [2]int{nr, np}
+				key := nr*numPorts + np
 				if len(m.inq[nr][np])+claimed[key] >= m.cfg.QueueDepth {
 					continue // no credit downstream
 				}
 				claimed[key]++
-				moves = append(moves, move{fromR: r, fromP: in, toR: nr, toP: np})
+				moves = append(moves, meshMove{fromR: r, fromP: in, toR: nr, toP: np})
 				m.rr[r][out] = (in + 1) % numPorts
 				break
 			}
@@ -178,16 +198,16 @@ func (m *BufferedMesh) Tick() {
 	}
 	// Phase 2: apply.
 	for _, mv := range moves {
-		q := m.inq[mv.fromR][mv.fromP]
-		p := q[0]
-		m.inq[mv.fromR][mv.fromP] = q[1:]
+		p := sim.PopFront(&m.inq[mv.fromR][mv.fromP])
 		m.RouterTraversals++
 		if mv.deliver {
 			m.stats.deliver(p, m.now)
+			m.pool.put(p)
 			continue
 		}
 		p.readyAt = m.now + 1 + m.cfg.RouterDelay // link + next router pipeline
 		m.inq[mv.toR][mv.toP] = append(m.inq[mv.toR][mv.toP], p)
 	}
+	m.moves = moves[:0]
 	m.now++
 }

@@ -19,15 +19,22 @@ type MultiRing struct {
 }
 
 // mrPort is one endpoint: it drains its eject queue every cycle (the
-// attached device's transaction buffers absorb arrivals).
+// attached device's transaction buffers absorb arrivals) and recycles
+// the consumed flits into the network's free-list.
 type mrPort struct {
 	name  string
+	net   *noc.Network
 	iface *noc.NodeInterface
 }
 
 func (p *mrPort) Name() string { return p.name }
 func (p *mrPort) Tick(now sim.Cycle) {
-	for p.iface.Recv() != nil {
+	for {
+		f := p.iface.Recv()
+		if f == nil {
+			return
+		}
+		p.net.ReleaseFlit(f)
 	}
 }
 
@@ -103,7 +110,7 @@ func NewMultiRingChiplets(dies, nodesPerDie int) *MultiRing {
 
 func (m *MultiRing) addPort(st *noc.CrossStation) {
 	idx := len(m.ports)
-	p := &mrPort{name: fmt.Sprintf("port%d", idx)}
+	p := &mrPort{name: fmt.Sprintf("port%d", idx), net: m.net}
 	node := m.net.NewNode(p.name)
 	p.iface = m.net.Attach(node, st)
 	m.net.AddDevice(p)

@@ -1,6 +1,10 @@
 package baseline
 
-import "fmt"
+import (
+	"fmt"
+
+	"chipletnoc/internal/sim"
+)
 
 // RingConfig sizes the buffered bidirectional ring.
 type RingConfig struct {
@@ -31,8 +35,21 @@ type BufferedRing struct {
 	// the global-bubble invariant.
 	cwCount, ccwCount int
 	stats             deliveryStats
+	pool              packetPool
+
+	// Per-Tick scratch reused across cycles (see BufferedMesh).
+	claimed []int
+	moves   []ringMove
 
 	RouterTraversals uint64
+}
+
+// ringMove is one decided packet transfer within a Tick.
+type ringMove struct {
+	dir   int // 0 = cw, 1 = ccw
+	from  int
+	to    int
+	final bool
 }
 
 // NewBufferedRing builds the ring.
@@ -41,9 +58,10 @@ func NewBufferedRing(cfg RingConfig) *BufferedRing {
 		panic("baseline: ring needs at least 2 nodes")
 	}
 	return &BufferedRing{
-		cfg:  cfg,
-		cwq:  make([][]*packet, cfg.Nodes),
-		ccwq: make([][]*packet, cfg.Nodes),
+		cfg:     cfg,
+		cwq:     make([][]*packet, cfg.Nodes),
+		ccwq:    make([][]*packet, cfg.Nodes),
+		claimed: make([]int, 2*cfg.Nodes),
 	}
 }
 
@@ -88,10 +106,12 @@ func (r *BufferedRing) TrySend(src, dst, payloadBytes int, done DeliverFunc) boo
 		return false
 	}
 	*count++
-	*q = append(*q, &packet{
+	p := r.pool.get()
+	*p = packet{
 		dst: dst, payload: payloadBytes, done: done,
 		injected: r.now, readyAt: r.now + r.cfg.HopDelay,
-	})
+	}
+	*q = append(*q, p)
 	return true
 }
 
@@ -100,14 +120,11 @@ func (r *BufferedRing) TrySend(src, dst, payloadBytes int, done DeliverFunc) boo
 // subject to downstream queue space.
 func (r *BufferedRing) Tick() {
 	n := r.cfg.Nodes
-	type move struct {
-		dir   int // 0 = cw, 1 = ccw
-		from  int
-		to    int
-		final bool
+	moves := r.moves[:0]
+	claimed := r.claimed // dense index: dir*n + next
+	for i := range claimed {
+		claimed[i] = 0
 	}
-	var moves []move
-	claimed := make(map[[2]int]int)
 	for i := 0; i < n; i++ {
 		for dir := 0; dir < 2; dir++ {
 			var q []*packet
@@ -121,10 +138,10 @@ func (r *BufferedRing) Tick() {
 				continue
 			}
 			if q[0].dst == next {
-				moves = append(moves, move{dir: dir, from: i, to: next, final: true})
+				moves = append(moves, ringMove{dir: dir, from: i, to: next, final: true})
 				continue
 			}
-			key := [2]int{dir, next}
+			key := dir*n + next
 			var depth int
 			if dir == 0 {
 				depth = len(r.cwq[next])
@@ -135,7 +152,7 @@ func (r *BufferedRing) Tick() {
 				continue
 			}
 			claimed[key]++
-			moves = append(moves, move{dir: dir, from: i, to: next})
+			moves = append(moves, ringMove{dir: dir, from: i, to: next})
 		}
 	}
 	for _, mv := range moves {
@@ -145,8 +162,7 @@ func (r *BufferedRing) Tick() {
 		} else {
 			q = &r.ccwq[mv.from]
 		}
-		p := (*q)[0]
-		*q = (*q)[1:]
+		p := sim.PopFront(q)
 		r.RouterTraversals++
 		if mv.final {
 			if mv.dir == 0 {
@@ -155,6 +171,7 @@ func (r *BufferedRing) Tick() {
 				r.ccwCount--
 			}
 			r.stats.deliver(p, r.now)
+			r.pool.put(p)
 			continue
 		}
 		p.readyAt = r.now + 1 + r.cfg.HopDelay
@@ -164,5 +181,6 @@ func (r *BufferedRing) Tick() {
 			r.ccwq[mv.to] = append(r.ccwq[mv.to], p)
 		}
 	}
+	r.moves = moves[:0]
 	r.now++
 }

@@ -102,6 +102,15 @@ type Message struct {
 	// Size is the transfer granule in bytes; zero means LineSize. The
 	// Server-CPU moves 64 B L3 lines; the AI die's L2 lines are larger.
 	Size int
+
+	// Harness bookkeeping, owned by the issuing requester while the
+	// transaction is open — not wire state. Keeping the issue cycle,
+	// remaining read beats and resolved destination on the tracked
+	// request replaces three per-transaction side-table maps that
+	// otherwise sit on the simulator's hot path.
+	IssuedAt  uint64
+	BeatsLeft int
+	RetryDst  noc.NodeID
 }
 
 // LineSize is the default coherence granule in bytes.

@@ -116,6 +116,7 @@ func (d *Directory) Tick(now sim.Cycle) {
 			break
 		}
 		d.handle(f, now)
+		d.net.ReleaseFlit(f)
 	}
 	// Release jobs whose tag lookup has completed.
 	for len(d.jobs) > 0 && d.jobs[0].ready <= now {
@@ -257,6 +258,7 @@ func (s *DataSlice) Tick(now sim.Cycle) {
 		default:
 			panic(fmt.Sprintf("coherence: data slice %s cannot handle %v", s.name, m.Op))
 		}
+		s.net.ReleaseFlit(f)
 	}
 	for len(s.jobs) > 0 && s.jobs[0].ready <= now {
 		s.outbx = append(s.outbx, s.jobs[0].send...)
@@ -388,6 +390,7 @@ func (a *CoreAgent) Tick(now sim.Cycle) {
 		default:
 			panic(fmt.Sprintf("coherence: %s cannot handle %v", a.name, m.Op))
 		}
+		a.net.ReleaseFlit(f)
 	}
 	for len(a.jobs) > 0 && a.jobs[0].ready <= now {
 		a.outbx = append(a.outbx, a.jobs[0].send...)

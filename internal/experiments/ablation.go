@@ -194,7 +194,7 @@ func RunAblationWireFabric(scale Scale) AblationWireFabric {
 			for j := 0; j < positions*2; j++ {
 				net.Tick(sim.Cycle(net.Ticks()))
 				for _, ni := range ifaces {
-					ni.Recv()
+					net.ReleaseFlit(ni.Recv())
 				}
 			}
 		}

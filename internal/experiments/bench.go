@@ -9,13 +9,35 @@ package experiments
 import (
 	"encoding/json"
 	"io"
+	"os/exec"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"time"
 
 	"chipletnoc/internal/baseline"
 	"chipletnoc/internal/soc"
 	"chipletnoc/internal/stats"
 )
+
+// commitSHA resolves the commit the binary was built from: the module
+// build info's vcs.revision when present (release and CI builds), else
+// a direct git query (go test / go run builds carry no VCS stamp).
+// Empty when neither source knows.
+func commitSHA() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
 
 // BenchCase is one timed entry of the report.
 type BenchCase struct {
@@ -40,10 +62,19 @@ type BenchCase struct {
 
 // BenchReport is the whole suite's result.
 type BenchReport struct {
-	Suite     string      `json:"suite"`
-	Scale     string      `json:"scale"`
-	GoVersion string      `json:"go_version"`
-	NumCPU    int         `json:"num_cpu"`
+	Suite     string `json:"suite"`
+	Scale     string `json:"scale"`
+	GoVersion string `json:"go_version"`
+	// NumCPU is the machine's logical CPU count; GoMaxProcs is how many
+	// the runtime was actually allowed to use for this run. They differ
+	// under CPU quotas and when -parallel pins the worker pool, so both
+	// are recorded — a wall-time diff between two reports is only
+	// meaningful when the GoMaxProcs match.
+	NumCPU     int `json:"num_cpu"`
+	GoMaxProcs int `json:"go_max_procs"`
+	// CommitSHA ties the artifact to the tree it measured (vcs.revision
+	// from the build info, or unset for uncommitted builds).
+	CommitSHA string      `json:"commit_sha,omitempty"`
 	Cases     []BenchCase `json:"cases"`
 }
 
@@ -137,10 +168,12 @@ func benchSuite() []struct {
 // cmd/benchreg -case).
 func RunBenchSuite(filter func(name string) bool) BenchReport {
 	report := BenchReport{
-		Suite:     "noc-quick",
-		Scale:     "quick",
-		GoVersion: runtime.Version(),
-		NumCPU:    runtime.NumCPU(),
+		Suite:      "noc-quick",
+		Scale:      "quick",
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		CommitSHA:  commitSHA(),
 	}
 	for _, entry := range benchSuite() {
 		if filter != nil && !filter(entry.name) {

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// BenchDelta is one case's old-vs-new comparison. Percentages are
+// relative to the old value ((new-old)/old); a case present in only one
+// report has the other side zeroed and is never a regression.
+type BenchDelta struct {
+	Name string
+	// OnlyOld / OnlyNew flag cases that exist in just one report
+	// (renamed or newly added cases — reported, not judged).
+	OnlyOld, OnlyNew bool
+
+	OldWallMS, NewWallMS float64
+	WallPct              float64
+
+	OldAllocObjects, NewAllocObjects uint64
+	AllocPct                         float64
+
+	OldCyclesPerSec, NewCyclesPerSec float64
+
+	// Regressed is set when the wall-time growth exceeds the comparison
+	// tolerance.
+	Regressed bool
+}
+
+// BenchComparison is a full report diff.
+type BenchComparison struct {
+	// WallTolerancePct is the wall-time growth (in percent) above which
+	// a case counts as regressed.
+	WallTolerancePct float64
+	Deltas           []BenchDelta
+	// Regressions lists the names of regressed cases, report order.
+	Regressions []string
+}
+
+// LoadBenchReport reads a BENCH_noc.json artifact.
+func LoadBenchReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Cases) == 0 {
+		return nil, fmt.Errorf("%s: report has no cases", path)
+	}
+	return &r, nil
+}
+
+// CompareReports diffs two bench reports case by case. Cases are matched
+// by name; order follows the new report, with old-only cases appended.
+// A case regresses when its wall time grew more than wallTolerancePct
+// percent — allocation changes are reported but never gate, since alloc
+// counts are exact while wall time is what CI actually protects.
+func CompareReports(old, new *BenchReport, wallTolerancePct float64) BenchComparison {
+	cmp := BenchComparison{WallTolerancePct: wallTolerancePct}
+	oldByName := make(map[string]BenchCase, len(old.Cases))
+	for _, c := range old.Cases {
+		oldByName[c.Name] = c
+	}
+	seen := make(map[string]bool, len(new.Cases))
+	for _, nc := range new.Cases {
+		seen[nc.Name] = true
+		oc, ok := oldByName[nc.Name]
+		if !ok {
+			cmp.Deltas = append(cmp.Deltas, BenchDelta{
+				Name: nc.Name, OnlyNew: true,
+				NewWallMS: nc.WallMS, NewAllocObjects: nc.AllocObjects,
+				NewCyclesPerSec: nc.CyclesPerSec,
+			})
+			continue
+		}
+		d := BenchDelta{
+			Name:            nc.Name,
+			OldWallMS:       oc.WallMS,
+			NewWallMS:       nc.WallMS,
+			OldAllocObjects: oc.AllocObjects,
+			NewAllocObjects: nc.AllocObjects,
+			OldCyclesPerSec: oc.CyclesPerSec,
+			NewCyclesPerSec: nc.CyclesPerSec,
+		}
+		if oc.WallMS > 0 {
+			d.WallPct = (nc.WallMS - oc.WallMS) / oc.WallMS * 100
+		}
+		if oc.AllocObjects > 0 {
+			d.AllocPct = (float64(nc.AllocObjects) - float64(oc.AllocObjects)) / float64(oc.AllocObjects) * 100
+		}
+		if d.WallPct > wallTolerancePct {
+			d.Regressed = true
+			cmp.Regressions = append(cmp.Regressions, nc.Name)
+		}
+		cmp.Deltas = append(cmp.Deltas, d)
+	}
+	for _, oc := range old.Cases {
+		if !seen[oc.Name] {
+			cmp.Deltas = append(cmp.Deltas, BenchDelta{
+				Name: oc.Name, OnlyOld: true,
+				OldWallMS: oc.WallMS, OldAllocObjects: oc.AllocObjects,
+				OldCyclesPerSec: oc.CyclesPerSec,
+			})
+		}
+	}
+	return cmp
+}
+
+// HasRegressions reports whether any case exceeded the wall tolerance.
+func (c *BenchComparison) HasRegressions() bool { return len(c.Regressions) > 0 }
+
+// Format renders the comparison as an aligned text table.
+func (c *BenchComparison) Format(w io.Writer) {
+	fmt.Fprintf(w, "%-28s %21s %10s %23s %10s\n",
+		"case", "wall ms (old→new)", "wall Δ", "allocs (old→new)", "allocs Δ")
+	for _, d := range c.Deltas {
+		switch {
+		case d.OnlyNew:
+			fmt.Fprintf(w, "%-28s %21s %10s %23s %10s\n", d.Name,
+				fmt.Sprintf("— → %.1f", d.NewWallMS), "new",
+				fmt.Sprintf("— → %d", d.NewAllocObjects), "new")
+		case d.OnlyOld:
+			fmt.Fprintf(w, "%-28s %21s %10s %23s %10s\n", d.Name,
+				fmt.Sprintf("%.1f → —", d.OldWallMS), "gone",
+				fmt.Sprintf("%d → —", d.OldAllocObjects), "gone")
+		default:
+			mark := ""
+			if d.Regressed {
+				mark = "  << REGRESSION"
+			}
+			fmt.Fprintf(w, "%-28s %21s %9.1f%% %23s %9.1f%%%s\n", d.Name,
+				fmt.Sprintf("%.1f → %.1f", d.OldWallMS, d.NewWallMS), d.WallPct,
+				fmt.Sprintf("%d → %d", d.OldAllocObjects, d.NewAllocObjects), d.AllocPct,
+				mark)
+		}
+	}
+	if c.HasRegressions() {
+		fmt.Fprintf(w, "\n%d case(s) regressed more than %.0f%% wall time: %v\n",
+			len(c.Regressions), c.WallTolerancePct, c.Regressions)
+	} else {
+		fmt.Fprintf(w, "\nno wall-time regressions beyond %.0f%%\n", c.WallTolerancePct)
+	}
+}

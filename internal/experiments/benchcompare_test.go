@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkReport(cases ...BenchCase) *BenchReport {
+	return &BenchReport{Suite: "noc-quick", Scale: "quick", Cases: cases}
+}
+
+func TestCompareReportsFlagsWallRegressions(t *testing.T) {
+	old := mkReport(
+		BenchCase{Name: "a", WallMS: 100, AllocObjects: 1000},
+		BenchCase{Name: "b", WallMS: 50, AllocObjects: 400},
+	)
+	now := mkReport(
+		BenchCase{Name: "a", WallMS: 120, AllocObjects: 900}, // +20% wall
+		BenchCase{Name: "b", WallMS: 55, AllocObjects: 800},  // +10% wall, allocs doubled
+	)
+	cmp := CompareReports(old, now, 15)
+	if !cmp.HasRegressions() {
+		t.Fatal("expected a regression at +20% wall over a 15% tolerance")
+	}
+	if len(cmp.Regressions) != 1 || cmp.Regressions[0] != "a" {
+		t.Fatalf("regressions = %v, want [a]", cmp.Regressions)
+	}
+	// b grew 10% wall and 100% allocs: inside wall tolerance, and alloc
+	// growth alone must not gate.
+	for _, d := range cmp.Deltas {
+		if d.Name == "b" && d.Regressed {
+			t.Errorf("b regressed, but +10%% wall is inside the 15%% tolerance")
+		}
+	}
+}
+
+func TestCompareReportsImprovementAndCaseChurn(t *testing.T) {
+	old := mkReport(
+		BenchCase{Name: "kept", WallMS: 100, AllocObjects: 5000},
+		BenchCase{Name: "retired", WallMS: 10, AllocObjects: 100},
+	)
+	now := mkReport(
+		BenchCase{Name: "kept", WallMS: 40, AllocObjects: 500},
+		BenchCase{Name: "added", WallMS: 5, AllocObjects: 50},
+	)
+	cmp := CompareReports(old, now, 15)
+	if cmp.HasRegressions() {
+		t.Fatalf("improvement flagged as regression: %v", cmp.Regressions)
+	}
+	var kept, added, retired *BenchDelta
+	for i := range cmp.Deltas {
+		switch cmp.Deltas[i].Name {
+		case "kept":
+			kept = &cmp.Deltas[i]
+		case "added":
+			added = &cmp.Deltas[i]
+		case "retired":
+			retired = &cmp.Deltas[i]
+		}
+	}
+	if kept == nil || kept.WallPct >= 0 || kept.AllocPct >= 0 {
+		t.Errorf("kept delta wrong: %+v", kept)
+	}
+	if added == nil || !added.OnlyNew {
+		t.Errorf("added case not marked OnlyNew: %+v", added)
+	}
+	if retired == nil || !retired.OnlyOld {
+		t.Errorf("retired case not marked OnlyOld: %+v", retired)
+	}
+
+	var buf bytes.Buffer
+	cmp.Format(&buf)
+	text := buf.String()
+	for _, want := range []string{"kept", "added", "retired", "no wall-time regressions"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted comparison missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestLoadBenchReportRoundTrip(t *testing.T) {
+	rep := mkReport(BenchCase{Name: "x", WallMS: 1, AllocObjects: 2})
+	rep.GoMaxProcs = 4
+	rep.NumCPU = 8
+	rep.CommitSHA = "deadbeef"
+	path := filepath.Join(t.TempDir(), "r.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	back, err := LoadBenchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.GoMaxProcs != 4 || back.NumCPU != 8 || back.CommitSHA != "deadbeef" {
+		t.Fatalf("metadata lost in round trip: %+v", back)
+	}
+	if _, err := LoadBenchReport(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("loading a missing report should fail")
+	}
+}

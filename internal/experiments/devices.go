@@ -32,20 +32,26 @@ func (f *floodNode) Name() string { return f.name }
 func (f *floodNode) Tick(now sim.Cycle) {
 	for f.iface.Send(f.net.NewFlit(f.node, f.dst, noc.KindData, 64)) {
 	}
-	for f.iface.Recv() != nil {
+	for {
+		r := f.iface.Recv()
+		if r == nil {
+			break
+		}
+		f.net.ReleaseFlit(r)
 	}
 }
 
 // drainNode consumes arrivals at a bounded rate (a slow sink).
 type drainNode struct {
 	name     string
+	net      *noc.Network
 	iface    *noc.NodeInterface
 	node     noc.NodeID
 	perCycle int
 }
 
 func newDrainNode(net *noc.Network, st *noc.CrossStation, perCycle int) *drainNode {
-	d := &drainNode{name: fmt.Sprintf("drain%d", net.Nodes()), perCycle: perCycle}
+	d := &drainNode{name: fmt.Sprintf("drain%d", net.Nodes()), net: net, perCycle: perCycle}
 	d.node = net.NewNode(d.name)
 	d.iface = net.Attach(d.node, st)
 	net.AddDevice(d)
@@ -55,9 +61,11 @@ func newDrainNode(net *noc.Network, st *noc.CrossStation, perCycle int) *drainNo
 func (d *drainNode) Name() string { return d.name }
 func (d *drainNode) Tick(now sim.Cycle) {
 	for i := 0; i < d.perCycle; i++ {
-		if d.iface.Recv() == nil {
+		f := d.iface.Recv()
+		if f == nil {
 			return
 		}
+		d.net.ReleaseFlit(f)
 	}
 }
 
@@ -83,7 +91,12 @@ func (c *crossNode) Name() string { return c.name }
 func (c *crossNode) Tick(now sim.Cycle) {
 	for c.iface.Send(c.net.NewFlit(c.node, c.partner, noc.KindData, 64)) {
 	}
-	for c.iface.Recv() != nil {
+	for {
+		r := c.iface.Recv()
+		if r == nil {
+			break
+		}
+		c.net.ReleaseFlit(r)
 	}
 }
 

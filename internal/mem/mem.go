@@ -124,10 +124,12 @@ func (c *Controller) Tick(now sim.Cycle) {
 				// was delayed, not lost); beats landing after the write
 				// entered service are surplus, not a protocol error.
 				c.StrayWrData++
+				c.net.ReleaseFlit(f)
 				continue
 			}
 			c.wrBeats[k]++
 			if c.wrBeats[k] < m.Beats() {
+				c.net.ReleaseFlit(f)
 				continue
 			}
 			delete(c.wrBeats, k)
@@ -136,6 +138,8 @@ func (c *Controller) Tick(now sim.Cycle) {
 		default:
 			c.queue = append(c.queue, m)
 		}
+		// The message (retained above where needed) outlives its carrier.
+		c.net.ReleaseFlit(f)
 	}
 	if len(c.queue) == c.cfg.QueueDepth && c.iface.EjectLen() > 0 {
 		c.QueueFullDrops++
@@ -159,14 +163,12 @@ func (c *Controller) Tick(now sim.Cycle) {
 			break
 		}
 		c.tokens -= size
-		m := c.queue[0]
-		c.queue = c.queue[1:]
+		m := sim.PopFront(&c.queue)
 		c.inSvc = append(c.inSvc, pendingReq{m: m, ready: now + sim.Cycle(c.cfg.AccessCycles)})
 	}
 	// 3. Completions.
 	for len(c.inSvc) > 0 && c.inSvc[0].ready <= now {
-		req := c.inSvc[0].m
-		c.inSvc = c.inSvc[1:]
+		req := sim.PopFront(&c.inSvc).m
 		dst := req.Requester
 		if dst == c.Node() {
 			panic(fmt.Sprintf("mem: %s asked to reply to itself", c.name))
@@ -187,7 +189,7 @@ func (c *Controller) Tick(now sim.Cycle) {
 	}
 	// 4. Inject replies, retrying under NoC backpressure.
 	for len(c.replies) > 0 && c.iface.Send(c.replies[0]) {
-		c.replies = c.replies[1:]
+		sim.PopFront(&c.replies)
 	}
 }
 

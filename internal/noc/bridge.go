@@ -138,7 +138,7 @@ func (b *RBRGL1) Tick(now sim.Cycle) {
 				// discard rather than wedge the whole forward pipeline
 				// behind an undeliverable head.
 				if fromEscape {
-					in.escape = in.escape[1:]
+					popFlit(&in.escape)
 				} else {
 					in.iface.Recv()
 				}
@@ -152,7 +152,7 @@ func (b *RBRGL1) Tick(now sim.Cycle) {
 			b.Forwarded++
 			b.net.trace(trace.BridgeHop, f.ID, b.name, "")
 			if fromEscape {
-				in.escape = in.escape[1:]
+				popFlit(&in.escape)
 			} else {
 				in.iface.Recv()
 			}
@@ -171,7 +171,8 @@ func (b *RBRGL1) dropBuffers() {
 		for _, f := range h.escape {
 			b.net.dropFlit(f, &b.net.FaultDrops, h.iface.station.ring, trace.Fault, b.name, "lost in dead bridge")
 		}
-		h.escape = nil
+		clearFlits(h.escape)
+		h.escape = h.escape[:0]
 		h.drm = false
 		h.stalledCycles = 0
 		h.blockedCycles = 0
@@ -202,9 +203,10 @@ func (b *RBRGL1) runDRM(h *l1half) {
 		h.stalledCycles = 0
 	}
 	h.lastInjectSeen = ni.Injected
-	if ni.freeEjectEntries() == 0 && ni.Deflected > h.lastDeflectSeen {
+	free := ni.freeEjectEntries()
+	if free == 0 && ni.Deflected > h.lastDeflectSeen {
 		h.blockedCycles++
-	} else if ni.freeEjectEntries() > 0 {
+	} else if free > 0 {
 		h.blockedCycles = 0
 	}
 	h.lastDeflectSeen = ni.Deflected
@@ -213,7 +215,7 @@ func (b *RBRGL1) runDRM(h *l1half) {
 		return
 	}
 	if !h.drm {
-		stuck := h.stalledCycles >= b.cfg.DeadlockThreshold && ni.freeEjectEntries() == 0
+		stuck := h.stalledCycles >= b.cfg.DeadlockThreshold && free == 0
 		blocked := h.blockedCycles >= b.cfg.DeadlockThreshold
 		if stuck || blocked {
 			h.drm = true
@@ -239,16 +241,23 @@ func (b *RBRGL1) runDRM(h *l1half) {
 
 // forwardInterface picks which of a bridge node's interfaces a transit
 // flit should continue on: the ring getting it closest to (ideally
-// holding) its destination, never the ring it arrived from.
+// holding) its destination, never the ring it arrived from. The
+// decision is a precomputed table lookup (see rebuildForwardTables);
+// computeForward holds the actual policy.
 func (n *Network) forwardInterface(node NodeID, arrived *NodeInterface, f *Flit) *NodeInterface {
-	info := n.nodes[node]
+	return n.nodes[node].fwd[arrived.nodeSlot][f.Dst]
+}
+
+// computeForward derives one forwarding-table entry from the freshly
+// rebuilt routing tables.
+func (n *Network) computeForward(info *nodeInfo, arrived *NodeInterface, dst NodeID) *NodeInterface {
 	var best *NodeInterface
 	bestDist := math.MaxInt32
 	for _, ni := range info.ifaces {
 		if ni == arrived {
 			continue
 		}
-		dstRing, local, err := n.routeFrom(ni.station.ring.id, f.Dst)
+		dstRing, local, err := n.routeFrom(ni.station.ring.id, dst)
 		if err != nil {
 			continue
 		}
@@ -295,6 +304,23 @@ func DefaultRBRGL2Config() RBRGL2Config {
 		LinkWidth:         2,
 		DeadlockThreshold: 64,
 		EnableSwap:        true,
+	}
+}
+
+// popPipe removes the front link-pipeline entry by shifting in place,
+// preserving the backing array so the pipeline never reallocates.
+func popPipe(q *[]pipeFlit) {
+	s := *q
+	copy(s, s[1:])
+	s[len(s)-1] = pipeFlit{}
+	*q = s[: len(s)-1 : cap(s)]
+}
+
+// clearFlits nils every entry of a drained buffer so dead flits are not
+// pinned by the retained backing array.
+func clearFlits(q []*Flit) {
+	for i := range q {
+		q[i] = nil
 	}
 }
 
@@ -353,6 +379,12 @@ func NewRBRGL2(net *Network, name string, cfg RBRGL2Config, a, b *CrossStation) 
 	br.node = net.NewNode(name)
 	br.half[0].iface = net.AttachQueued(br.node, a, cfg.InjectDepth, cfg.EjectDepth)
 	br.half[1].iface = net.AttachQueued(br.node, b, cfg.InjectDepth, cfg.EjectDepth)
+	for side := 0; side < 2; side++ {
+		h := &br.half[side]
+		h.tx = make([]*Flit, 0, cfg.TxDepth)
+		h.rx = make([]*Flit, 0, cfg.RxDepth)
+		h.pipe = make([]pipeFlit, 0, cfg.LinkWidth*(cfg.LinkLatency+1))
+	}
 	net.AddDevice(br)
 	return br
 }
@@ -386,7 +418,13 @@ func (b *RBRGL2) dropBuffers() {
 		for _, f := range h.rx {
 			b.net.dropFlit(f, &b.net.FaultDrops, r, trace.Fault, b.name, "lost in dead bridge")
 		}
-		h.tx, h.reserve, h.pipe, h.rx = nil, nil, nil, nil
+		clearFlits(h.tx)
+		clearFlits(h.reserve)
+		clearFlits(h.rx)
+		for i := range h.pipe {
+			h.pipe[i] = pipeFlit{}
+		}
+		h.tx, h.reserve, h.pipe, h.rx = h.tx[:0], h.reserve[:0], h.pipe[:0], h.rx[:0]
 		h.drm = false
 		h.stalledCycles = 0
 		h.iface.swapMode = false
@@ -432,7 +470,7 @@ func (b *RBRGL2) Tick(now sim.Cycle) {
 				}
 				dst.rx = append(dst.rx, pf.f)
 			}
-			src.pipe = src.pipe[1:]
+			popPipe(&src.pipe)
 			b.Transferred++
 		}
 	}
@@ -456,13 +494,11 @@ func (b *RBRGL2) Tick(now sim.Cycle) {
 		for width > 0 {
 			switch {
 			case len(src.reserve) > 0 && escCredit > 0:
-				f := src.reserve[0]
-				src.reserve = src.reserve[1:]
+				f := popFlit(&src.reserve)
 				src.pipe = append(src.pipe, pipeFlit{f: f, arrives: now + sim.Cycle(b.cfg.LinkLatency), escape: true})
 				escCredit--
 			case len(src.tx) > 0 && credit > 0:
-				f := src.tx[0]
-				src.tx = src.tx[1:]
+				f := popFlit(&src.tx)
 				src.pipe = append(src.pipe, pipeFlit{f: f, arrives: now + sim.Cycle(b.cfg.LinkLatency)})
 				credit--
 			default:
@@ -491,7 +527,7 @@ func (b *RBRGL2) Tick(now sim.Cycle) {
 			if !h.iface.Send(h.rx[0]) {
 				break
 			}
-			h.rx = h.rx[1:]
+			popFlit(&h.rx)
 		}
 	}
 	// 5. Deadlock detection & SWAP resolution per side.
@@ -522,7 +558,7 @@ func (b *RBRGL2) runDRM(h *l2half) {
 	}
 	if !h.drm {
 		if h.stalledCycles >= b.cfg.DeadlockThreshold &&
-			ni.EjectLen() == ni.ejectCap-ni.reservedCount &&
+			ni.EjectLen() == ni.eject.cap()-len(ni.reserved) &&
 			len(h.tx) >= b.cfg.TxDepth {
 			h.drm = true
 			b.SwapEntries++
@@ -558,7 +594,7 @@ func (b *RBRGL1) DebugState() string {
 	for i, h := range b.halves {
 		ni := h.iface
 		s += fmt.Sprintf(" if%d[ring=%d inj=%d ej=%d resv=%d want=%d esc=%d drm=%v stall=%d]",
-			i, ni.station.ring.id, ni.InjectLen(), ni.EjectLen(), ni.reservedCount,
+			i, ni.station.ring.id, ni.InjectLen(), ni.EjectLen(), len(ni.reserved),
 			len(ni.wantEject), len(h.escape), h.drm, h.stalledCycles)
 	}
 	return s
@@ -572,7 +608,7 @@ func (b *RBRGL2) DebugState() string {
 		ni := h.iface
 		s += fmt.Sprintf(" s%d[tx=%d rsv=%d pipe=%d rx=%d inj=%d ej=%d resv=%d want=%d drm=%v stall=%d]",
 			side, len(h.tx), len(h.reserve), len(h.pipe), len(h.rx),
-			ni.InjectLen(), ni.EjectLen(), ni.reservedCount, len(ni.wantEject), h.drm, h.stalledCycles)
+			ni.InjectLen(), ni.EjectLen(), len(ni.reserved), len(ni.wantEject), h.drm, h.stalledCycles)
 	}
 	return s
 }

@@ -129,8 +129,8 @@ func (n *Network) Inventory() Inventory {
 					continue
 				}
 				inv.Interfaces++
-				inv.QueueEntries += ni.injectCap + ni.ejectCap
-				inv.BypassEntries += ni.bypassCap
+				inv.QueueEntries += ni.inject.cap() + ni.eject.cap()
+				inv.BypassEntries += ni.bypass.cap()
 			}
 		}
 	}

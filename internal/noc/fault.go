@@ -139,44 +139,49 @@ func (n *Network) LiveSlotCount() int {
 	return total
 }
 
-// nthLiveSlot returns the nth occupied slot (and its ring) in
+// nthLiveSlot returns the nth occupied slot (with its ring and loop) in
 // deterministic scan order: ring, then CW loop, then CCW loop, position
-// ascending. Returns nil when fewer than nth+1 slots are occupied.
-func (n *Network) nthLiveSlot(nth int) (*slot, *Ring) {
+// ascending. Positions are logical — the scan goes through the rotation
+// offset, so the order matches what the eager-rotation implementation
+// produced, not physical storage order. Returns nil when fewer than
+// nth+1 slots are occupied.
+func (n *Network) nthLiveSlot(nth int) (*slot, *Ring, *loop) {
 	for _, r := range n.rings {
-		for i := range r.cw {
-			if r.cw[i].flit != nil {
+		for p := 0; p < r.positions; p++ {
+			if s := r.cw.at(p); s.flit != nil {
 				if nth == 0 {
-					return &r.cw[i], r
+					return s, r, &r.cw
 				}
 				nth--
 			}
 		}
-		if r.ccw == nil {
+		if !r.full {
 			continue
 		}
-		for i := range r.ccw {
-			if r.ccw[i].flit != nil {
+		for p := 0; p < r.positions; p++ {
+			if s := r.ccw.at(p); s.flit != nil {
 				if nth == 0 {
-					return &r.ccw[i], r
+					return s, r, &r.ccw
 				}
 				nth--
 			}
 		}
 	}
-	return nil, nil
+	return nil, nil, nil
 }
 
 // DropLiveFlit removes the nth occupied slot's flit from the network
 // (deterministic scan order), counting it as a fault drop. It reports
 // whether a victim existed.
 func (n *Network) DropLiveFlit(nth int) bool {
-	s, r := n.nthLiveSlot(nth)
+	s, r, l := n.nthLiveSlot(nth)
 	if s == nil {
 		return false
 	}
 	f := s.flit
 	s.flit = nil
+	l.occ--
+	r.settleHops(f)
 	n.dropFlit(f, &n.FaultDrops, r, trace.Fault, "injector", "flit dropped")
 	return true
 }
@@ -186,7 +191,7 @@ func (n *Network) DropLiveFlit(nth int) bool {
 // its destination, as a link-level CRC failure would be. It reports
 // whether a victim existed.
 func (n *Network) CorruptLiveFlit(nth int) bool {
-	s, _ := n.nthLiveSlot(nth)
+	s, _, _ := n.nthLiveSlot(nth)
 	if s == nil {
 		return false
 	}
@@ -224,25 +229,25 @@ func (n *Network) watchdogSweep(now sim.Cycle) {
 	budget := sim.Cycle(n.watchdogBudget)
 	expired := func(f *Flit) bool { return now-f.Created > budget }
 	for _, r := range n.rings {
-		n.sweepLoop(r, r.cw, expired)
-		if r.ccw != nil {
-			n.sweepLoop(r, r.ccw, expired)
+		n.sweepLoop(r, &r.cw, expired)
+		if r.full {
+			n.sweepLoop(r, &r.ccw, expired)
 		}
 		for _, st := range r.stations {
 			for _, ni := range st.ifaces {
 				if ni == nil {
 					continue
 				}
-				ni.inject = n.sweepQueue(r, ni, ni.inject, expired, false)
-				ni.bypass = n.sweepQueue(r, ni, ni.bypass, expired, false)
-				before := len(ni.eject)
-				ni.eject = n.sweepQueue(r, ni, ni.eject, expired, true)
-				if len(ni.eject) < before {
+				n.sweepQueue(r, ni, &ni.inject, expired, false)
+				n.sweepQueue(r, ni, &ni.bypass, expired, false)
+				before := ni.eject.len()
+				n.sweepQueue(r, ni, &ni.eject, expired, true)
+				if ni.eject.len() < before {
 					ni.promoteReservations()
 				}
 				// A drained-dry inject path must not leave an armed I-tag
 				// circulating reserved forever.
-				if ni.itagArmed && len(ni.inject) == 0 && len(ni.bypass) == 0 {
+				if ni.itagArmed && ni.inject.len() == 0 && ni.bypass.len() == 0 {
 					ni.itagArmed = false
 					ni.injectFails = 0
 					ni.releaseTags()
@@ -252,36 +257,44 @@ func (n *Network) watchdogSweep(now sim.Cycle) {
 	}
 }
 
-// sweepLoop drops expired flits from one slot loop.
-func (n *Network) sweepLoop(r *Ring, loop []slot, expired func(*Flit) bool) {
-	for i := range loop {
-		f := loop[i].flit
+// sweepLoop drops expired flits from one slot loop, scanning logical
+// positions ascending so drop (and trace) order matches the
+// eager-rotation implementation.
+func (n *Network) sweepLoop(r *Ring, l *loop, expired func(*Flit) bool) {
+	for p := 0; p < r.positions; p++ {
+		s := l.at(p)
+		f := s.flit
 		if f == nil || !expired(f) {
 			continue
 		}
-		loop[i].flit = nil
+		s.flit = nil
+		l.occ--
+		r.settleHops(f)
 		n.dropFlit(f, &n.WatchdogDrops, r, trace.WatchdogDrop, "ring", "aged out on ring")
 	}
 }
 
 // sweepQueue filters one interface queue, dropping expired flits. When
 // ejectQueue is set, entries addressed to this interface's own node are
-// spared (they are already counted delivered).
-func (n *Network) sweepQueue(r *Ring, ni *NodeInterface, q []*Flit, expired func(*Flit) bool, ejectQueue bool) []*Flit {
-	kept := q[:0]
-	for _, f := range q {
+// spared (they are already counted delivered). Each surviving entry is
+// popped and re-pushed exactly once, which restores the original FIFO
+// order after len(q) iterations.
+func (n *Network) sweepQueue(r *Ring, ni *NodeInterface, q *flitRing, expired func(*Flit) bool, ejectQueue bool) {
+	for count := q.len(); count > 0; count-- {
+		f := q.pop()
 		if expired(f) && !(ejectQueue && f.Dst == ni.node) {
 			n.dropFlit(f, &n.WatchdogDrops, r, trace.WatchdogDrop, n.nodes[ni.node].name, "aged out in queue")
 			continue
 		}
-		kept = append(kept, f)
+		q.push(f)
 	}
-	return kept
 }
 
 // dropFlit accounts one removed flit: the aggregate DroppedFlits counter
 // (part of the conservation invariant), the per-cause counter, a purge of
 // any E-tag state the flit left on its current ring, and a trace event.
+// The flit is returned to the free-list — callers must not reference it
+// after this call.
 func (n *Network) dropFlit(f *Flit, cause *uint64, r *Ring, kind trace.Kind, where, detail string) {
 	n.DroppedFlits++
 	if cause != nil {
@@ -291,6 +304,7 @@ func (n *Network) dropFlit(f *Flit, cause *uint64, r *Ring, kind trace.Kind, whe
 		purgeTagState(r, f.ID)
 	}
 	n.trace(kind, f.ID, where, detail)
+	n.ReleaseFlit(f)
 }
 
 // dropInterfaceQueues discards everything queued at an interface — the
@@ -298,11 +312,10 @@ func (n *Network) dropFlit(f *Flit, cause *uint64, r *Ring, kind trace.Kind, whe
 func (n *Network) dropInterfaceQueues(ni *NodeInterface) {
 	r := ni.station.ring
 	where := n.nodes[ni.node].name
-	for _, q := range []*[]*Flit{&ni.inject, &ni.bypass, &ni.eject} {
-		for _, f := range *q {
-			n.dropFlit(f, &n.FaultDrops, r, trace.Fault, where, "lost in dead bridge")
+	for _, q := range []*flitRing{&ni.inject, &ni.bypass, &ni.eject} {
+		for q.len() > 0 {
+			n.dropFlit(q.pop(), &n.FaultDrops, r, trace.Fault, where, "lost in dead bridge")
 		}
-		*q = nil
 	}
 	if ni.itagArmed {
 		ni.itagArmed = false
@@ -321,19 +334,13 @@ func purgeTagState(r *Ring, id uint64) {
 			if ni == nil {
 				continue
 			}
-			if _, ok := ni.wantEjectSet[id]; ok {
-				delete(ni.wantEjectSet, id)
-				for i, w := range ni.wantEject {
-					if w == id {
-						ni.wantEject = append(ni.wantEject[:i], ni.wantEject[i+1:]...)
-						break
-					}
+			for i, w := range ni.wantEject {
+				if w == id {
+					ni.wantEject = append(ni.wantEject[:i], ni.wantEject[i+1:]...)
+					break
 				}
 			}
-			if _, ok := ni.reserved[id]; ok {
-				delete(ni.reserved, id)
-				ni.reservedCount--
-			}
+			ni.dropReservation(id)
 		}
 	}
 }
@@ -345,7 +352,9 @@ func purgeTagState(r *Ring, id uint64) {
 // died, or a repaired bridge restored the short path) are retargeted.
 func (n *Network) rerouteLiveFlits() {
 	for _, r := range n.rings {
-		reroute := func(f *Flit, pos int, redirect bool) {
+		// s is the occupied ring slot holding f (nil for queued flits);
+		// its cached exit position must track the reroute.
+		reroute := func(f *Flit, s *slot, pos int, redirect bool) {
 			tpos, tiface, err := n.localTarget(r, f)
 			if err != nil {
 				n.trace(trace.Reroute, f.ID, "ring", "unroutable; left to watchdog")
@@ -356,21 +365,24 @@ func (n *Network) rerouteLiveFlits() {
 			}
 			f.localDst = tpos
 			f.localIface = tiface
+			if s != nil {
+				s.dst = int32(tpos)
+			}
 			if redirect {
 				f.dir = r.shortestDir(pos, tpos)
 			}
 			n.ReroutedFlits++
 			n.trace(trace.Reroute, f.ID, "ring", "")
 		}
-		for i := range r.cw {
-			if f := r.cw[i].flit; f != nil {
-				reroute(f, i, false)
+		for p := 0; p < r.positions; p++ {
+			if s := r.cw.at(p); s.flit != nil {
+				reroute(s.flit, s, p, false)
 			}
 		}
-		if r.ccw != nil {
-			for i := range r.ccw {
-				if f := r.ccw[i].flit; f != nil {
-					reroute(f, i, false)
+		if r.full {
+			for p := 0; p < r.positions; p++ {
+				if s := r.ccw.at(p); s.flit != nil {
+					reroute(s.flit, s, p, false)
 				}
 			}
 		}
@@ -379,11 +391,11 @@ func (n *Network) rerouteLiveFlits() {
 				if ni == nil {
 					continue
 				}
-				for _, f := range ni.inject {
-					reroute(f, st.pos, true)
+				for i := 0; i < ni.inject.len(); i++ {
+					reroute(ni.inject.at(i), nil, st.pos, true)
 				}
-				for _, f := range ni.bypass {
-					reroute(f, st.pos, true)
+				for i := 0; i < ni.bypass.len(); i++ {
+					reroute(ni.bypass.at(i), nil, st.pos, true)
 				}
 			}
 		}
@@ -413,9 +425,9 @@ func (n *Network) AccountedFlits() uint64 {
 				if ni == nil {
 					continue
 				}
-				total += uint64(len(ni.inject) + len(ni.bypass))
-				for _, f := range ni.eject {
-					if f.Dst != ni.node {
+				total += uint64(ni.inject.len() + ni.bypass.len())
+				for i := 0; i < ni.eject.len(); i++ {
+					if ni.eject.at(i).Dst != ni.node {
 						total++
 					}
 				}

@@ -115,6 +115,13 @@ type Flit struct {
 	localIface int // interface index at that station
 	dir        Direction
 	counted    bool // already counted as injected (set on first Send)
+	// boarded is the cycle the flit entered its current ring slot; hop
+	// accounting is materialised lazily from it (Ring.settleHops) so
+	// advance never scans slots.
+	boarded sim.Cycle
+	// freed guards the network's deterministic free-list against
+	// double-release (see Network.ReleaseFlit).
+	freed bool
 }
 
 // HeaderBytes is the per-flit header overhead in bytes: the price of

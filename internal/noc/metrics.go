@@ -33,7 +33,7 @@ func (r *Ring) etagReserved() int {
 	for _, st := range r.stations {
 		for _, ni := range st.ifaces {
 			if ni != nil {
-				n += ni.reservedCount
+				n += len(ni.reserved)
 			}
 		}
 	}
@@ -41,18 +41,17 @@ func (r *Ring) etagReserved() int {
 }
 
 // itagSlots counts circulating slots currently reserved by an I-tag.
+// Physical storage order: counting is position-independent.
 func (r *Ring) itagSlots() int {
 	n := 0
-	for i := range r.cw {
-		if r.cw[i].itagOwner != noTag {
+	for i := range r.cw.slots {
+		if r.cw.slots[i].itagOwner != noTag {
 			n++
 		}
 	}
-	if r.ccw != nil {
-		for i := range r.ccw {
-			if r.ccw[i].itagOwner != noTag {
-				n++
-			}
+	for i := range r.ccw.slots {
+		if r.ccw.slots[i].itagOwner != noTag {
+			n++
 		}
 	}
 	return n

@@ -25,6 +25,12 @@ type nodeInfo struct {
 	// onRing[r] is the interface on ring r (nodes have at most one
 	// interface per ring).
 	onRing map[RingID]*NodeInterface
+	// fwd[arrival][dst] is the precomputed bridge forwarding decision:
+	// the interface a transit flit for dst continues on after arriving
+	// at ifaces[arrival]. Only populated for multi-ring (bridge) nodes;
+	// rebuilt with the route table so it always reflects the surviving
+	// topology. nil entries mean no onward route.
+	fwd [][]*NodeInterface
 }
 
 // Network is a complete multi-ring NoC: rings, bridges, attached devices
@@ -45,6 +51,16 @@ type Network struct {
 	ringDist  [][]int
 	ringNext  [][]RingID             // next ring on the shortest path
 	bridges   map[[2]RingID][]NodeID // nodes spanning a ring pair
+	// routeTbl[r][dst] is the fully resolved exit decision for a flit on
+	// ring r heading to node dst — the hot-path replacement for the map
+	// walks in routeFrom/localTarget. Rebuilt with the BFS tables.
+	routeTbl [][]routeEntry
+
+	// freeFlits is the deterministic flit free-list (see NewFlit /
+	// ReleaseFlit). A plain LIFO slice, never sync.Pool: each Network is
+	// single-threaded, so recycling order is reproducible and race-free
+	// even when the parallel harness runs many networks at once.
+	freeFlits []*Flit
 
 	// ITagEnabled / ETagEnabled toggle the starvation and deflection
 	// control tags (on by default; the tag ablation turns them off).
@@ -128,17 +144,11 @@ func (n *Network) AddRing(positions int, full bool) *Ring {
 		net:       n,
 		positions: positions,
 		full:      full,
-		cw:        make([]slot, positions),
-		byPos:     make(map[int]*CrossStation),
+		stationAt: make([]*CrossStation, positions),
 	}
-	for i := range r.cw {
-		r.cw[i].itagOwner = noTag
-	}
+	r.cw.init(positions)
 	if full {
-		r.ccw = make([]slot, positions)
-		for i := range r.ccw {
-			r.ccw[i].itagOwner = noTag
-		}
+		r.ccw.init(positions)
 	}
 	n.rings = append(n.rings, r)
 	return r
@@ -183,6 +193,7 @@ func (n *Network) AttachQueued(node NodeID, st *CrossStation, injectDepth, eject
 		panic(fmt.Sprintf("noc: node %q attached twice to ring %d", info.name, st.ring.id))
 	}
 	ni := st.attach(node, injectDepth, ejectDepth)
+	ni.nodeSlot = len(info.ifaces)
 	info.ifaces = append(info.ifaces, ni)
 	info.onRing[st.ring.id] = ni
 	return ni
@@ -193,10 +204,42 @@ func (n *Network) AddDevice(d Device) {
 	n.devices = append(n.devices, d)
 }
 
-// NewFlit mints a flit with a network-unique ID.
+// NewFlit mints a flit with a network-unique ID, reusing storage from the
+// free-list when available. IDs stay strictly monotonic whether or not
+// the struct is recycled, so everything keyed by flit ID (E-tag state,
+// bridge load-balancing, traces) is unaffected by pooling.
 func (n *Network) NewFlit(src, dst NodeID, kind Kind, payloadBytes int) *Flit {
 	n.nextFlitID++
+	if k := len(n.freeFlits); k > 0 {
+		f := n.freeFlits[k-1]
+		n.freeFlits[k-1] = nil
+		n.freeFlits = n.freeFlits[:k-1]
+		*f = Flit{ID: n.nextFlitID, Src: src, Dst: dst, Kind: kind, PayloadBytes: payloadBytes}
+		return f
+	}
 	return &Flit{ID: n.nextFlitID, Src: src, Dst: dst, Kind: kind, PayloadBytes: payloadBytes}
+}
+
+// ReleaseFlit returns a flit to the network's free-list for reuse by a
+// later NewFlit. Callers hand back delivered flits after consuming them
+// (the network itself recycles dropped ones in dropFlit); the flit must
+// not be referenced afterwards. The free-list is a plain LIFO owned by
+// this network — deliberately not a sync.Pool, whose scheduler-dependent
+// recycling would make allocation behaviour (and any accidental
+// use-after-release) nondeterministic across runs and racy across the
+// parallel harness's concurrent networks. Releasing nil is a no-op;
+// releasing twice panics, because the second owner's writes would
+// silently corrupt an unrelated future flit.
+func (n *Network) ReleaseFlit(f *Flit) {
+	if f == nil {
+		return
+	}
+	if f.freed {
+		panic(fmt.Sprintf("noc: flit %d released twice", f.ID))
+	}
+	f.freed = true
+	f.Msg = nil
+	n.freeFlits = append(n.freeFlits, f)
 }
 
 // Finalize freezes the topology and builds the ring-graph routing tables.
@@ -244,6 +287,26 @@ func (n *Network) Finalize() error {
 	}
 	n.finalized = true
 	return nil
+}
+
+// exitPoint is a resolved ring exit: the station position and interface
+// index a flit leaves its current ring at.
+type exitPoint struct {
+	pos, iface int
+}
+
+// routeEntry is one cell of the dense routing table: the exit decision
+// for (current ring, destination node). Remote destinations carry the
+// alive-bridge candidate list towards the next ring, in the same order
+// the incremental map-based router produced (bridge node-ID order with
+// failed bridges filtered out), so the flit-ID load balancing picks
+// identical bridges.
+type routeEntry struct {
+	ok      bool
+	local   bool
+	dstRing RingID
+	exit    exitPoint   // valid when local
+	cands   []exitPoint // valid when remote
 }
 
 // rebuildRoutes recomputes the all-pairs ring-graph BFS from the bridge
@@ -309,6 +372,81 @@ func (n *Network) rebuildRoutes() {
 		n.ringDist[s] = dist
 		n.ringNext[s] = next
 	}
+	n.rebuildRouteTable()
+}
+
+// rebuildRouteTable materialises the dense per-(ring, destination) exit
+// table from the freshly built BFS tables. The per-destination best-ring
+// choice and per-hop bridge candidate ordering replicate routeFrom and
+// the old map-walking localTarget exactly; only the lookup cost changes.
+func (n *Network) rebuildRouteTable() {
+	R := len(n.rings)
+	n.routeTbl = make([][]routeEntry, R)
+	aliveCands := make(map[[2]RingID][]exitPoint)
+	for s := 0; s < R; s++ {
+		rid := RingID(s)
+		entries := make([]routeEntry, len(n.nodes))
+		for id, info := range n.nodes {
+			e := &entries[id]
+			if ni, here := info.onRing[rid]; here {
+				e.ok, e.local, e.dstRing = true, true, rid
+				e.exit = exitPoint{pos: ni.station.pos, iface: ni.index}
+				continue
+			}
+			// Best destination ring: minimal BFS distance, ties to the
+			// lower ring ID (order-independent over the map iteration).
+			best, bestDist := RingID(-1), math.MaxInt32
+			for r := range info.onRing {
+				if d := n.ringDist[s][r]; d < bestDist || (d == bestDist && r < best) {
+					best, bestDist = r, d
+				}
+			}
+			if best < 0 || bestDist == math.MaxInt32 {
+				continue // unreachable: e.ok stays false
+			}
+			next := n.ringNext[s][best]
+			key := [2]RingID{rid, next}
+			cands, seen := aliveCands[key]
+			if !seen {
+				for _, b := range n.bridges[key] {
+					if n.failed[b] {
+						continue
+					}
+					bi := n.nodes[b].onRing[rid]
+					cands = append(cands, exitPoint{pos: bi.station.pos, iface: bi.index})
+				}
+				aliveCands[key] = cands
+			}
+			if len(cands) == 0 {
+				continue // every bridge on the first hop failed
+			}
+			e.ok, e.dstRing, e.cands = true, best, cands
+		}
+		n.routeTbl[s] = entries
+	}
+	n.rebuildForwardTables()
+}
+
+// rebuildForwardTables precomputes, for every bridge node, which onward
+// interface a transit flit continues on per (arrival interface,
+// destination) — the hot bridge-hop decision forwardInterface otherwise
+// recomputes per flit from the BFS tables.
+func (n *Network) rebuildForwardTables() {
+	for _, info := range n.nodes {
+		if len(info.ifaces) < 2 {
+			info.fwd = nil
+			continue
+		}
+		fwd := make([][]*NodeInterface, len(info.ifaces))
+		for ai, arrived := range info.ifaces {
+			row := make([]*NodeInterface, len(n.nodes))
+			for dst := range row {
+				row[dst] = n.computeForward(info, arrived, NodeID(dst))
+			}
+			fwd[ai] = row
+		}
+		info.fwd = fwd
+	}
 }
 
 // MustFinalize panics on Finalize errors; topology construction errors
@@ -319,58 +457,34 @@ func (n *Network) MustFinalize() {
 	}
 }
 
-// routeFrom picks the destination ring and (if remote) the next ring on
-// the path from ring r to node dst. A destination with no surviving path
-// yields a typed *ErrUnreachable.
+// routeFrom picks the destination ring and (if remote) whether the node
+// is local to ring r, from the dense routing table. A destination with no
+// surviving path yields a typed *ErrUnreachable.
 func (n *Network) routeFrom(r RingID, dst NodeID) (dstRing RingID, local bool, err error) {
-	info := n.nodes[dst]
-	if _, here := info.onRing[r]; here {
-		return r, true, nil
-	}
-	best, bestDist := RingID(-1), math.MaxInt32
-	for rid := range info.onRing {
-		if d := n.ringDist[r][rid]; d < bestDist || (d == bestDist && rid < best) {
-			best, bestDist = rid, d
-		}
-	}
-	if best < 0 || bestDist == math.MaxInt32 {
+	e := &n.routeTbl[r][dst]
+	if !e.ok {
 		return 0, false, n.unreachable(r, dst)
 	}
-	return best, false, nil
+	return e.dstRing, e.local, nil
 }
 
 // localTarget returns the station position and interface index a flit on
 // ring r must leave at to reach its destination: the destination itself
 // when local, otherwise a bridge towards the destination's ring. Multiple
 // parallel bridges between the same ring pair are load-balanced by flit
-// ID, which is stable for the flit's lifetime; failed bridges are skipped,
-// and a pair whose every bridge failed is unreachable.
+// ID, which is stable for the flit's lifetime; failed bridges were
+// filtered out of the table at rebuild time, and a pair whose every
+// bridge failed is unreachable.
 func (n *Network) localTarget(r *Ring, f *Flit) (pos, iface int, err error) {
-	dstRing, local, err := n.routeFrom(r.id, f.Dst)
-	if err != nil {
-		return 0, 0, err
-	}
-	if local {
-		ni := n.nodes[f.Dst].onRing[r.id]
-		return ni.station.pos, ni.index, nil
-	}
-	next := n.ringNext[r.id][dstRing]
-	cands := n.bridges[[2]RingID{r.id, next}]
-	if len(n.failed) > 0 {
-		alive := make([]NodeID, 0, len(cands))
-		for _, b := range cands {
-			if !n.failed[b] {
-				alive = append(alive, b)
-			}
-		}
-		cands = alive
-	}
-	if len(cands) == 0 {
+	e := &n.routeTbl[r.id][f.Dst]
+	if !e.ok {
 		return 0, 0, n.unreachable(r.id, f.Dst)
 	}
-	b := cands[int(f.ID)%len(cands)]
-	ni := n.nodes[b].onRing[r.id]
-	return ni.station.pos, ni.index, nil
+	if e.local {
+		return e.exit.pos, e.exit.iface, nil
+	}
+	c := e.cands[int(f.ID)%len(e.cands)]
+	return c.pos, c.iface, nil
 }
 
 // trace records an event when a tracer is attached.
@@ -401,7 +515,7 @@ func (n *Network) flitEjected(ni *NodeInterface, f *Flit, now sim.Cycle) {
 		// flit was appended to the eject queue by this very ejection, so
 		// it is the tail entry; remove it and count the drop instead of
 		// a delivery.
-		ni.eject = ni.eject[:len(ni.eject)-1]
+		ni.eject.popTail()
 		n.dropFlit(f, &n.CorruptDrops, ni.station.ring, trace.Fault, n.nodes[ni.node].name, "corrupt payload discarded")
 		ni.promoteReservations()
 		return

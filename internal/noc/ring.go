@@ -17,6 +17,61 @@ type slot struct {
 	// itagOwner is the reservation key (station position *2 + interface
 	// index) of the interface the slot is reserved for, or noTag.
 	itagOwner int
+	// dst mirrors flit.localDst while the slot is occupied, so the
+	// per-station transit check ("is this flit getting off here?") reads
+	// only the sequentially laid-out slot array instead of chasing the
+	// flit pointer. Refreshed on injection and live-flit rerouting;
+	// meaningless while flit is nil.
+	dst int32
+}
+
+// loop is one direction's circulating slot storage. The slots never move
+// in memory: rotation is virtual. head is the physical index of logical
+// position 0, so advancing the loop is one index update instead of an
+// O(positions) copy, and at() maps logical position to physical storage.
+// head stays in [0, len(slots)) forever — it cannot overflow no matter
+// how many cycles the simulation runs.
+type loop struct {
+	slots []slot
+	head  int // physical index of logical position 0
+	occ   int // occupied slots (flit != nil), kept by inject/eject/drop
+}
+
+// init allocates the loop's storage with every slot free and untagged.
+func (l *loop) init(positions int) {
+	l.slots = make([]slot, positions)
+	for i := range l.slots {
+		l.slots[i].itagOwner = noTag
+	}
+}
+
+// at returns the slot currently at logical position pos. Both head and
+// pos are in [0, n), so one conditional subtraction replaces a modulo.
+func (l *loop) at(pos int) *slot {
+	i := l.head + pos
+	if n := len(l.slots); i >= n {
+		i -= n
+	}
+	return &l.slots[i]
+}
+
+// rotateHigh virtually moves every slot towards higher positions (the
+// clockwise travel direction): the slot that was at position p is now at
+// p+1, so logical position 0 maps one physical index earlier.
+func (l *loop) rotateHigh() {
+	if l.head == 0 {
+		l.head = len(l.slots)
+	}
+	l.head--
+}
+
+// rotateLow virtually moves every slot towards lower positions (the
+// counter-clockwise travel direction).
+func (l *loop) rotateLow() {
+	l.head++
+	if l.head == len(l.slots) {
+		l.head = 0
+	}
 }
 
 // Ring is one slotted loop (or pair of loops for a full ring). Positions
@@ -28,11 +83,11 @@ type Ring struct {
 	net       *Network
 	positions int
 	full      bool
-	// cw[p] is the slot currently at position p of the clockwise loop;
-	// ccw is nil for half rings.
-	cw, ccw  []slot
-	stations []*CrossStation // ordered by position
-	byPos    map[int]*CrossStation
+	// cw holds the clockwise loop; ccw the counter-clockwise one
+	// (ccw.slots is nil for half rings).
+	cw, ccw   loop
+	stations  []*CrossStation // ordered by position
+	stationAt []*CrossStation // dense position index (nil = no station)
 }
 
 // ID returns the ring identifier.
@@ -48,7 +103,12 @@ func (r *Ring) Full() bool { return r.full }
 func (r *Ring) Stations() []*CrossStation { return r.stations }
 
 // Station returns the station at pos, or nil.
-func (r *Ring) Station(pos int) *CrossStation { return r.byPos[pos] }
+func (r *Ring) Station(pos int) *CrossStation {
+	if pos < 0 || pos >= len(r.stationAt) {
+		return nil
+	}
+	return r.stationAt[pos]
+}
 
 // AddStation places a cross station at the given position. Positions must
 // be unique and inside the loop.
@@ -56,11 +116,11 @@ func (r *Ring) AddStation(pos int) *CrossStation {
 	if pos < 0 || pos >= r.positions {
 		panic(fmt.Sprintf("noc: station position %d outside ring of %d positions", pos, r.positions))
 	}
-	if _, dup := r.byPos[pos]; dup {
+	if r.stationAt[pos] != nil {
 		panic(fmt.Sprintf("noc: duplicate station at position %d on ring %d", pos, r.id))
 	}
 	st := &CrossStation{ring: r, pos: pos}
-	r.byPos[pos] = st
+	r.stationAt[pos] = st
 	// Keep the slice position-ordered for deterministic ticking.
 	i := len(r.stations)
 	for i > 0 && r.stations[i-1].pos > pos {
@@ -72,55 +132,48 @@ func (r *Ring) AddStation(pos int) *CrossStation {
 	return st
 }
 
+// loopFor returns the loop carrying direction d.
+func (r *Ring) loopFor(d Direction) *loop {
+	if d == CW {
+		return &r.cw
+	}
+	return &r.ccw
+}
+
 // advance moves every slot one position in its direction of travel: the
 // clockwise loop rotates towards higher positions, the counter-clockwise
-// loop towards lower positions. Occupied slots accumulate one hop, which
-// is how wire distance turns into latency.
+// loop towards lower positions. Rotation is virtual (a head-offset
+// update), so the cost is O(1) regardless of ring length. Occupied slots
+// accumulate one hop each — accounted network-wide from the occupancy
+// counters here, and folded into each flit's Hops lazily (see settleHops)
+// from the cycle it boarded its slot.
 func (r *Ring) advance() {
-	rotateRight(r.cw)
-	if r.ccw != nil {
-		rotateLeft(r.ccw)
-	}
-	for i := range r.cw {
-		if r.cw[i].flit != nil {
-			r.cw[i].flit.Hops++
-			r.net.TotalHops++
-		}
-	}
-	if r.ccw != nil {
-		for i := range r.ccw {
-			if r.ccw[i].flit != nil {
-				r.ccw[i].flit.Hops++
-				r.net.TotalHops++
-			}
-		}
+	r.cw.rotateHigh()
+	r.net.TotalHops += uint64(r.cw.occ)
+	if r.full {
+		r.ccw.rotateLow()
+		r.net.TotalHops += uint64(r.ccw.occ)
 	}
 }
 
-func rotateRight(s []slot) {
-	if len(s) < 2 {
-		return
-	}
-	last := s[len(s)-1]
-	copy(s[1:], s[:len(s)-1])
-	s[0] = last
-}
-
-func rotateLeft(s []slot) {
-	if len(s) < 2 {
-		return
-	}
-	first := s[0]
-	copy(s[:len(s)-1], s[1:])
-	s[len(s)-1] = first
+// settleHops folds the hops a flit accrued since boarding its current
+// slot into f.Hops. Every slot advance since f.boarded moved the flit one
+// position, so the lazily materialised count equals the per-advance
+// increments the eager implementation performed. Call it whenever the
+// flit leaves a slot or its Hops field is observed mid-flight;
+// re-stamping boarded makes settling idempotent.
+func (r *Ring) settleHops(f *Flit) {
+	now := r.net.now
+	f.Hops += int(now - f.boarded)
+	f.boarded = now
 }
 
 // slotAt returns the slot currently at position pos for direction d.
 func (r *Ring) slotAt(d Direction, pos int) *slot {
 	if d == CW {
-		return &r.cw[pos]
+		return r.cw.at(pos)
 	}
-	return &r.ccw[pos]
+	return r.ccw.at(pos)
 }
 
 // distance returns how many positions a flit travels from 'from' to 'to'
@@ -138,7 +191,15 @@ func (r *Ring) shortestDir(from, to int) Direction {
 	if !r.full {
 		return CW
 	}
-	if r.distance(CW, from, to) <= r.distance(CCW, from, to) {
+	// Branchless-modulo form of distance(CW) <= distance(CCW): with
+	// cw = (to-from) mod n, the CCW distance is (n-cw) mod n, so CW wins
+	// (ties clockwise) exactly when 2*cw <= n. Avoids two integer
+	// divisions on the per-injection routing path.
+	cw := to - from
+	if cw < 0 {
+		cw += r.positions
+	}
+	if cw*2 <= r.positions {
 		return CW
 	}
 	return CCW
@@ -152,18 +213,22 @@ func (r *Ring) tick(now sim.Cycle) {
 	}
 }
 
-// LiveFlits returns the flits currently circulating on the ring.
+// LiveFlits returns the flits currently circulating on the ring, CW loop
+// then CCW loop, position ascending. Observation settles each flit's
+// lazily-accounted hops.
 func (r *Ring) LiveFlits() []*Flit {
 	var out []*Flit
-	for i := range r.cw {
-		if r.cw[i].flit != nil {
-			out = append(out, r.cw[i].flit)
+	for p := 0; p < r.positions; p++ {
+		if f := r.cw.at(p).flit; f != nil {
+			r.settleHops(f)
+			out = append(out, f)
 		}
 	}
-	if r.ccw != nil {
-		for i := range r.ccw {
-			if r.ccw[i].flit != nil {
-				out = append(out, r.ccw[i].flit)
+	if r.full {
+		for p := 0; p < r.positions; p++ {
+			if f := r.ccw.at(p).flit; f != nil {
+				r.settleHops(f)
+				out = append(out, f)
 			}
 		}
 	}
@@ -171,19 +236,4 @@ func (r *Ring) LiveFlits() []*Flit {
 }
 
 // occupancy returns the number of occupied slots across both loops.
-func (r *Ring) occupancy() int {
-	n := 0
-	for i := range r.cw {
-		if r.cw[i].flit != nil {
-			n++
-		}
-	}
-	if r.ccw != nil {
-		for i := range r.ccw {
-			if r.ccw[i].flit != nil {
-				n++
-			}
-		}
-	}
-	return n
-}
+func (r *Ring) occupancy() int { return r.cw.occ + r.ccw.occ }

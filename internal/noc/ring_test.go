@@ -32,24 +32,46 @@ func TestHalfRingAlwaysCW(t *testing.T) {
 	if got := r.shortestDir(2, 1); got != CW {
 		t.Fatalf("half ring must route CW, got %v", got)
 	}
-	if r.ccw != nil {
+	if r.ccw.slots != nil {
 		t.Fatal("half ring must not allocate a CCW loop")
 	}
+}
+
+// placeFlit puts a flit directly into a loop slot at a logical position,
+// maintaining the occupancy counter and boarding stamp the way a real
+// injection would — the test-side stand-in for CrossStation.inject.
+func placeFlit(r *Ring, l *loop, pos int, f *Flit) {
+	s := l.at(pos)
+	if s.flit != nil {
+		panic("placeFlit: slot occupied")
+	}
+	s.flit = f
+	s.dst = int32(f.localDst)
+	f.boarded = r.net.now
+	l.occ++
 }
 
 func TestRingAdvanceRotation(t *testing.T) {
 	net := NewNetwork("t")
 	r := net.AddRing(4, true)
 	f1, f2 := &Flit{ID: 1}, &Flit{ID: 2}
-	r.cw[0].flit = f1
-	r.ccw[3].flit = f2
+	placeFlit(r, &r.cw, 0, f1)
+	placeFlit(r, &r.ccw, 3, f2)
+	net.now = 1 // the advance below belongs to cycle 1
 	r.advance()
-	if r.cw[1].flit != f1 {
+	if r.cw.at(1).flit != f1 {
 		t.Fatal("CW slot did not move 0 -> 1")
 	}
-	if r.ccw[2].flit != f2 {
+	if r.ccw.at(2).flit != f2 {
 		t.Fatal("CCW slot did not move 3 -> 2")
 	}
+	// Hop accounting: the network-wide counter updates at advance time
+	// from the occupancy counters; per-flit hops materialise on demand.
+	if net.TotalHops != 2 {
+		t.Fatalf("TotalHops = %d, want 2", net.TotalHops)
+	}
+	r.settleHops(f1)
+	r.settleHops(f2)
 	if f1.Hops != 1 || f2.Hops != 1 {
 		t.Fatalf("hops = %d,%d", f1.Hops, f2.Hops)
 	}
@@ -57,7 +79,7 @@ func TestRingAdvanceRotation(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		r.advance()
 	}
-	if r.cw[0].flit != f1 || r.ccw[3].flit != f2 {
+	if r.cw.at(0).flit != f1 || r.ccw.at(3).flit != f2 {
 		t.Fatal("slots did not wrap around the loop")
 	}
 }
@@ -65,12 +87,12 @@ func TestRingAdvanceRotation(t *testing.T) {
 func TestRingAdvanceCarriesITags(t *testing.T) {
 	net := NewNetwork("t")
 	r := net.AddRing(4, false)
-	r.cw[0].itagOwner = 7
+	r.cw.at(0).itagOwner = 7
 	r.advance()
-	if r.cw[1].itagOwner != 7 {
+	if r.cw.at(1).itagOwner != 7 {
 		t.Fatal("I-tag did not circulate with its slot")
 	}
-	if r.cw[0].itagOwner != noTag {
+	if r.cw.at(0).itagOwner != noTag {
 		t.Fatal("vacated position kept the tag")
 	}
 }
@@ -96,8 +118,8 @@ func TestRingOccupancy(t *testing.T) {
 	if r.occupancy() != 0 {
 		t.Fatal("fresh ring not empty")
 	}
-	r.cw[1].flit = &Flit{}
-	r.ccw[2].flit = &Flit{}
+	placeFlit(r, &r.cw, 1, &Flit{})
+	placeFlit(r, &r.ccw, 2, &Flit{})
 	if r.occupancy() != 2 {
 		t.Fatalf("occupancy = %d", r.occupancy())
 	}

@@ -23,37 +23,114 @@ const (
 // cycle"); we keep it configurable for the ablation bench.
 const ITagThreshold = 1
 
+// popFlit removes and returns the front of a flit queue by shifting in
+// place, keeping the backing array alive so fixed-capacity queues never
+// reallocate. The vacated tail is nilled so dead flits are not pinned.
+func popFlit(q *[]*Flit) *Flit {
+	s := *q
+	f := s[0]
+	copy(s, s[1:])
+	s[len(s)-1] = nil
+	*q = s[: len(s)-1 : cap(s)]
+	return f
+}
+
+// flitRing is a fixed-capacity circular flit queue: the backing array is
+// allocated once and pops move a head index instead of shifting
+// pointers, so the hot enqueue/dequeue path writes exactly one pointer
+// per operation (shifting a []*Flit costs a bulk GC write barrier per
+// pop, which profiles as a top-five cost at simulation rates).
+type flitRing struct {
+	buf  []*Flit
+	head int
+	n    int
+}
+
+func newFlitRing(capacity int) flitRing { return flitRing{buf: make([]*Flit, capacity)} }
+
+func (q *flitRing) len() int { return q.n }
+func (q *flitRing) cap() int { return len(q.buf) }
+
+// push appends at the tail; the caller has already checked capacity.
+func (q *flitRing) push(f *Flit) {
+	i := q.head + q.n
+	if i >= len(q.buf) {
+		i -= len(q.buf)
+	}
+	q.buf[i] = f
+	q.n++
+}
+
+// pop removes and returns the head; the caller has already checked len.
+func (q *flitRing) pop() *Flit {
+	f := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
+	q.n--
+	return f
+}
+
+// popTail removes and returns the most recently pushed entry (used to
+// back out a just-completed ejection when fault injection corrupts it).
+func (q *flitRing) popTail() *Flit {
+	q.n--
+	i := q.head + q.n
+	if i >= len(q.buf) {
+		i -= len(q.buf)
+	}
+	f := q.buf[i]
+	q.buf[i] = nil
+	return f
+}
+
+// at returns the i-th entry in FIFO order (0 = head); i < len.
+func (q *flitRing) at(i int) *Flit {
+	j := q.head + i
+	if j >= len(q.buf) {
+		j -= len(q.buf)
+	}
+	return q.buf[j]
+}
+
 // NodeInterface connects one device to a cross station. It owns the
 // bounded Inject Queue and Eject Queue of Figure 7(A).
 type NodeInterface struct {
 	node    NodeID
 	station *CrossStation
 	index   int // 0 or 1 within the station
+	// nodeSlot is this interface's index in the owning node's interface
+	// list — the row key into the node's precomputed forwarding table.
+	nodeSlot int
 
-	inject []*Flit
-	eject  []*Flit
+	inject flitRing
+	eject  flitRing
 	// bypass is the deadlock-escape injection lane: flits rescued by a
 	// bridge's SWAP machinery queue here and take priority over the
 	// normal inject queue, so the escape path has reserved resources end
 	// to end (Section 4.4's "reserved Tx buffers are activated").
-	bypass []*Flit
-
-	injectCap int
-	ejectCap  int
-	bypassCap int
+	bypass flitRing
 
 	// E-tag state: IDs of deflected flits waiting for an eject
-	// reservation (FIFO + membership set), and the currently reserved
-	// IDs. reservedCount eject entries are held back for them.
-	wantEject     []uint64
-	wantEjectSet  map[uint64]struct{}
-	reserved      map[uint64]struct{}
-	reservedCount int
+	// reservation (FIFO order) and the currently reserved IDs, for which
+	// len(reserved) eject entries are held back. Both lists are tiny
+	// (bounded by the eject pressure at one interface), so membership is
+	// a linear scan over a few words — cheaper and allocation-free
+	// compared to the map[uint64]struct{} they replace.
+	wantEject []uint64
+	reserved  []uint64
 
 	// I-tag state: consecutive injection defeats of the head flit, and
 	// whether this interface currently owns a circulating I-tag.
 	injectFails int
 	itagArmed   bool
+	// tagSlot is the slot carrying this interface's armed I-tag, so
+	// releasing it is O(1) instead of a scan over every slot. An
+	// interface arms at most one tag at a time (noteDefeat checks
+	// itagArmed); slots never move, so the pointer stays valid.
+	tagSlot *slot
 
 	// swapMode is set by an RBRG-L2 in deadlock-resolution mode: each
 	// ejection at this interface immediately hands the freed slot to the
@@ -82,13 +159,13 @@ func (ni *NodeInterface) Ring() *Ring { return ni.station.ring }
 func (ni *NodeInterface) key() int { return ni.station.pos*2 + ni.index }
 
 // InjectSpace returns how many more flits the inject queue accepts.
-func (ni *NodeInterface) InjectSpace() int { return ni.injectCap - len(ni.inject) }
+func (ni *NodeInterface) InjectSpace() int { return ni.inject.cap() - ni.inject.len() }
 
 // InjectLen returns the current inject-queue depth.
-func (ni *NodeInterface) InjectLen() int { return len(ni.inject) }
+func (ni *NodeInterface) InjectLen() int { return ni.inject.len() }
 
 // EjectLen returns the current eject-queue depth.
-func (ni *NodeInterface) EjectLen() int { return len(ni.eject) }
+func (ni *NodeInterface) EjectLen() int { return ni.eject.len() }
 
 // Send enqueues a flit for injection onto this interface's ring. It
 // returns false when the inject queue is full; the caller retries next
@@ -100,13 +177,13 @@ func (ni *NodeInterface) EjectLen() int { return len(ni.eject) }
 // false would make the sender spin retrying a flit no topology change
 // short of a repair can route.
 func (ni *NodeInterface) Send(f *Flit) bool {
-	if len(ni.inject) >= ni.injectCap {
+	if ni.inject.n >= len(ni.inject.buf) {
 		return false
 	}
 	if !ni.route(f) {
 		return true // unroutable: counted and dropped, nothing queued
 	}
-	ni.inject = append(ni.inject, f)
+	ni.inject.push(f)
 	return true
 }
 
@@ -115,19 +192,19 @@ func (ni *NodeInterface) Send(f *Flit) bool {
 // the reserved escape-lane depth. Unroutable flits are swallowed and
 // counted as in Send.
 func (ni *NodeInterface) SendPriority(f *Flit) bool {
-	if len(ni.bypass) >= ni.bypassCap {
+	if ni.bypass.n >= len(ni.bypass.buf) {
 		return false
 	}
 	if !ni.route(f) {
 		return true
 	}
-	ni.bypass = append(ni.bypass, f)
+	ni.bypass.push(f)
 	return true
 }
 
 // BypassSpace returns free escape-lane entries (the credit pool for
 // escape transfers towards this interface).
-func (ni *NodeInterface) BypassSpace() int { return ni.bypassCap - len(ni.bypass) }
+func (ni *NodeInterface) BypassSpace() int { return ni.bypass.cap() - ni.bypass.len() }
 
 // route validates and computes a flit's path on this interface's ring.
 // It returns false when the destination is unreachable: the flit has
@@ -160,26 +237,25 @@ func (ni *NodeInterface) route(f *Flit) bool {
 // Recv dequeues the oldest ejected flit, or nil. Draining the eject queue
 // is what frees buffer entries for E-tag reservations.
 func (ni *NodeInterface) Recv() *Flit {
-	if len(ni.eject) == 0 {
+	if ni.eject.n == 0 {
 		return nil
 	}
-	f := ni.eject[0]
-	ni.eject = ni.eject[1:]
+	f := ni.eject.pop()
 	ni.promoteReservations()
 	return f
 }
 
 // Peek returns the oldest ejected flit without removing it.
 func (ni *NodeInterface) Peek() *Flit {
-	if len(ni.eject) == 0 {
+	if ni.eject.n == 0 {
 		return nil
 	}
-	return ni.eject[0]
+	return ni.eject.buf[ni.eject.head]
 }
 
 // freeEjectEntries is the number of unreserved free eject entries.
 func (ni *NodeInterface) freeEjectEntries() int {
-	return ni.ejectCap - len(ni.eject) - ni.reservedCount
+	return ni.eject.cap() - ni.eject.n - len(ni.reserved)
 }
 
 // promoteReservations converts freed eject capacity into reservations for
@@ -190,11 +266,44 @@ func (ni *NodeInterface) promoteReservations() {
 	}
 	for len(ni.wantEject) > 0 && ni.freeEjectEntries() > 0 {
 		id := ni.wantEject[0]
-		ni.wantEject = ni.wantEject[1:]
-		delete(ni.wantEjectSet, id)
-		ni.reserved[id] = struct{}{}
-		ni.reservedCount++
+		copy(ni.wantEject, ni.wantEject[1:])
+		ni.wantEject = ni.wantEject[:len(ni.wantEject)-1]
+		ni.reserved = append(ni.reserved, id)
 	}
+}
+
+// hasReservation reports whether the flit ID holds an eject reservation.
+func (ni *NodeInterface) hasReservation(id uint64) bool {
+	for _, r := range ni.reserved {
+		if r == id {
+			return true
+		}
+	}
+	return false
+}
+
+// dropReservation removes the flit ID's eject reservation if present.
+func (ni *NodeInterface) dropReservation(id uint64) bool {
+	for i, r := range ni.reserved {
+		if r == id {
+			last := len(ni.reserved) - 1
+			ni.reserved[i] = ni.reserved[last]
+			ni.reserved = ni.reserved[:last]
+			return true
+		}
+	}
+	return false
+}
+
+// wantsEject reports whether the flit ID is already registered for a
+// future reservation.
+func (ni *NodeInterface) wantsEject(id uint64) bool {
+	for _, w := range ni.wantEject {
+		if w == id {
+			return true
+		}
+	}
+	return false
 }
 
 // tryEject attempts to take an arriving flit off the ring. A flit with a
@@ -202,22 +311,19 @@ func (ni *NodeInterface) promoteReservations() {
 // unreserved entry. On failure the flit is registered for a future
 // reservation and the caller deflects it.
 func (ni *NodeInterface) tryEject(f *Flit) bool {
-	if _, ok := ni.reserved[f.ID]; ok {
-		delete(ni.reserved, f.ID)
-		ni.reservedCount--
-		ni.eject = append(ni.eject, f)
+	if ni.dropReservation(f.ID) {
+		ni.eject.push(f)
 		ni.EjectedFlits++
 		ni.EjectedPayload += uint64(f.PayloadBytes)
 		return true
 	}
 	if ni.freeEjectEntries() > 0 {
-		ni.eject = append(ni.eject, f)
+		ni.eject.push(f)
 		ni.EjectedFlits++
 		ni.EjectedPayload += uint64(f.PayloadBytes)
 		return true
 	}
-	if _, pending := ni.wantEjectSet[f.ID]; !pending {
-		ni.wantEjectSet[f.ID] = struct{}{}
+	if !ni.wantsEject(f.ID) {
 		ni.wantEject = append(ni.wantEject, f.ID)
 	}
 	return false
@@ -226,23 +332,23 @@ func (ni *NodeInterface) tryEject(f *Flit) bool {
 // head returns the next flit to inject: escape-lane flits first, then
 // the normal inject queue.
 func (ni *NodeInterface) head() *Flit {
-	if len(ni.bypass) > 0 {
-		return ni.bypass[0]
+	if ni.bypass.n > 0 {
+		return ni.bypass.buf[ni.bypass.head]
 	}
-	if len(ni.inject) == 0 {
+	if ni.inject.n == 0 {
 		return nil
 	}
-	return ni.inject[0]
+	return ni.inject.buf[ni.inject.head]
 }
 
 // popHead removes the current head after a successful injection or local
 // transfer.
 func (ni *NodeInterface) popHead() {
-	if len(ni.bypass) > 0 {
-		ni.bypass = ni.bypass[1:]
+	if ni.bypass.n > 0 {
+		ni.bypass.pop()
 		return
 	}
-	ni.inject = ni.inject[1:]
+	ni.inject.pop()
 	ni.injectFails = 0
 }
 
@@ -262,25 +368,22 @@ func (ni *NodeInterface) noteDefeat(s *slot) {
 	if s.itagOwner == noTag {
 		s.itagOwner = ni.key()
 		ni.itagArmed = true
+		ni.tagSlot = s
 	}
 }
 
-// releaseTags clears any circulating I-tag owned by this interface.
+// releaseTags clears the circulating I-tag owned by this interface. The
+// armed slot is remembered at arming time, so release is O(1); the
+// ownership re-check makes a stale pointer (slot re-tagged by someone
+// else after an external clear) harmless.
 func (ni *NodeInterface) releaseTags() {
-	r := ni.station.ring
-	k := ni.key()
-	for i := range r.cw {
-		if r.cw[i].itagOwner == k {
-			r.cw[i].itagOwner = noTag
-		}
+	if ni.tagSlot == nil {
+		return
 	}
-	if r.ccw != nil {
-		for i := range r.ccw {
-			if r.ccw[i].itagOwner == k {
-				r.ccw[i].itagOwner = noTag
-			}
-		}
+	if ni.tagSlot.itagOwner == ni.key() {
+		ni.tagSlot.itagOwner = noTag
 	}
+	ni.tagSlot = nil
 }
 
 // CrossStation is the ring access point of Figure 7(A): it carries
@@ -309,19 +412,20 @@ func (st *CrossStation) Pos() int { return st.pos }
 func (st *CrossStation) Interface(i int) *NodeInterface { return st.ifaces[i] }
 
 // attach connects a device to the first free interface; stations carry at
-// most two devices (Figure 7(A)).
+// most two devices (Figure 7(A)). The queues get their full backing
+// storage up front: combined with shift-in-place pops they never
+// reallocate for the life of the simulation.
 func (st *CrossStation) attach(node NodeID, injectDepth, ejectDepth int) *NodeInterface {
 	for i := range st.ifaces {
 		if st.ifaces[i] == nil {
+			const bypassDepth = 4
 			ni := &NodeInterface{
-				node:         node,
-				station:      st,
-				index:        i,
-				injectCap:    injectDepth,
-				ejectCap:     ejectDepth,
-				bypassCap:    4,
-				wantEjectSet: make(map[uint64]struct{}),
-				reserved:     make(map[uint64]struct{}),
+				node:    node,
+				station: st,
+				index:   i,
+				inject:  newFlitRing(injectDepth),
+				eject:   newFlitRing(ejectDepth),
+				bypass:  newFlitRing(bypassDepth),
 			}
 			st.ifaces[i] = ni
 			return ni
@@ -337,10 +441,30 @@ func (st *CrossStation) tick(now sim.Cycle) {
 	if now < st.stalledUntil {
 		return
 	}
-	st.localTransfers(now)
-	st.handleDirection(CW, now)
+	// Resolve this position's slots once; the handlers below reuse them
+	// so the offset mapping is paid once per direction, not once per
+	// handler. With nothing queued at either interface and no flit at
+	// this position in either direction, every handler is a no-op — no
+	// arrival to eject, no candidate to arbitrate, nothing to transfer.
+	// Most stations are idle most cycles, so this check is where ring
+	// ticking spends its time.
+	ni0, ni1 := st.ifaces[0], st.ifaces[1]
+	queued := (ni0 != nil && ni0.inject.n+ni0.bypass.n > 0) ||
+		(ni1 != nil && ni1.inject.n+ni1.bypass.n > 0)
+	cw := st.ring.cw.at(st.pos)
+	var ccw *slot
 	if st.ring.full {
-		st.handleDirection(CCW, now)
+		ccw = st.ring.ccw.at(st.pos)
+	}
+	if !queued && cw.flit == nil && (ccw == nil || ccw.flit == nil) {
+		return
+	}
+	if queued {
+		st.localTransfers(now)
+	}
+	st.handleDirection(CW, cw, now)
+	if ccw != nil {
+		st.handleDirection(CCW, ccw, now)
 	}
 }
 
@@ -369,10 +493,10 @@ func (st *CrossStation) localTransfers(now sim.Cycle) {
 	}
 }
 
-// handleDirection processes one direction's slot at this station.
-func (st *CrossStation) handleDirection(d Direction, now sim.Cycle) {
-	s := st.ring.slotAt(d, st.pos)
-	if f := s.flit; f != nil && f.localDst == st.pos {
+// handleDirection processes one direction's slot (already resolved by
+// tick) at this station.
+func (st *CrossStation) handleDirection(d Direction, s *slot, now sim.Cycle) {
+	if f := s.flit; f != nil && int(s.dst) == st.pos {
 		dst := st.ifaces[f.localIface]
 		if dst == nil {
 			panic(fmt.Sprintf("noc: flit %d addressed to missing interface %d at ring %d pos %d",
@@ -380,10 +504,12 @@ func (st *CrossStation) handleDirection(d Direction, now sim.Cycle) {
 		}
 		if dst.tryEject(f) {
 			s.flit = nil
+			st.ring.loopFor(d).occ--
+			st.ring.settleHops(f)
 			st.ring.net.flitEjected(dst, f, now)
 			if dst.swapMode {
 				if h := dst.head(); h != nil && h.localDst != st.pos && h.dir == d {
-					st.inject(dst, s)
+					st.inject(dst, s, d)
 					st.ring.net.trace(traceSwap, h.ID, st.ring.net.nodes[dst.node].name, "")
 				}
 			}
@@ -406,8 +532,7 @@ func (st *CrossStation) arbitrateInject(d Direction, s *slot) {
 	var cand [2]*NodeInterface
 	n := 0
 	for i := 0; i < 2; i++ {
-		idx := (st.rr + i) % 2
-		ni := st.ifaces[idx]
+		ni := st.ifaces[st.rr^i] // rr is 0 or 1, so ^i is the round-robin order
 		if ni == nil {
 			continue
 		}
@@ -437,7 +562,7 @@ func (st *CrossStation) arbitrateInject(d Direction, s *slot) {
 		// Reserved free slot: only the owner may take it.
 		for i := 0; i < n; i++ {
 			if cand[i].key() == s.itagOwner {
-				st.inject(cand[i], s)
+				st.inject(cand[i], s, d)
 				return
 			}
 		}
@@ -447,7 +572,7 @@ func (st *CrossStation) arbitrateInject(d Direction, s *slot) {
 		return
 	}
 	winner := cand[0]
-	st.inject(winner, s)
+	st.inject(winner, s, d)
 	for i := 1; i < n; i++ {
 		cand[i].noteDefeat(s)
 	}
@@ -455,11 +580,17 @@ func (st *CrossStation) arbitrateInject(d Direction, s *slot) {
 
 // inject puts the interface's head flit into the (free) slot, releasing
 // the I-tag if this injection consumed the interface's reservation.
-func (st *CrossStation) inject(ni *NodeInterface, s *slot) {
+func (st *CrossStation) inject(ni *NodeInterface, s *slot, d Direction) {
 	f := ni.head()
 	s.flit = f
+	s.dst = int32(f.localDst)
+	st.ring.loopFor(d).occ++
+	f.boarded = st.ring.net.now
 	if s.itagOwner == ni.key() {
 		s.itagOwner = noTag
+		if ni.tagSlot == s {
+			ni.tagSlot = nil
+		}
 	}
 	if ni.itagArmed {
 		// The successful injection ends the starvation episode; if the

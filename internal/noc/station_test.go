@@ -173,7 +173,7 @@ func TestETagReservationIsHonored(t *testing.T) {
 	if !ni.tryEject(b) {
 		t.Fatal("reserved flit rejected")
 	}
-	if ni.reservedCount != 0 || len(ni.reserved) != 0 {
+	if len(ni.reserved) != 0 {
 		t.Fatal("reservation not consumed")
 	}
 }
@@ -235,9 +235,9 @@ func TestITagReleaseOnInjection(t *testing.T) {
 	runCycles(net, 30)
 	victim.queue(net.NewFlit(victim.Node(), dst.Node(), KindData, LineBytes))
 	runCycles(net, 770)
-	for i := range r.cw {
-		if r.cw[i].itagOwner != noTag {
-			t.Fatalf("slot %d still reserved by %d after drain", i, r.cw[i].itagOwner)
+	for i := range r.cw.slots {
+		if r.cw.slots[i].itagOwner != noTag {
+			t.Fatalf("slot %d still reserved by %d after drain", i, r.cw.slots[i].itagOwner)
 		}
 	}
 	if victim.iface.itagArmed {

@@ -88,7 +88,7 @@ func (n *Network) throttleSkip(ni *NodeInterface) bool {
 	if t == nil || !t.congested {
 		return false
 	}
-	if len(ni.bypass) > 0 {
+	if ni.bypass.n > 0 {
 		return false
 	}
 	t.opportunitySeq++

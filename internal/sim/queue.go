@@ -1,0 +1,20 @@
+package sim
+
+// PopFront removes and returns the head of *q while keeping the backing
+// array: the remaining elements shift down one place and the vacated tail
+// slot is zeroed so the queue never retains a stale reference (which
+// would pin pooled objects past their release). Device FIFOs in the
+// simulator are short (tens of entries), so the copy is cheaper than the
+// steady reallocation that q = q[1:] + append causes as the slice window
+// walks off the front of its array.
+//
+// The caller must ensure len(*q) > 0.
+func PopFront[T any](q *[]T) T {
+	s := *q
+	v := s[0]
+	copy(s, s[1:])
+	var zero T
+	s[len(s)-1] = zero
+	*q = s[:len(s)-1]
+	return v
+}

@@ -84,11 +84,9 @@ type Replayer struct {
 	ops  []TraceOp
 	next int
 
-	tracker   *chi.Tracker
-	issueAt   map[uint32]sim.Cycle
-	beatsLeft map[uint32]int
-	sendq     []*noc.Flit
-	targetOf  func(addr uint64) noc.NodeID
+	tracker  *chi.Tracker
+	sendq    []*noc.Flit
+	targetOf func(addr uint64) noc.NodeID
 
 	Issued, Completed uint64
 	BytesMoved        uint64
@@ -105,10 +103,8 @@ func NewReplayer(net *noc.Network, name string, ops []TraceOp, outstanding int,
 	}
 	r := &Replayer{
 		name: name, net: net, ops: ops,
-		tracker:   chi.NewTracker(outstanding),
-		issueAt:   make(map[uint32]sim.Cycle),
-		beatsLeft: make(map[uint32]int),
-		targetOf:  targetOf,
+		tracker:  chi.NewTracker(outstanding),
+		targetOf: targetOf,
 	}
 	node := net.NewNode(name)
 	r.iface = net.Attach(node, st)
@@ -138,13 +134,13 @@ func (r *Replayer) Tick(now sim.Cycle) {
 		m := chi.MsgOf(f)
 		req := r.tracker.Lookup(m.TxnID)
 		if req == nil {
+			r.net.ReleaseFlit(f)
 			continue
 		}
 		switch m.Op {
 		case chi.CompData:
-			r.beatsLeft[m.TxnID]--
-			if r.beatsLeft[m.TxnID] <= 0 {
-				delete(r.beatsLeft, m.TxnID)
+			req.BeatsLeft--
+			if req.BeatsLeft <= 0 {
 				r.finish(req)
 			}
 		case chi.DBIDResp:
@@ -156,9 +152,10 @@ func (r *Replayer) Tick(now sim.Cycle) {
 		case chi.Comp:
 			r.finish(req)
 		}
+		r.net.ReleaseFlit(f)
 	}
 	for len(r.sendq) > 0 && r.iface.Send(r.sendq[0]) {
-		r.sendq = r.sendq[1:]
+		sim.PopFront(&r.sendq)
 	}
 	// Issue trace ops whose recorded time has come.
 	for r.next < len(r.ops) && len(r.sendq) == 0 {
@@ -185,23 +182,22 @@ func (r *Replayer) Tick(now sim.Cycle) {
 		}
 		r.sendq = append(r.sendq, m.NewFlit(r.net, r.Node(), dst))
 		if !op.Write {
-			r.beatsLeft[m.TxnID] = m.Beats()
+			m.BeatsLeft = m.Beats()
 		}
-		r.issueAt[m.TxnID] = now
+		m.IssuedAt = uint64(now)
 		if uint64(now) > op.Cycle {
 			r.SlipCycles += uint64(now) - op.Cycle
 		}
 		r.Issued++
 		r.next++
 		for len(r.sendq) > 0 && r.iface.Send(r.sendq[0]) {
-			r.sendq = r.sendq[1:]
+			sim.PopFront(&r.sendq)
 		}
 	}
 }
 
 func (r *Replayer) finish(req *chi.Message) {
 	r.tracker.Complete(req.TxnID)
-	delete(r.issueAt, req.TxnID)
 	r.Completed++
 	r.BytesMoved += uint64(req.Bytes())
 }

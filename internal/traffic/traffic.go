@@ -137,17 +137,14 @@ type Requester struct {
 	rng   *sim.RNG
 
 	tracker *chi.Tracker
-	issueAt map[uint32]sim.Cycle
 	// per-class in-flight counts when WriteOutstanding splits the pool
 	readsInFlight, writesInFlight int
 	// sendq holds beat flits awaiting injection (multi-beat writes).
 	sendq []*noc.Flit
-	// beatsLeft tracks outstanding read-data beats per transaction.
-	beatsLeft map[uint32]int
-	// retrier is the CHI timeout/retry watcher (nil when disabled);
-	// reqDst remembers each open transaction's server for re-issue.
+	// retrier is the CHI timeout/retry watcher (nil when disabled).
+	// Per-transaction state (issue cycle, read beats left, retry
+	// destination) lives on the tracked chi.Message itself.
 	retrier *chi.Retrier
-	reqDst  map[uint32]noc.NodeID
 
 	// Latency collects per-transaction round trips; ReadLatency and
 	// WriteLatency split it by class.
@@ -172,13 +169,8 @@ func NewRequester(net *noc.Network, name string, cfg RequesterConfig, rng *sim.R
 	tableSize := cfg.Outstanding + cfg.WriteOutstanding
 	r := &Requester{
 		name: name, net: net, cfg: cfg, rng: rng,
-		tracker:   chi.NewTracker(tableSize),
-		issueAt:   make(map[uint32]sim.Cycle),
-		beatsLeft: make(map[uint32]int),
-		retrier:   chi.NewRetrier(cfg.Retry),
-	}
-	if r.retrier.Enabled() {
-		r.reqDst = make(map[uint32]noc.NodeID)
+		tracker: chi.NewTracker(tableSize),
+		retrier: chi.NewRetrier(cfg.Retry),
 	}
 	node := net.NewNode(name)
 	r.iface = net.Attach(node, st)
@@ -234,10 +226,8 @@ func (r *Requester) RetryStats() (retried, aborted uint64) {
 
 // complete finishes a transaction and records its statistics.
 func (r *Requester) complete(req *chi.Message, now sim.Cycle) {
-	lat := uint64(now - r.issueAt[req.TxnID])
-	delete(r.issueAt, req.TxnID)
+	lat := uint64(now) - req.IssuedAt
 	r.retrier.Disarm(req.TxnID)
-	delete(r.reqDst, req.TxnID)
 	r.tracker.Complete(req.TxnID)
 	r.Latency.Add(float64(lat))
 	r.Completed++
@@ -258,9 +248,6 @@ func (r *Requester) complete(req *chi.Message, now sim.Cycle) {
 // raise a machine-check here). No latency sample is recorded — the
 // transaction never completed.
 func (r *Requester) abort(req *chi.Message) {
-	delete(r.issueAt, req.TxnID)
-	delete(r.beatsLeft, req.TxnID)
-	delete(r.reqDst, req.TxnID)
 	r.tracker.Complete(req.TxnID)
 	r.Aborted++
 	if req.IsWrite() {
@@ -282,9 +269,9 @@ func (r *Requester) runRetries(now sim.Cycle) {
 		if !req.IsWrite() {
 			// The whole data burst will be re-sent; stale beats from the
 			// first attempt just complete the transaction sooner.
-			r.beatsLeft[id] = req.Beats()
+			req.BeatsLeft = req.Beats()
 		}
-		r.sendq = append(r.sendq, req.NewFlit(r.net, r.Node(), r.reqDst[id]))
+		r.sendq = append(r.sendq, req.NewFlit(r.net, r.Node(), req.RetryDst))
 		r.net.Trace(trace.Retry, 0, r.name, fmt.Sprintf("txn %d re-issued", id))
 	}
 	for _, id := range abort {
@@ -309,13 +296,13 @@ func (r *Requester) Tick(now sim.Cycle) {
 		m := chi.MsgOf(f)
 		req := r.tracker.Lookup(m.TxnID)
 		if req == nil {
-			continue // stale completion after a drop; ignore
+			r.net.ReleaseFlit(f) // stale completion after a drop; ignore
+			continue
 		}
 		switch m.Op {
 		case chi.CompData:
-			r.beatsLeft[m.TxnID]--
-			if r.beatsLeft[m.TxnID] <= 0 {
-				delete(r.beatsLeft, m.TxnID)
+			req.BeatsLeft--
+			if req.BeatsLeft <= 0 {
 				r.complete(req, now)
 			}
 		case chi.DBIDResp:
@@ -328,6 +315,7 @@ func (r *Requester) Tick(now sim.Cycle) {
 		case chi.Comp:
 			r.complete(req, now)
 		}
+		r.net.ReleaseFlit(f)
 	}
 	// Timeouts next: re-issues join the send queue ahead of new work.
 	if r.retrier != nil {
@@ -335,7 +323,7 @@ func (r *Requester) Tick(now sim.Cycle) {
 	}
 	// Drain queued beats before starting new transactions.
 	for len(r.sendq) > 0 && r.iface.Send(r.sendq[0]) {
-		r.sendq = r.sendq[1:]
+		sim.PopFront(&r.sendq)
 	}
 	// Issue.
 	issues := r.cfg.IssuePerCycle
@@ -389,12 +377,12 @@ func (r *Requester) Tick(now sim.Cycle) {
 		if m.IsWrite() {
 			r.writesInFlight++
 		} else {
-			r.beatsLeft[m.TxnID] = m.Beats()
+			m.BeatsLeft = m.Beats()
 			r.readsInFlight++
 		}
-		r.issueAt[m.TxnID] = now
+		m.IssuedAt = uint64(now)
 		if r.retrier.Enabled() {
-			r.reqDst[m.TxnID] = dst
+			m.RetryDst = dst
 			r.retrier.Arm(m.TxnID, now)
 		}
 		r.Issued++

@@ -45,12 +45,20 @@ type CoreLoad struct {
 	MaxRequests uint64
 }
 
-// memRequest is an in-flight transaction.
+// memRequest is an in-flight transaction. Requests are pooled on the
+// MemSystem free-list, and each carries its two delivery callbacks built
+// once at first allocation: the closures capture only the stable request
+// pointer and read the routing fields (ch, core) at delivery time, so a
+// recycled request reuses them without allocating.
 type memRequest struct {
 	core    int
 	isRead  bool
 	issued  uint64
-	readyAt uint64 // memory service completion time
+	readyAt uint64      // memory service completion time
+	ch      *memChannel // target channel of the current attempt
+
+	enqueue  func(uint64) // fabric delivery of the request leg
+	complete func(uint64) // fabric delivery of the reply leg
 }
 
 // memChannel is one memory controller on the fabric.
@@ -97,6 +105,30 @@ type MemSystem struct {
 	cores []*coreState
 	chans []*memChannel
 	now   uint64
+	free  []*memRequest // recycled requests (LIFO, deterministic order)
+}
+
+// newRequest takes a request from the free-list, or builds one — with its
+// reusable delivery closures — on a cold pool. Recycling is LIFO so the
+// allocation pattern is deterministic run-to-run.
+func (m *MemSystem) newRequest() *memRequest {
+	if n := len(m.free); n > 0 {
+		r := m.free[n-1]
+		m.free[n-1] = nil
+		m.free = m.free[:n-1]
+		return r
+	}
+	r := &memRequest{}
+	r.enqueue = func(uint64) { r.ch.queue = append(r.ch.queue, r) }
+	r.complete = func(uint64) {
+		c := m.cores[r.core]
+		c.inFlight--
+		c.completed++
+		c.BytesMoved += uint64(m.cfg.LineBytes)
+		c.Latency.Add(float64(m.now - r.issued))
+		m.free = append(m.free, r)
+	}
+	return r
 }
 
 // NewMemSystem builds the harness; loads[i] shapes core i.
@@ -145,24 +177,22 @@ func (m *MemSystem) Step() {
 	// Cores issue requests into the fabric.
 	for _, c := range m.cores {
 		if c.retry == nil && c.canIssue() {
-			c.retry = &memRequest{
-				core:   c.index,
-				isRead: c.rng.Bernoulli(c.load.ReadFraction),
-				issued: m.now,
-			}
+			req := m.newRequest()
+			req.core = c.index
+			req.isRead = c.rng.Bernoulli(c.load.ReadFraction)
+			req.issued = m.now
+			c.retry = req
 		}
 		if c.retry == nil {
 			continue
 		}
 		req := c.retry
-		ch := m.chans[c.nextMem]
+		req.ch = m.chans[c.nextMem]
 		payload := m.cfg.LineBytes // writes carry data out
 		if req.isRead {
 			payload = 0 // read request is header-only
 		}
-		ok := f.TrySend(c.node, ch.node, payload, func(uint64) {
-			ch.queue = append(ch.queue, req)
-		})
+		ok := f.TrySend(c.node, req.ch.node, payload, req.enqueue)
 		if ok {
 			c.nextMem = (c.nextMem + 1) % len(m.chans)
 			c.inFlight++
@@ -178,14 +208,12 @@ func (m *MemSystem) Step() {
 		}
 		for len(ch.queue) > 0 && ch.tokens >= float64(m.cfg.LineBytes) {
 			ch.tokens -= float64(m.cfg.LineBytes)
-			req := ch.queue[0]
-			ch.queue = ch.queue[1:]
+			req := sim.PopFront(&ch.queue)
 			req.readyAt = m.now + m.cfg.MemLatency
 			ch.inSvc = append(ch.inSvc, req)
 		}
 		for len(ch.inSvc) > 0 && ch.inSvc[0].readyAt <= m.now {
-			ch.replies = append(ch.replies, ch.inSvc[0])
-			ch.inSvc = ch.inSvc[1:]
+			ch.replies = append(ch.replies, sim.PopFront(&ch.inSvc))
 		}
 		for len(ch.replies) > 0 {
 			req := ch.replies[0]
@@ -194,16 +222,13 @@ func (m *MemSystem) Step() {
 			if !req.isRead {
 				payload = 0 // write ack is header-only
 			}
-			ok := f.TrySend(ch.node, core.node, payload, func(uint64) {
-				core.inFlight--
-				core.completed++
-				core.BytesMoved += uint64(m.cfg.LineBytes)
-				core.Latency.Add(float64(m.now - req.issued))
-			})
-			if !ok {
+			// req.complete recycles the request at delivery time; the
+			// fabrics only deliver from Tick, never inside TrySend, so the
+			// head entry is still valid when we pop it below.
+			if !f.TrySend(ch.node, core.node, payload, req.complete) {
 				break
 			}
-			ch.replies = ch.replies[1:]
+			sim.PopFront(&ch.replies)
 		}
 	}
 	f.Tick()
