@@ -1,7 +1,9 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation section. By default it runs everything at full scale — the
 // run EXPERIMENTS.md records; use -exp to select one and -quick for a
-// fast pass.
+// fast pass. -exp simrun runs a single parameterized simulation with
+// optional checkpoint/resume; the nocd daemon serves the same catalog
+// over HTTP through the identical code paths.
 package main
 
 import (
@@ -21,7 +23,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: all|table5|fig10|fig11|fig12|fig13|table6|table7|fig14|table8|scaleup|area|fabrics|replay|ablations|resilience")
+		"experiment: all|simrun|"+strings.Join(experiments.ExperimentNames(), "|"))
 	quick := flag.Bool("quick", false, "quick scale (smaller systems, shorter windows)")
 	csvDir := flag.String("csv", "", "also write figure data as CSV files into this directory")
 	parallel := flag.Int("parallel", runtime.NumCPU(),
@@ -32,6 +34,13 @@ func main() {
 	metricsInterval := flag.Uint64("metrics-interval", 100, "cycles between series samples for the instrumented reference run")
 	traceChrome := flag.String("trace-chrome", "", "write a Chrome trace-event JSON of the instrumented AI-Processor reference run to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof (profiles + runtime/trace) on this address, e.g. localhost:6060")
+	simTopology := flag.String("sim-topology", "ai-processor", "simrun: topology (ai-processor, server-cpu or custom)")
+	simConfig := flag.String("sim-config", "", "simrun: config JSON file for -sim-topology custom")
+	simCycles := flag.Uint64("sim-cycles", 0, "simrun: cycle budget (0 = scale default)")
+	simSeed := flag.Uint64("sim-seed", 0, "simrun: RNG seed (0 = the golden-digest streams)")
+	checkpointEvery := flag.Uint64("checkpoint-every", 0, "simrun: checkpoint every N cycles (0 = off)")
+	checkpointFile := flag.String("checkpoint", "", "simrun: rolling checkpoint file (written atomically each interval)")
+	resumeFile := flag.String("resume", "", "simrun: resume from this checkpoint file instead of starting fresh")
 	flag.Parse()
 
 	experiments.SetParallelism(*parallel)
@@ -62,49 +71,6 @@ func main() {
 		fmt.Printf("wrote %s\n", path)
 	}
 
-	runs := map[string]func(){
-		"table5": func() { fmt.Println(experiments.RunTable5(scale).Render()) },
-		"fig10":  func() { fmt.Println(experiments.RunFig10(scale).Render()) },
-		"fig11": func() {
-			r := experiments.RunFig11(scale)
-			fmt.Println(r.Render())
-			writeCSV("fig11.csv", r.CSV())
-		},
-		"fig12":  func() { fmt.Println(experiments.RunSpecInt(scale, true).Render()) },
-		"fig13":  func() { fmt.Println(experiments.RunSpecInt(scale, false).Render()) },
-		"table6": func() { fmt.Println(experiments.RunTable6(scale).Render()) },
-		"table7+fig14+table8": func() {
-			t7 := experiments.RunTable7(scale)
-			fmt.Println(t7.Render())
-			fmt.Println(experiments.RunFig14(scale, &t7).Render())
-			fmt.Println(experiments.RunTable8(scale, &t7).Render())
-			writeCSV("table7.csv", t7.CSV())
-			writeCSV("fig14_probes.csv", t7.ProbeCSV())
-		},
-		"scaleup": func() { fmt.Println(experiments.RunScaleUp(scale).Render()) },
-		"area":    func() { fmt.Println(experiments.RunAreaReport(scale).Render()) },
-		"fabrics": func() {
-			r := experiments.RunFabricComparison(scale)
-			fmt.Println(r.Render())
-			writeCSV("fabrics.csv", r.CSV())
-		},
-		"replay": func() { fmt.Println(experiments.RunLayerReplay(scale).Render()) },
-		"resilience": func() {
-			r := experiments.RunResilience(scale)
-			fmt.Println(r.Render())
-			writeCSV("resilience.csv", r.CSV())
-		},
-		"ablations": func() {
-			fmt.Println(experiments.RunAblationBufferless(scale).Render())
-			fmt.Println(experiments.RunAblationHalfFull(scale).Render())
-			fmt.Println(experiments.RunAblationWireFabric(scale).Render())
-			fmt.Println(experiments.RunAblationSwap(scale).Render())
-			fmt.Println(experiments.RunAblationTags(scale).Render())
-			fmt.Println(experiments.RunAblationThrottle(scale).Render())
-		},
-	}
-	order := []string{"table5", "fig10", "fig11", "fig12", "fig13", "table6", "table7+fig14+table8", "scaleup", "area", "fabrics", "replay", "ablations", "resilience"}
-
 	// invoke runs one artifact and reports where its wall clock went:
 	// the serial-equivalent time is the sum of per-job wall clocks, so
 	// wall vs serial shows the speedup the worker pool delivered.
@@ -134,21 +100,39 @@ func main() {
 		}
 	}
 
-	switch *exp {
-	case "all":
-		for _, k := range order {
-			invoke(k, runs[k])
-		}
-	case "table7", "fig14", "table8":
-		invoke("table7+fig14+table8", runs["table7+fig14+table8"])
-	default:
-		run, ok := runs[*exp]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from all, %s\n",
-				*exp, strings.Join(order, ", "))
+	// catalog runs one named experiment through the shared catalog — the
+	// exact dispatch the nocd daemon uses — and writes its artifacts.
+	catalog := func(name string) {
+		a, err := experiments.RunExperiment(name, scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		invoke(*exp, run)
+		fmt.Print(a.Text)
+		files := make([]string, 0, len(a.CSVs))
+		for f := range a.CSVs {
+			files = append(files, f)
+		}
+		sort.Strings(files)
+		for _, f := range files {
+			writeCSV(f, a.CSVs[f])
+		}
+	}
+
+	switch *exp {
+	case "all":
+		for _, k := range experiments.ExperimentNames() {
+			name := k
+			invoke(name, func() { catalog(name) })
+		}
+	case "simrun":
+		if err := runSim(scale, *simTopology, *simConfig, *simCycles, *simSeed,
+			*checkpointEvery, *checkpointFile, *resumeFile, writeCSV); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		invoke(*exp, func() { catalog(*exp) })
 	}
 
 	// The experiments keep instrumentation off so their numbers stay
@@ -160,6 +144,58 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runSim executes one parameterized simulation, mirroring exactly the
+// spec defaults the daemon applies so CLI and service results are
+// byte-identical.
+func runSim(scale experiments.Scale, topology, configFile string, cycles, seed, checkpointEvery uint64,
+	checkpointFile, resumeFile string, writeCSV func(name, data string)) error {
+	spec := experiments.SimSpec{
+		Topology:        topology,
+		Scale:           experiments.ScaleName(scale),
+		Cycles:          cycles,
+		Seed:            seed,
+		CheckpointEvery: checkpointEvery,
+	}
+	if configFile != "" {
+		data, err := os.ReadFile(configFile)
+		if err != nil {
+			return err
+		}
+		spec.Config = string(data)
+	}
+	var resume []byte
+	if resumeFile != "" {
+		data, err := os.ReadFile(resumeFile)
+		if err != nil {
+			return err
+		}
+		resume = data
+	}
+	var ctl *experiments.SimControl
+	if checkpointFile != "" && checkpointEvery > 0 {
+		ctl = &experiments.SimControl{OnCheckpoint: func(data []byte, cycle uint64) error {
+			// Write-then-rename keeps the previous checkpoint intact if
+			// the process dies mid-write.
+			tmp := checkpointFile + ".tmp"
+			if err := os.WriteFile(tmp, data, 0o644); err != nil {
+				return err
+			}
+			if err := os.Rename(tmp, checkpointFile); err != nil {
+				return err
+			}
+			fmt.Printf("checkpoint: cycle %d -> %s (%d bytes)\n", cycle, checkpointFile, len(data))
+			return nil
+		}}
+	}
+	r, err := experiments.RunSim(spec, resume, ctl)
+	if err != nil {
+		return err
+	}
+	fmt.Println(r.Render())
+	writeCSV("simrun.csv", r.CSV())
+	return nil
 }
 
 // writeObserved runs the instrumented AI-Processor reference and writes

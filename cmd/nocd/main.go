@@ -1,0 +1,72 @@
+// Command nocd serves the simulation suite as a job service: POST a job
+// spec, poll its status, stream its results — the same code paths as
+// cmd/experiments, so service results are byte-identical to CLI results.
+// SIGTERM/SIGINT shut down gracefully: running simulations checkpoint,
+// and a restarted daemon with the same -state directory resumes them.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"chipletnoc/internal/experiments"
+	"chipletnoc/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	queueDepth := flag.Int("queue-depth", 16, "max queued jobs before submissions get 429")
+	workers := flag.Int("workers", 2, "concurrent job workers")
+	stateDir := flag.String("state", "", "directory for suspended-job checkpoints (empty = no persistence)")
+	retryAfter := flag.Int("retry-after", 1, "Retry-After seconds advertised on 429")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines inside one experiment job")
+	flag.Parse()
+
+	experiments.SetParallelism(*parallel)
+
+	srv, err := server.New(server.Config{
+		QueueDepth:        *queueDepth,
+		Workers:           *workers,
+		StateDir:          *stateDir,
+		RetryAfterSeconds: *retryAfter,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nocd: %v\n", err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("nocd: listening on http://%s (queue %d, %d workers", *addr, *queueDepth, *workers)
+	if *stateDir != "" {
+		fmt.Printf(", state %s", *stateDir)
+	}
+	fmt.Println(")")
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("nocd: %v — checkpointing in-flight jobs\n", sig)
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "nocd: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Stop accepting HTTP first, then drain the job queue: running sim
+	// jobs suspend at their next checkpoint boundary and persist to
+	// -state for the next daemon instance.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(ctx)
+	srv.Shutdown()
+	fmt.Println("nocd: drained")
+}

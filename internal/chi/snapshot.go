@@ -1,0 +1,151 @@
+// Checkpoint support for the CHI layer: the *Message codec the NoC
+// snapshot machinery uses for flit payloads, plus serialization of the
+// transaction tracker and retry engine.
+//
+// The same *Message is typically referenced from the tracker's open
+// table, a flit in flight, and a memory controller's queue. All three
+// encode through the shared identity pool (noc.SnapEncoder), so the
+// sharing graph survives checkpoint/resume exactly.
+package chi
+
+import (
+	"sort"
+
+	"chipletnoc/internal/noc"
+	"chipletnoc/internal/sim"
+)
+
+// msgCodecID is this package's stable wire tag in the NoC msg-codec
+// registry.
+const msgCodecID = 1
+
+func init() {
+	noc.RegisterMsgCodec(noc.MsgCodec{
+		ID:      msgCodecID,
+		Matches: func(m interface{}) bool { _, ok := m.(*Message); return ok },
+		Encode: func(se *noc.SnapEncoder, m interface{}) {
+			msg := m.(*Message)
+			e := se.E
+			e.PutU32(msg.TxnID)
+			e.PutI64(int64(msg.Op))
+			e.PutU64(msg.Addr)
+			e.PutI64(int64(msg.Requester))
+			e.PutI64(int64(msg.Size))
+			e.PutU64(msg.IssuedAt)
+			e.PutI64(int64(msg.BeatsLeft))
+			e.PutI64(int64(msg.RetryDst))
+		},
+		Decode: func(sd *noc.SnapDecoder) interface{} {
+			d := sd.D
+			m := &Message{}
+			m.TxnID = d.U32()
+			m.Op = Opcode(d.I64())
+			m.Addr = d.U64()
+			m.Requester = noc.NodeID(d.I64())
+			m.Size = int(d.I64())
+			m.IssuedAt = d.U64()
+			m.BeatsLeft = int(d.I64())
+			m.RetryDst = noc.NodeID(d.I64())
+			return m
+		},
+	})
+}
+
+// Snapshot serializes the tracker's open-transaction table through the
+// shared message pool (TxnID order keeps the encoding deterministic).
+func (t *Tracker) Snapshot(se *noc.SnapEncoder) error {
+	se.E.PutI64(int64(t.capacity))
+	se.E.PutU32(t.nextID)
+	ids := make([]uint32, 0, len(t.open))
+	for id := range t.open {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	se.E.PutU32(uint32(len(ids)))
+	for _, id := range ids {
+		se.E.PutU32(id)
+		if err := se.PutMsg(t.open[id]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Restore loads a tracker snapshot; the capacity must match the build.
+func (t *Tracker) Restore(sd *noc.SnapDecoder) error {
+	d := sd.D
+	if c := int(d.I64()); c != t.capacity && d.Err() == nil {
+		d.Fail("tracker capacity %d does not match %d", c, t.capacity)
+	}
+	t.nextID = d.U32()
+	n := d.Count(t.capacity)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	t.open = make(map[uint32]*Message, t.capacity)
+	for i := 0; i < n; i++ {
+		id := d.U32()
+		m, ok := sd.GetMsg().(*Message)
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if !ok || m == nil {
+			d.Fail("tracker entry %d is not a CHI message", i)
+			return d.Err()
+		}
+		t.open[id] = m
+	}
+	return d.Err()
+}
+
+// Snapshot serializes the retry engine's live armed transactions in arm
+// order (dead entries are compaction debris and are skipped; rebuilt
+// state behaves identically because Expired ignores them anyway).
+func (r *Retrier) Snapshot(e *sim.Encoder) {
+	e.PutU64(r.RetriedTxns)
+	e.PutU64(r.AbortedTxns)
+	live := 0
+	for _, a := range r.order {
+		if !a.dead {
+			live++
+		}
+	}
+	e.PutU32(uint32(live))
+	for _, a := range r.order {
+		if a.dead {
+			continue
+		}
+		e.PutU32(a.id)
+		e.PutU64(uint64(a.deadline))
+		e.PutI64(int64(a.attempts))
+	}
+}
+
+// Restore loads a retrier snapshot written by Snapshot.
+func (r *Retrier) Restore(d *sim.Decoder) error {
+	r.RetriedTxns = d.U64()
+	r.AbortedTxns = d.U64()
+	n := d.Count(1 << 20)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	r.byID = make(map[uint32]*armedTxn, n)
+	r.order = r.order[:0]
+	for i := 0; i < n; i++ {
+		a := &armedTxn{
+			id:       d.U32(),
+			deadline: sim.Cycle(d.U64()),
+			attempts: int(d.I64()),
+		}
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if _, dup := r.byID[a.id]; dup {
+			d.Fail("duplicate armed transaction %d", a.id)
+			return d.Err()
+		}
+		r.byID[a.id] = a
+		r.order = append(r.order, a)
+	}
+	return d.Err()
+}

@@ -1,0 +1,21 @@
+package config
+
+import (
+	"io"
+
+	"chipletnoc/internal/noc"
+)
+
+// WriteCheckpoint serializes the full system state in the shared
+// checkpoint format; extra is an opaque caller blob returned verbatim by
+// ReadCheckpoint. Config-built systems checkpoint exactly like the soc
+// builds — same framing, same topology-hash gate.
+func (s *System) WriteCheckpoint(w io.Writer, extra []byte) error {
+	return noc.WriteCheckpoint(w, s.Net, extra)
+}
+
+// ReadCheckpoint restores a checkpoint into this freshly built system
+// and returns the caller blob.
+func (s *System) ReadCheckpoint(r io.Reader) ([]byte, error) {
+	return noc.ReadCheckpoint(r, s.Net)
+}

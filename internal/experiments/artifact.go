@@ -1,0 +1,134 @@
+// The experiment catalog: every table and figure of the evaluation as a
+// named, runnable artifact. cmd/experiments and the nocd daemon both
+// dispatch through RunExperiment, so an experiment served over HTTP is
+// the same code path — and therefore the same bytes — as one run from
+// the CLI.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Artifact is one named experiment's complete output: the rendered text
+// the CLI prints and the CSV files it would write with -csv, keyed by
+// file name.
+type Artifact struct {
+	Name  string            `json:"name"`
+	Scale string            `json:"scale"`
+	Text  string            `json:"text"`
+	CSVs  map[string]string `json:"csvs,omitempty"`
+}
+
+// ScaleName renders a Scale the way specs spell it.
+func ScaleName(s Scale) string {
+	if s == Quick {
+		return "quick"
+	}
+	return "full"
+}
+
+// ParseScale is ScaleName's inverse.
+func ParseScale(name string) (Scale, error) {
+	switch name {
+	case "", "quick":
+		return Quick, nil
+	case "full":
+		return Full, nil
+	}
+	return Quick, fmt.Errorf("unknown scale %q (want quick or full)", name)
+}
+
+// experimentOrder is the canonical catalog order — the CLI's "all" run
+// and the daemon's catalog listing both use it.
+var experimentOrder = []string{
+	"table5", "fig10", "fig11", "fig12", "fig13", "table6",
+	"table7+fig14+table8", "scaleup", "area", "fabrics", "replay",
+	"ablations", "resilience",
+}
+
+// ExperimentNames returns the catalog in canonical order.
+func ExperimentNames() []string {
+	return append([]string(nil), experimentOrder...)
+}
+
+// CanonicalExperiment validates an experiment name without running it,
+// resolving the table7/fig14/table8 aliases to their combined artifact.
+func CanonicalExperiment(name string) (string, error) {
+	switch name {
+	case "table7", "fig14", "table8":
+		return "table7+fig14+table8", nil
+	}
+	for _, n := range experimentOrder {
+		if n == name {
+			return n, nil
+		}
+	}
+	return "", fmt.Errorf("unknown experiment %q; choose from %s",
+		name, strings.Join(experimentOrder, ", "))
+}
+
+// RunExperiment runs one named experiment from the catalog. The aliases
+// table7, fig14 and table8 resolve to their combined artifact, exactly
+// as the CLI treats them.
+func RunExperiment(name string, scale Scale) (*Artifact, error) {
+	a := &Artifact{Name: name, Scale: ScaleName(scale), CSVs: map[string]string{}}
+	var text strings.Builder
+	say := func(s string) { text.WriteString(s); text.WriteByte('\n') }
+
+	switch name {
+	case "table5":
+		say(RunTable5(scale).Render())
+	case "fig10":
+		say(RunFig10(scale).Render())
+	case "fig11":
+		r := RunFig11(scale)
+		say(r.Render())
+		a.CSVs["fig11.csv"] = r.CSV()
+	case "fig12":
+		say(RunSpecInt(scale, true).Render())
+	case "fig13":
+		say(RunSpecInt(scale, false).Render())
+	case "table6":
+		say(RunTable6(scale).Render())
+	case "table7+fig14+table8", "table7", "fig14", "table8":
+		a.Name = "table7+fig14+table8"
+		t7 := RunTable7(scale)
+		say(t7.Render())
+		say(RunFig14(scale, &t7).Render())
+		say(RunTable8(scale, &t7).Render())
+		a.CSVs["table7.csv"] = t7.CSV()
+		a.CSVs["fig14_probes.csv"] = t7.ProbeCSV()
+	case "scaleup":
+		say(RunScaleUp(scale).Render())
+	case "area":
+		say(RunAreaReport(scale).Render())
+	case "fabrics":
+		r := RunFabricComparison(scale)
+		say(r.Render())
+		a.CSVs["fabrics.csv"] = r.CSV()
+	case "replay":
+		say(RunLayerReplay(scale).Render())
+	case "resilience":
+		r := RunResilience(scale)
+		say(r.Render())
+		a.CSVs["resilience.csv"] = r.CSV()
+	case "ablations":
+		say(RunAblationBufferless(scale).Render())
+		say(RunAblationHalfFull(scale).Render())
+		say(RunAblationWireFabric(scale).Render())
+		say(RunAblationSwap(scale).Render())
+		say(RunAblationTags(scale).Render())
+		say(RunAblationThrottle(scale).Render())
+	default:
+		return nil, fmt.Errorf("unknown experiment %q; choose from %s",
+			name, strings.Join(experimentOrder, ", "))
+	}
+	a.Text = text.String()
+	for file, data := range a.CSVs {
+		if data == "" {
+			delete(a.CSVs, file)
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,481 @@
+// Single-simulation runs as a service primitive: RunSim executes one
+// deterministic simulation described by a SimSpec, with optional
+// periodic checkpointing, cooperative interruption (cancel or
+// suspend-with-checkpoint) and resume from a checkpoint blob. The nocd
+// daemon and the experiments CLI both call exactly this function with
+// exactly the same defaults, which is what makes the service's results
+// bit-identical to the CLI's.
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"chipletnoc/internal/config"
+	"chipletnoc/internal/metrics"
+	"chipletnoc/internal/noc"
+	"chipletnoc/internal/sim"
+	"chipletnoc/internal/soc"
+	"chipletnoc/internal/stats"
+	"chipletnoc/internal/traffic"
+)
+
+// SimSpec describes one simulation job. The zero value of every field is
+// a valid default; Normalize fills them in. Specs travel as JSON in job
+// submissions and inside checkpoints (a resumed job proves it is
+// continuing the same spec).
+type SimSpec struct {
+	// Topology is "ai-processor" (default), "server-cpu", or "custom"
+	// (a declarative internal/config document in Config).
+	Topology string `json:"topology,omitempty"`
+	// Scale is "quick" (default) or "full".
+	Scale string `json:"scale,omitempty"`
+	// Cycles is the simulated cycle budget; 0 picks the scale default
+	// (3000 quick, 20000 full).
+	Cycles uint64 `json:"cycles,omitempty"`
+	// Seed perturbs every RNG stream; 0 is the golden-digest seed.
+	Seed uint64 `json:"seed,omitempty"`
+	// CheckpointEvery, when non-zero, checkpoints every that many
+	// cycles. It also bounds cancellation latency: interruption is
+	// checked at checkpoint boundaries.
+	CheckpointEvery uint64 `json:"checkpoint_every,omitempty"`
+	// MetricsInterval, when non-zero, attaches a metrics registry
+	// sampling series every that many cycles; the snapshot rides in the
+	// JSON result.
+	MetricsInterval uint64 `json:"metrics_interval,omitempty"`
+	// Config is the internal/config JSON document for the "custom"
+	// topology (stored as a string so specs stay comparable — checkpoint
+	// resume compares specs for identity).
+	Config string `json:"config,omitempty"`
+}
+
+// Normalize fills defaults and validates; it is idempotent, and both the
+// CLI and the daemon normalize before running, so equal inputs mean
+// equal runs.
+func (s SimSpec) Normalize() (SimSpec, error) {
+	if s.Topology == "" {
+		s.Topology = "ai-processor"
+	}
+	if s.Scale == "" {
+		s.Scale = "quick"
+	}
+	switch s.Topology {
+	case "ai-processor", "server-cpu":
+		if s.Config != "" {
+			return s, fmt.Errorf("config document is only valid with the custom topology")
+		}
+	case "custom":
+		if s.Config == "" {
+			return s, fmt.Errorf("custom topology requires a config document")
+		}
+		if s.Seed != 0 {
+			return s, fmt.Errorf("custom topology seeds live inside the config document")
+		}
+		cfg, err := config.Parse([]byte(s.Config))
+		if err != nil {
+			return s, err
+		}
+		if cfg.Faults != nil && !cfg.Faults.Empty() {
+			return s, fmt.Errorf("fault schedules are not supported in simulation jobs (injector state is not checkpointed)")
+		}
+	default:
+		return s, fmt.Errorf("unknown topology %q (want ai-processor, server-cpu or custom)", s.Topology)
+	}
+	switch s.Scale {
+	case "quick", "full":
+	default:
+		return s, fmt.Errorf("unknown scale %q (want quick or full)", s.Scale)
+	}
+	if s.Cycles == 0 {
+		if s.Scale == "quick" {
+			s.Cycles = 3000
+		} else {
+			s.Cycles = 20000
+		}
+	}
+	return s, nil
+}
+
+// SimResult is the deterministic outcome of a RunSim call: flit-level
+// digest, latency statistics from the per-requester histograms, and the
+// metrics snapshot when enabled. Identical specs produce identical
+// results, whether run via the CLI or the daemon.
+type SimResult struct {
+	Spec           SimSpec           `json:"spec"`
+	Injected       uint64            `json:"injected"`
+	Delivered      uint64            `json:"delivered"`
+	Dropped        uint64            `json:"dropped"`
+	Deflections    uint64            `json:"deflections"`
+	Hops           uint64            `json:"hops"`
+	DeliveredBytes uint64            `json:"delivered_bytes"`
+	LatencySamples uint64            `json:"latency_samples"`
+	LatencyFNV     string            `json:"latency_fnv"` // hex digest of per-flit latencies
+	LatencyMean    float64           `json:"latency_mean"`
+	LatencyP50     float64           `json:"latency_p50"`
+	LatencyP99     float64           `json:"latency_p99"`
+	LatencyMax     float64           `json:"latency_max"`
+	Metrics        *metrics.Snapshot `json:"metrics,omitempty"`
+}
+
+// csvFloat renders a float the same way everywhere (shortest exact form).
+func csvFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// CSV renders the result as a two-line CSV; byte-identical for identical
+// specs.
+func (r *SimResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("topology,scale,seed,cycles,injected,delivered,dropped,deflections,hops,delivered_bytes,latency_samples,latency_fnv,latency_mean,latency_p50,latency_p99,latency_max\n")
+	fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%s,%s,%s,%s\n",
+		r.Spec.Topology, r.Spec.Scale, r.Spec.Seed, r.Spec.Cycles,
+		r.Injected, r.Delivered, r.Dropped, r.Deflections, r.Hops, r.DeliveredBytes,
+		r.LatencySamples, r.LatencyFNV,
+		csvFloat(r.LatencyMean), csvFloat(r.LatencyP50), csvFloat(r.LatencyP99), csvFloat(r.LatencyMax))
+	return b.String()
+}
+
+// Render returns a human-readable summary.
+func (r *SimResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "simrun %s/%s seed=%d cycles=%d\n", r.Spec.Topology, r.Spec.Scale, r.Spec.Seed, r.Spec.Cycles)
+	fmt.Fprintf(&b, "  injected %d, delivered %d (%d B), dropped %d, deflections %d, hops %d\n",
+		r.Injected, r.Delivered, r.DeliveredBytes, r.Dropped, r.Deflections, r.Hops)
+	fmt.Fprintf(&b, "  latency: %d samples, digest %s, mean %.1f, p50 %.0f, p99 %.0f, max %.0f cycles\n",
+		r.LatencySamples, r.LatencyFNV, r.LatencyMean, r.LatencyP50, r.LatencyP99, r.LatencyMax)
+	return b.String()
+}
+
+// InterruptKind is the verdict of a SimControl.Interrupt poll.
+type InterruptKind int
+
+const (
+	// KeepRunning continues the simulation.
+	KeepRunning InterruptKind = iota
+	// CancelRun stops and discards state; RunSim returns ErrCanceled.
+	CancelRun
+	// SuspendRun stops and checkpoints; RunSim returns *Interrupted.
+	SuspendRun
+)
+
+// SimControl hooks a running simulation. All callbacks are invoked
+// between run slices — never inside a cycle — so checkpointing costs
+// nothing on the simulator's hot path.
+type SimControl struct {
+	// Interrupt is polled at slice boundaries (every CheckpointEvery
+	// cycles, or every 1024 when checkpointing is off). Nil means never
+	// interrupted.
+	Interrupt func() InterruptKind
+	// OnCheckpoint receives each periodic checkpoint when
+	// CheckpointEvery is non-zero. An error aborts the run.
+	OnCheckpoint func(data []byte, cycle uint64) error
+}
+
+// ErrCanceled reports a run stopped by a CancelRun verdict.
+var ErrCanceled = errors.New("experiments: run canceled")
+
+// Interrupted reports a run stopped by a SuspendRun verdict; Checkpoint
+// resumes it (pass as RunSim's resume argument, possibly in a new
+// process).
+type Interrupted struct {
+	Cycle      uint64
+	Checkpoint []byte
+}
+
+// Error implements error.
+func (e *Interrupted) Error() string {
+	return fmt.Sprintf("experiments: run suspended at cycle %d (%d-byte checkpoint)", e.Cycle, len(e.Checkpoint))
+}
+
+// interruptPollStride bounds cancellation latency when checkpointing is
+// off.
+const interruptPollStride = 1024
+
+// simSystem abstracts the two buildable topologies for the run loop.
+type simSystem struct {
+	net        *noc.Network
+	run        func(cycles int)
+	write      func(buf *bytes.Buffer, extra []byte) error
+	read       func(data []byte) ([]byte, error)
+	enableMet  func(reg *metrics.Registry)
+	requesters []*traffic.Requester
+}
+
+// buildSimSystem constructs the spec's topology. Quick AI is exactly the
+// golden-digest configuration, so the service's smallest job is pinned
+// by the same constants as the test suite.
+func buildSimSystem(spec SimSpec) (*simSystem, error) {
+	switch spec.Topology {
+	case "ai-processor":
+		cfg := soc.DefaultAIConfig()
+		if spec.Scale == "quick" {
+			cfg.VRings, cfg.HRings = 4, 2
+			cfg.CoresPerVRing, cfg.L2PerHRing = 2, 4
+			cfg.HBMStacks, cfg.DMAEngines = 2, 2
+		}
+		cfg.Seed = spec.Seed
+		a := soc.BuildAIProcessor(cfg)
+		reqs := append([]*traffic.Requester{}, a.Cores...)
+		reqs = append(reqs, a.DMAs...)
+		if a.HostDMA != nil {
+			reqs = append(reqs, a.HostDMA)
+		}
+		return &simSystem{
+			net:        a.Net,
+			run:        a.Run,
+			write:      func(buf *bytes.Buffer, extra []byte) error { return a.WriteCheckpoint(buf, extra) },
+			read:       func(data []byte) ([]byte, error) { return a.ReadCheckpoint(bytes.NewReader(data)) },
+			enableMet:  a.EnableMetrics,
+			requesters: reqs,
+		}, nil
+	case "server-cpu":
+		cores := 32
+		if spec.Scale == "quick" {
+			cores = 8
+		}
+		cfg := soc.ScaledServerConfig(cores)
+		cfg.Seed = spec.Seed
+		s := soc.BuildServerCPU(cfg, soc.MemoryCores, func(core int, s *soc.ServerCPU) traffic.RequesterConfig {
+			const line = 64
+			return traffic.RequesterConfig{
+				Outstanding:  16,
+				Rate:         1,
+				ReadFraction: 0.7,
+				LineBytes:    line,
+				Stream:       traffic.NewSeqStream(uint64(core)<<28, line, 1<<22),
+				TargetOf:     traffic.InterleavedTargetsBy(s.AllDDRNodes(), line),
+			}
+		})
+		return &simSystem{
+			net:        s.Net,
+			run:        s.Run,
+			write:      func(buf *bytes.Buffer, extra []byte) error { return s.WriteCheckpoint(buf, extra) },
+			read:       func(data []byte) ([]byte, error) { return s.ReadCheckpoint(bytes.NewReader(data)) },
+			enableMet:  s.EnableMetrics,
+			requesters: s.MemCores,
+		}, nil
+	case "custom":
+		cfgSpec, err := config.Parse([]byte(spec.Config))
+		if err != nil {
+			return nil, err
+		}
+		sys, err := cfgSpec.Build()
+		if err != nil {
+			return nil, err
+		}
+		if sys.Injector != nil {
+			return nil, fmt.Errorf("fault schedules are not supported in simulation jobs")
+		}
+		names := make([]string, 0, len(sys.Requesters))
+		for n := range sys.Requesters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		reqs := make([]*traffic.Requester, 0, len(names))
+		for _, n := range names {
+			reqs = append(reqs, sys.Requesters[n])
+		}
+		return &simSystem{
+			net:        sys.Net,
+			run:        sys.Run,
+			write:      func(buf *bytes.Buffer, extra []byte) error { return sys.WriteCheckpoint(buf, extra) },
+			read:       func(data []byte) ([]byte, error) { return sys.ReadCheckpoint(bytes.NewReader(data)) },
+			enableMet:  sys.EnableMetrics,
+			requesters: reqs,
+		}, nil
+	}
+	panic("experiments: buildSimSystem on unnormalized spec")
+}
+
+// maxExtraField bounds the pieces of a checkpoint's extra blob.
+const maxExtraField = 16 << 20
+
+// simProgress is the run-loop state that must survive a checkpoint: the
+// resumable latency digest and the carried-over metrics trajectory.
+type simProgress struct {
+	latCount uint64
+	latHash  uint64
+	carried  *metrics.Snapshot
+}
+
+// encodeExtra packs the spec and progress into a checkpoint's extra
+// blob.
+func encodeExtra(spec SimSpec, p *simProgress) ([]byte, error) {
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	var metJSON []byte
+	if p.carried != nil {
+		if metJSON, err = json.Marshal(p.carried); err != nil {
+			return nil, err
+		}
+	}
+	e := sim.NewEncoder()
+	e.PutBytes(specJSON)
+	e.PutU64(p.latCount)
+	e.PutU64(p.latHash)
+	e.PutBytes(metJSON)
+	return append([]byte(nil), e.Data()...), nil
+}
+
+// decodeExtra unpacks a checkpoint's extra blob and verifies it belongs
+// to spec.
+func decodeExtra(extra []byte, spec SimSpec) (*simProgress, error) {
+	d := sim.NewDecoder(extra)
+	specJSON := d.Bytes(maxExtraField)
+	latCount := d.U64()
+	latHash := d.U64()
+	metJSON := d.Bytes(maxExtraField)
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("checkpoint progress blob: %w", err)
+	}
+	var ckptSpec SimSpec
+	if err := json.Unmarshal(specJSON, &ckptSpec); err != nil {
+		return nil, fmt.Errorf("checkpoint spec: %w", err)
+	}
+	if ckptSpec != spec {
+		return nil, fmt.Errorf("checkpoint was taken for spec %+v, not %+v", ckptSpec, spec)
+	}
+	p := &simProgress{latCount: latCount, latHash: latHash}
+	if len(metJSON) > 0 {
+		p.carried = &metrics.Snapshot{}
+		if err := json.Unmarshal(metJSON, p.carried); err != nil {
+			return nil, fmt.Errorf("checkpoint metrics carry-over: %w", err)
+		}
+	}
+	return p, nil
+}
+
+// RunSim executes one simulation to completion (or interruption). resume
+// is a checkpoint blob from a previous run of the same spec, or nil for
+// a fresh start. ctl may be nil.
+func RunSim(spec SimSpec, resume []byte, ctl *SimControl) (*SimResult, error) {
+	spec, err := spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if ctl == nil {
+		ctl = &SimControl{}
+	}
+
+	sys, err := buildSimSystem(spec)
+	if err != nil {
+		return nil, err
+	}
+	progress := &simProgress{latHash: sim.FNVOffset}
+	if resume != nil {
+		extra, err := sys.read(resume)
+		if err != nil {
+			return nil, err
+		}
+		if progress, err = decodeExtra(extra, spec); err != nil {
+			return nil, err
+		}
+		if sys.net.Ticks() > spec.Cycles {
+			return nil, fmt.Errorf("checkpoint at cycle %d is beyond the %d-cycle budget", sys.net.Ticks(), spec.Cycles)
+		}
+	}
+	sys.net.RecordLatency(func(f *noc.Flit, cycles uint64) {
+		progress.latHash = sim.FNV1aFoldU64(progress.latHash, cycles)
+		progress.latCount++
+	})
+
+	var reg *metrics.Registry
+	if spec.MetricsInterval > 0 {
+		reg = metrics.New(spec.MetricsInterval)
+		sys.enableMet(reg)
+	}
+
+	checkpoint := func() ([]byte, error) {
+		extra, err := encodeExtra(spec, &simProgress{
+			latCount: progress.latCount,
+			latHash:  progress.latHash,
+			carried:  stitchedMetrics(reg, progress.carried, spec, sys.net.Ticks()),
+		})
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := sys.write(&buf, extra); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+
+	stride := spec.CheckpointEvery
+	if stride == 0 {
+		stride = interruptPollStride
+	}
+	for sys.net.Ticks() < spec.Cycles {
+		n := spec.Cycles - sys.net.Ticks()
+		if n > stride {
+			n = stride
+		}
+		sys.run(int(n))
+
+		if ctl.Interrupt != nil {
+			switch ctl.Interrupt() {
+			case CancelRun:
+				return nil, ErrCanceled
+			case SuspendRun:
+				data, err := checkpoint()
+				if err != nil {
+					return nil, err
+				}
+				return nil, &Interrupted{Cycle: sys.net.Ticks(), Checkpoint: data}
+			}
+		}
+		if spec.CheckpointEvery > 0 && ctl.OnCheckpoint != nil && sys.net.Ticks() < spec.Cycles {
+			data, err := checkpoint()
+			if err != nil {
+				return nil, err
+			}
+			if err := ctl.OnCheckpoint(data, sys.net.Ticks()); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	return buildResult(spec, sys, progress, reg), nil
+}
+
+// stitchedMetrics snapshots reg and prepends the carried-over series.
+func stitchedMetrics(reg *metrics.Registry, carried *metrics.Snapshot, spec SimSpec, cycles uint64) *metrics.Snapshot {
+	if reg == nil {
+		return nil
+	}
+	snap := reg.Snapshot(spec.Topology, cycles)
+	snap.PrependSeries(carried)
+	return snap
+}
+
+// buildResult assembles the deterministic result record.
+func buildResult(spec SimSpec, sys *simSystem, progress *simProgress, reg *metrics.Registry) *SimResult {
+	var lat stats.Histogram
+	for _, r := range sys.requesters {
+		lat.Merge(&r.Latency)
+	}
+	res := &SimResult{
+		Spec:           spec,
+		Injected:       sys.net.InjectedFlits,
+		Delivered:      sys.net.DeliveredFlits,
+		Dropped:        sys.net.DroppedFlits,
+		Deflections:    sys.net.Deflections,
+		Hops:           sys.net.TotalHops,
+		DeliveredBytes: sys.net.DeliveredBytes,
+		LatencySamples: progress.latCount,
+		LatencyFNV:     fmt.Sprintf("%#x", progress.latHash),
+		Metrics:        stitchedMetrics(reg, progress.carried, spec, sys.net.Ticks()),
+	}
+	if lat.Count() > 0 {
+		res.LatencyMean = lat.Mean()
+		res.LatencyP50 = lat.Percentile(50)
+		res.LatencyP99 = lat.Percentile(99)
+		res.LatencyMax = lat.Max()
+	}
+	return res
+}

@@ -1,0 +1,31 @@
+package metrics
+
+// PrependSeries stitches an earlier run segment's series trajectories in
+// front of this snapshot's, producing one continuous timeline across a
+// checkpoint/resume boundary. Counters and gauges are not touched: their
+// read closures observe cumulative device state, which the checkpoint
+// restores, so the current values are already whole-run values. Series
+// whose name exists only in prev are appended after the current ones so
+// nothing is dropped.
+//
+// One documented artifact survives stitching: delta-rate series close
+// over an un-serialized previous sample, so the first post-resume sample
+// covers the whole pre-checkpoint span instead of one interval.
+func (s *Snapshot) PrependSeries(prev *Snapshot) {
+	if s == nil || prev == nil {
+		return
+	}
+	byName := make(map[string]int, len(s.Series))
+	for i := range s.Series {
+		byName[s.Series[i].Name] = i
+	}
+	for _, ps := range prev.Series {
+		if i, ok := byName[ps.Name]; ok {
+			cur := &s.Series[i]
+			cur.Cycles = append(append(make([]uint64, 0, len(ps.Cycles)+len(cur.Cycles)), ps.Cycles...), cur.Cycles...)
+			cur.Values = append(append(make([]float64, 0, len(ps.Values)+len(cur.Values)), ps.Values...), cur.Values...)
+		} else {
+			s.Series = append(s.Series, ps)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Checkpoint file framing: a checkpoint is the versioned snapshot
+// header, an opaque caller blob (callers store their own progress there
+// — spec, latency digest, metrics carry-over), and the full network
+// snapshot. Resume requires rebuilding the identical network first; the
+// header's topology hash enforces that. Every system type (soc builds,
+// config-file builds) layers its checkpoint API on these two functions,
+// so the file format is identical everywhere.
+package noc
+
+import (
+	"fmt"
+	"io"
+
+	"chipletnoc/internal/sim"
+)
+
+// MaxCheckpointExtra bounds the caller blob in a checkpoint (64 MiB).
+const MaxCheckpointExtra = 64 << 20
+
+// MaxCheckpointBytes bounds a whole checkpoint file (1 GiB) so a hostile
+// resume upload cannot ask for unbounded memory.
+const MaxCheckpointBytes = 1 << 30
+
+// WriteCheckpoint serializes header + extra + network state to w.
+func WriteCheckpoint(w io.Writer, net *Network, extra []byte) error {
+	if len(extra) > MaxCheckpointExtra {
+		return fmt.Errorf("noc: checkpoint extra blob of %d bytes exceeds limit", len(extra))
+	}
+	e := sim.NewEncoder()
+	sim.WriteSnapshotHeader(e, sim.SnapshotHeader{
+		Version:  sim.SnapshotVersion,
+		TopoHash: net.TopoHash(),
+		Cycle:    net.Ticks(),
+	})
+	e.PutBytes(extra)
+	if err := net.SnapshotState(e); err != nil {
+		return err
+	}
+	_, err := w.Write(e.Data())
+	return err
+}
+
+// ReadCheckpoint restores a checkpoint into the freshly built net and
+// returns the caller blob. All input is treated as untrusted.
+func ReadCheckpoint(r io.Reader, net *Network) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(r, MaxCheckpointBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) > MaxCheckpointBytes {
+		return nil, fmt.Errorf("noc: checkpoint exceeds %d bytes", MaxCheckpointBytes)
+	}
+	d := sim.NewDecoder(data)
+	h, err := sim.ReadSnapshotHeader(d)
+	if err != nil {
+		return nil, err
+	}
+	if want := net.TopoHash(); h.TopoHash != want {
+		return nil, fmt.Errorf("noc: checkpoint topology %#x does not match built system %#x", h.TopoHash, want)
+	}
+	extra := append([]byte(nil), d.Bytes(MaxCheckpointExtra)...)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if err := net.RestoreState(d); err != nil {
+		return nil, err
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("noc: %d trailing bytes after checkpoint", d.Remaining())
+	}
+	if got := net.Ticks(); got != h.Cycle {
+		return nil, fmt.Errorf("noc: restored cycle %d does not match header %d", got, h.Cycle)
+	}
+	return extra, nil
+}

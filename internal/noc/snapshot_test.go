@@ -1,0 +1,232 @@
+package noc
+
+import (
+	"testing"
+
+	"chipletnoc/internal/sim"
+)
+
+// The test endpoints participate in checkpointing so whole-network
+// round-trips can be exercised inside this package.
+
+func (s *source) SnapshotState(se *SnapEncoder) error {
+	if err := se.PutFlitSlice(s.pending); err != nil {
+		return err
+	}
+	return se.PutFlitSlice(s.got)
+}
+
+func (s *source) RestoreState(sd *SnapDecoder) error {
+	s.pending = sd.GetFlitSlice(s.pending, 1<<16)
+	s.got = sd.GetFlitSlice(s.got, 1<<16)
+	return sd.D.Err()
+}
+
+func (s *sink) SnapshotState(se *SnapEncoder) error {
+	return se.PutFlitSlice(s.got)
+}
+
+func (s *sink) RestoreState(sd *SnapDecoder) error {
+	s.got = sd.GetFlitSlice(s.got, 1<<16)
+	return sd.D.Err()
+}
+
+// buildSnapNet builds the two-ring crossing with bulk bidirectional
+// traffic queued; identical calls build identical networks.
+func buildSnapNet(t *testing.T, queue int) (*Network, *source, *source) {
+	t.Helper()
+	net := NewNetwork("snap")
+	v := net.AddRing(8, true)
+	h := net.AddRing(8, true)
+	stA := v.AddStation(0)
+	stBrV := v.AddStation(4)
+	stBrH := h.AddStation(0)
+	stB := h.AddStation(4)
+	a := newSource(t, net, stA, "a")
+	b := newSource(t, net, stB, "b")
+	NewRBRGL1(net, "br", DefaultRBRGL1Config(), stBrV, stBrH)
+	net.MustFinalize()
+	for i := 0; i < queue; i++ {
+		a.queue(net.NewFlit(a.Node(), b.Node(), KindData, LineBytes))
+		b.queue(net.NewFlit(b.Node(), a.Node(), KindData, LineBytes))
+	}
+	return net, a, b
+}
+
+type netDigest struct {
+	injected, delivered, deflections, hops, dropped uint64
+	ticks                                           uint64
+	aGot, bGot                                      []uint64
+}
+
+func digestOf(net *Network, a, b *source) netDigest {
+	d := netDigest{
+		injected:    net.InjectedFlits,
+		delivered:   net.DeliveredFlits,
+		deflections: net.Deflections,
+		hops:        net.TotalHops,
+		dropped:     net.DroppedFlits,
+		ticks:       net.ticks,
+	}
+	for _, f := range a.got {
+		d.aGot = append(d.aGot, f.ID)
+	}
+	for _, f := range b.got {
+		d.bGot = append(d.bGot, f.ID)
+	}
+	return d
+}
+
+func equalDigest(x, y netDigest) bool {
+	if x.injected != y.injected || x.delivered != y.delivered ||
+		x.deflections != y.deflections || x.hops != y.hops ||
+		x.dropped != y.dropped || x.ticks != y.ticks ||
+		len(x.aGot) != len(y.aGot) || len(x.bGot) != len(y.bGot) {
+		return false
+	}
+	for i := range x.aGot {
+		if x.aGot[i] != y.aGot[i] {
+			return false
+		}
+	}
+	for i := range x.bGot {
+		if x.bGot[i] != y.bGot[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestNetworkSnapshotResume proves the core invariant: snapshot a
+// network mid-flight, restore into a freshly built twin, and the resumed
+// run is indistinguishable from the uninterrupted one.
+func TestNetworkSnapshotResume(t *testing.T) {
+	const queue = 100
+
+	// Uninterrupted reference run, with a mid-flight snapshot taken.
+	netA, aA, bA := buildSnapNet(t, queue)
+	runCycles(netA, 60) // traffic is in flight: slots, queues, bridge buffers
+	if netA.InFlight() == 0 {
+		t.Fatal("test needs in-flight traffic at snapshot time")
+	}
+	e := sim.NewEncoder()
+	if err := netA.SnapshotState(e); err != nil {
+		t.Fatalf("SnapshotState: %v", err)
+	}
+	snap := append([]byte(nil), e.Data()...)
+	runCycles(netA, 3000)
+	want := digestOf(netA, aA, bA)
+	if want.delivered != 2*queue {
+		t.Fatalf("reference run delivered %d, want %d", want.delivered, 2*queue)
+	}
+
+	// Fresh twin: same topology, no traffic queued — all state comes
+	// from the snapshot.
+	netB, aB, bB := buildSnapNet(t, 0)
+	if netA.TopoHash() != netB.TopoHash() {
+		t.Fatal("identical builds disagree on TopoHash")
+	}
+	if err := netB.RestoreState(sim.NewDecoder(snap)); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	runCycles(netB, 3000)
+	got := digestOf(netB, aB, bB)
+	if !equalDigest(want, got) {
+		t.Fatalf("resumed run diverged:\nwant %+v\ngot  %+v", want, got)
+	}
+	if err := netB.CheckConservation(); err != nil {
+		t.Fatalf("conservation after resume: %v", err)
+	}
+}
+
+// TestNetworkSnapshotRobustness feeds truncated and corrupted snapshots
+// to RestoreState: every one must error, none may panic.
+func TestNetworkSnapshotRobustness(t *testing.T) {
+	netA, _, _ := buildSnapNet(t, 50)
+	runCycles(netA, 40)
+	e := sim.NewEncoder()
+	if err := netA.SnapshotState(e); err != nil {
+		t.Fatalf("SnapshotState: %v", err)
+	}
+	snap := e.Data()
+
+	for n := 0; n < len(snap); n += 7 {
+		netB, _, _ := buildSnapNet(t, 0)
+		if err := netB.RestoreState(sim.NewDecoder(snap[:n])); err == nil {
+			t.Fatalf("truncation to %d bytes restored without error", n)
+		}
+	}
+	for pos := 0; pos < len(snap); pos += 311 {
+		mut := append([]byte(nil), snap...)
+		mut[pos] ^= 0xFF
+		netB, _, _ := buildSnapNet(t, 0)
+		// A flipped byte may land in a counter and decode "successfully";
+		// the requirement is no panic and no index out of range.
+		_ = netB.RestoreState(sim.NewDecoder(mut))
+	}
+}
+
+// TestTopoHashDistinguishesBuilds checks structural changes move the
+// topology hash.
+func TestTopoHashDistinguishesBuilds(t *testing.T) {
+	base, _, _ := buildSnapNet(t, 0)
+
+	net2 := NewNetwork("snap")
+	v := net2.AddRing(10, true) // longer ring
+	h := net2.AddRing(8, true)
+	stA := v.AddStation(0)
+	stBrV := v.AddStation(4)
+	stBrH := h.AddStation(0)
+	stB := h.AddStation(4)
+	newSource(t, net2, stA, "a")
+	newSource(t, net2, stB, "b")
+	NewRBRGL1(net2, "br", DefaultRBRGL1Config(), stBrV, stBrH)
+	net2.MustFinalize()
+
+	if base.TopoHash() == net2.TopoHash() {
+		t.Fatal("different topologies share a TopoHash")
+	}
+}
+
+// TestSnapshotPreservesMsgIdentity pins the pointer-identity pool: two
+// flits sharing one Msg object must share one object after restore.
+func TestSnapshotPreservesMsgIdentity(t *testing.T) {
+	type payload struct{ v uint64 }
+	RegisterMsgCodec(MsgCodec{
+		ID:      200,
+		Matches: func(m interface{}) bool { _, ok := m.(*payload); return ok },
+		Encode:  func(se *SnapEncoder, m interface{}) { se.E.PutU64(m.(*payload).v) },
+		Decode:  func(sd *SnapDecoder) interface{} { return &payload{v: sd.D.U64()} },
+	})
+
+	shared := &payload{v: 42}
+	f1 := &Flit{ID: 1, Msg: shared}
+	f2 := &Flit{ID: 2, Msg: shared}
+
+	e := sim.NewEncoder()
+	se := NewSnapEncoder(e)
+	if err := se.PutFlit(f1); err != nil {
+		t.Fatal(err)
+	}
+	if err := se.PutFlit(f2); err != nil {
+		t.Fatal(err)
+	}
+	// Encoding the message again directly must be a back-reference.
+	if err := se.PutMsg(shared); err != nil {
+		t.Fatal(err)
+	}
+
+	sd := NewSnapDecoder(sim.NewDecoder(e.Data()))
+	g1 := sd.GetFlit()
+	g2 := sd.GetFlit()
+	g3 := sd.GetMsg()
+	if err := sd.D.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if g1.Msg == nil || g1.Msg != g2.Msg || g1.Msg != g3 {
+		t.Fatal("message identity not preserved across snapshot")
+	}
+	if got := g1.Msg.(*payload).v; got != 42 {
+		t.Fatalf("payload = %d", got)
+	}
+}

@@ -1,0 +1,553 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"chipletnoc/internal/experiments"
+)
+
+// JobStatus is a job's lifecycle state.
+type JobStatus string
+
+// Job lifecycle states. queued → running → done|failed|canceled, with
+// suspended reachable from queued or running when the daemon shuts down
+// (a suspended sim job carries a checkpoint and resumes on restart).
+const (
+	StatusQueued    JobStatus = "queued"
+	StatusRunning   JobStatus = "running"
+	StatusDone      JobStatus = "done"
+	StatusFailed    JobStatus = "failed"
+	StatusCanceled  JobStatus = "canceled"
+	StatusSuspended JobStatus = "suspended"
+)
+
+// Job is one queued or executed submission. All mutable fields are
+// guarded by the server mutex except cancel, which the worker polls from
+// inside a run.
+type Job struct {
+	ID     string
+	Spec   JobSpec
+	Status JobStatus
+	Error  string
+	// Cycle is the simulated cycle reached when the job was suspended.
+	Cycle     uint64
+	SimResult *experiments.SimResult
+	Artifact  *experiments.Artifact
+	// resume is the checkpoint to continue from (reloaded or suspended).
+	resume []byte
+	cancel atomic.Bool
+}
+
+// Config tunes a Server. Zero values pick the documented defaults.
+type Config struct {
+	// QueueDepth bounds the jobs waiting to run (default 16); a full
+	// queue answers 429 with a Retry-After header.
+	QueueDepth int
+	// Workers is the worker-pool size (default 2).
+	Workers int
+	// StateDir, when set, persists suspended jobs so a restarted daemon
+	// resumes them. Empty disables persistence.
+	StateDir string
+	// RetryAfterSeconds is the Retry-After hint on 429 (default 1).
+	RetryAfterSeconds int
+}
+
+// Server is the job service. Create with New, expose with Handler, stop
+// with Shutdown.
+type Server struct {
+	cfg      Config
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	nextID   int
+	queue    chan *Job
+	draining atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// persistedJob is the on-disk record of a suspended job; the checkpoint
+// itself lives next to it in <id>.ckpt.
+type persistedJob struct {
+	ID    string  `json:"id"`
+	Spec  JobSpec `json:"spec"`
+	Cycle uint64  `json:"cycle"`
+}
+
+// New builds a server, reloads any suspended jobs from cfg.StateDir
+// (they re-enter the queue ahead of new submissions), and starts the
+// worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.RetryAfterSeconds <= 0 {
+		cfg.RetryAfterSeconds = 1
+	}
+	s := &Server{cfg: cfg, jobs: map[string]*Job{}}
+
+	var reloaded []*Job
+	if cfg.StateDir != "" {
+		if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+			return nil, err
+		}
+		var err error
+		if reloaded, err = s.loadState(); err != nil {
+			return nil, err
+		}
+	}
+	// The queue must hold every reloaded job plus the configured depth of
+	// new ones, so a restart never rejects its own suspended work.
+	s.queue = make(chan *Job, cfg.QueueDepth+len(reloaded))
+	for _, job := range reloaded {
+		s.jobs[job.ID] = job
+		s.order = append(s.order, job.ID)
+		s.queue <- job
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// loadState reads suspended jobs back from the state directory in job-ID
+// order and advances nextID past them.
+func (s *Server) loadState() ([]*Job, error) {
+	entries, err := os.ReadDir(s.cfg.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	var jobs []*Job
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.cfg.StateDir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		var p persistedJob
+		if err := json.Unmarshal(data, &p); err != nil {
+			return nil, fmt.Errorf("state file %s: %w", e.Name(), err)
+		}
+		job := &Job{ID: p.ID, Spec: p.Spec, Status: StatusQueued, Cycle: p.Cycle}
+		ckpt, err := os.ReadFile(filepath.Join(s.cfg.StateDir, p.ID+".ckpt"))
+		if err == nil {
+			job.resume = ckpt
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+		if n, err := strconv.Atoi(strings.TrimPrefix(p.ID, "job-")); err == nil && n >= s.nextID {
+			s.nextID = n + 1
+		}
+		jobs = append(jobs, job)
+	}
+	sort.Slice(jobs, func(i, j int) bool { return jobIDLess(jobs[i].ID, jobs[j].ID) })
+	return jobs, nil
+}
+
+// jobIDLess orders "job-N" IDs numerically.
+func jobIDLess(a, b string) bool {
+	an, aerr := strconv.Atoi(strings.TrimPrefix(a, "job-"))
+	bn, berr := strconv.Atoi(strings.TrimPrefix(b, "job-"))
+	if aerr == nil && berr == nil {
+		return an < bn
+	}
+	return a < b
+}
+
+// persistJob writes a suspended job's record and checkpoint atomically.
+func (s *Server) persistJob(job *Job) error {
+	if s.cfg.StateDir == "" {
+		return nil
+	}
+	rec, err := json.Marshal(persistedJob{ID: job.ID, Spec: job.Spec, Cycle: job.Cycle})
+	if err != nil {
+		return err
+	}
+	write := func(name string, data []byte) error {
+		path := filepath.Join(s.cfg.StateDir, name)
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			return err
+		}
+		return os.Rename(tmp, path)
+	}
+	if job.resume != nil {
+		if err := write(job.ID+".ckpt", job.resume); err != nil {
+			return err
+		}
+	}
+	return write(job.ID+".json", rec)
+}
+
+// dropPersisted removes a job's on-disk record after it finishes.
+func (s *Server) dropPersisted(id string) {
+	if s.cfg.StateDir == "" {
+		return
+	}
+	os.Remove(filepath.Join(s.cfg.StateDir, id+".json"))
+	os.Remove(filepath.Join(s.cfg.StateDir, id+".ckpt"))
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+// runJob executes one dequeued job end to end.
+func (s *Server) runJob(job *Job) {
+	s.mu.Lock()
+	if job.Status != StatusQueued {
+		// Canceled while waiting in the queue.
+		s.mu.Unlock()
+		return
+	}
+	if s.draining.Load() {
+		// Shutdown drained this job before it ever ran: suspend it as-is
+		// (with whatever checkpoint it already carried) for the next
+		// daemon instance.
+		job.Status = StatusSuspended
+		s.persistJob(job)
+		s.mu.Unlock()
+		return
+	}
+	job.Status = StatusRunning
+	s.mu.Unlock()
+
+	switch job.Spec.Kind {
+	case "experiment":
+		s.runExperimentJob(job)
+	default:
+		s.runSimJob(job)
+	}
+}
+
+// runExperimentJob runs a catalog artifact. Experiments are coarse-grained
+// (internally parallel, no checkpoint), so cancellation and shutdown take
+// effect at job granularity only.
+func (s *Server) runExperimentJob(job *Job) {
+	scale, err := experiments.ParseScale(job.Spec.Scale)
+	if err != nil {
+		s.finish(job, func() { job.Status, job.Error = StatusFailed, err.Error() })
+		return
+	}
+	art, err := experiments.RunExperiment(job.Spec.Experiment, scale)
+	s.finish(job, func() {
+		if err != nil {
+			job.Status, job.Error = StatusFailed, err.Error()
+			return
+		}
+		if job.cancel.Load() {
+			job.Status = StatusCanceled
+			return
+		}
+		job.Status, job.Artifact = StatusDone, art
+	})
+}
+
+// runSimJob runs one simulation with cooperative interruption: a DELETE
+// cancels at the next checkpoint boundary, a Shutdown suspends with a
+// checkpoint that the restarted daemon resumes.
+func (s *Server) runSimJob(job *Job) {
+	ctl := &experiments.SimControl{Interrupt: func() experiments.InterruptKind {
+		if job.cancel.Load() {
+			return experiments.CancelRun
+		}
+		if s.draining.Load() {
+			return experiments.SuspendRun
+		}
+		return experiments.KeepRunning
+	}}
+	res, err := experiments.RunSim(*job.Spec.Sim, job.resume, ctl)
+
+	var intr *experiments.Interrupted
+	s.finish(job, func() {
+		switch {
+		case err == nil:
+			job.Status, job.SimResult, job.resume = StatusDone, res, nil
+			s.dropPersisted(job.ID)
+		case errors.Is(err, experiments.ErrCanceled):
+			job.Status, job.resume = StatusCanceled, nil
+			s.dropPersisted(job.ID)
+		case errors.As(err, &intr):
+			job.Status, job.Cycle, job.resume = StatusSuspended, intr.Cycle, intr.Checkpoint
+			if perr := s.persistJob(job); perr != nil {
+				job.Status, job.Error = StatusFailed, fmt.Sprintf("suspend: %v", perr)
+			}
+		default:
+			job.Status, job.Error = StatusFailed, err.Error()
+		}
+	})
+}
+
+// finish applies a terminal state transition under the lock.
+func (s *Server) finish(job *Job, apply func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	apply()
+}
+
+// Shutdown stops accepting jobs, suspends everything queued or running
+// (sim jobs checkpoint at their next interrupt poll), and waits for the
+// workers to drain. After Shutdown, a New on the same StateDir resumes
+// the suspended jobs.
+func (s *Server) Shutdown() {
+	// Closing the queue under the lock keeps Submit's non-blocking send
+	// from racing a send-on-closed-channel panic.
+	s.mu.Lock()
+	s.draining.Store(true)
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Submit enqueues a parsed spec. It returns the job and true, or nil and
+// false when the queue is full (HTTP layer: 429).
+func (s *Server) Submit(spec JobSpec) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining.Load() {
+		return nil, false
+	}
+	job := &Job{ID: fmt.Sprintf("job-%d", s.nextID), Spec: spec, Status: StatusQueued}
+	select {
+	case s.queue <- job:
+	default:
+		return nil, false
+	}
+	s.nextID++
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	return job, true
+}
+
+// Cancel requests a job stop: a queued job is canceled immediately, a
+// running one at its next interrupt poll (within one checkpoint
+// interval), a suspended one is dropped along with its checkpoint.
+// The bool reports whether the job exists.
+func (s *Server) Cancel(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	switch job.Status {
+	case StatusQueued, StatusSuspended:
+		job.Status = StatusCanceled
+		job.resume = nil
+		s.dropPersisted(id)
+	case StatusRunning:
+		job.cancel.Store(true)
+	}
+	return job, true
+}
+
+// Get returns a job by ID.
+func (s *Server) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	return job, ok
+}
+
+// jobView is the status JSON for one job.
+type jobView struct {
+	ID     string    `json:"id"`
+	Kind   string    `json:"kind"`
+	Status JobStatus `json:"status"`
+	Error  string    `json:"error,omitempty"`
+	Cycle  uint64    `json:"cycle,omitempty"`
+}
+
+// view renders a job's status snapshot under the lock.
+func (s *Server) view(job *Job) jobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return jobView{ID: job.ID, Kind: job.Spec.Kind, Status: job.Status, Error: job.Error, Cycle: job.Cycle}
+}
+
+// Handler returns the HTTP API:
+//
+//	POST   /jobs             submit a JobSpec (202, or 429 + Retry-After)
+//	GET    /jobs             list job statuses
+//	GET    /jobs/{id}        one job's status
+//	GET    /jobs/{id}/result result: ?format=json|csv|text, ?file= for
+//	                         experiment CSV artifacts
+//	DELETE /jobs/{id}        cancel (cooperative for running sim jobs)
+//	GET    /healthz          liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleDelete)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// writeJSON writes one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// httpError writes a JSON error body.
+func httpError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	body, err := readBody(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	spec, err := ParseJobSpec(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	job, ok := s.Submit(spec)
+	if !ok {
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
+		httpError(w, http.StatusTooManyRequests, "queue is full (%d jobs waiting); retry later", s.cfg.QueueDepth)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.view(job))
+}
+
+// readBody reads a request body with the job-spec size cap.
+func readBody(r *http.Request) ([]byte, error) {
+	data, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxJobSpecBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, fmt.Errorf("job spec exceeds the %d-byte limit", maxJobSpecBytes)
+		}
+		return nil, err
+	}
+	return data, nil
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]jobView, 0, len(s.order))
+	for _, id := range s.order {
+		job := s.jobs[id]
+		views = append(views, jobView{ID: job.ID, Kind: job.Spec.Kind, Status: job.Status, Error: job.Error, Cycle: job.Cycle})
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.view(job))
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.view(job))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	s.mu.Lock()
+	status := job.Status
+	res, art := job.SimResult, job.Artifact
+	s.mu.Unlock()
+	if status != StatusDone {
+		httpError(w, http.StatusConflict, "job is %s, not done", status)
+		return
+	}
+
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "json"
+	}
+	switch {
+	case res != nil:
+		switch format {
+		case "json":
+			writeJSON(w, http.StatusOK, res)
+		case "csv":
+			w.Header().Set("Content-Type", "text/csv")
+			fmt.Fprint(w, res.CSV())
+		case "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, res.Render())
+		default:
+			httpError(w, http.StatusBadRequest, "unknown format %q (want json, csv or text)", format)
+		}
+	case art != nil:
+		switch format {
+		case "json":
+			writeJSON(w, http.StatusOK, art)
+		case "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, art.Text)
+		case "csv":
+			file := r.URL.Query().Get("file")
+			if file == "" && len(art.CSVs) == 1 {
+				for f := range art.CSVs {
+					file = f
+				}
+			}
+			data, ok := art.CSVs[file]
+			if !ok {
+				files := make([]string, 0, len(art.CSVs))
+				for f := range art.CSVs {
+					files = append(files, f)
+				}
+				sort.Strings(files)
+				httpError(w, http.StatusBadRequest, "pick a CSV with ?file=; this artifact has: %s", strings.Join(files, ", "))
+				return
+			}
+			w.Header().Set("Content-Type", "text/csv")
+			fmt.Fprint(w, data)
+		default:
+			httpError(w, http.StatusBadRequest, "unknown format %q (want json, csv or text)", format)
+		}
+	default:
+		httpError(w, http.StatusInternalServerError, "done job has no result")
+	}
+}

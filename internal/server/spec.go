@@ -1,0 +1,94 @@
+// Package server exposes the experiment suite as a job service: a
+// bounded FIFO queue with backpressure feeds a worker pool running the
+// exact RunSim/RunExperiment code paths the CLI uses, with cooperative
+// cancellation, checkpoint-based suspend on shutdown, and resume on
+// restart. Because both ends dispatch through the same normalized specs,
+// a job's results are byte-identical to the CLI's.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"chipletnoc/internal/experiments"
+)
+
+// maxJobSpecBytes bounds a job submission (1 MiB) — enough for a large
+// inline custom-topology config, small enough that hostile submissions
+// cannot balloon memory.
+const maxJobSpecBytes = 1 << 20
+
+// JobSpec is the body of a POST /jobs submission.
+type JobSpec struct {
+	// Kind is "sim" (default): one parameterized simulation described by
+	// Sim — or "experiment": one named artifact from the paper catalog.
+	Kind string `json:"kind,omitempty"`
+	// Sim parameterizes a "sim" job; nil means all defaults (the quick
+	// golden AI-Processor run).
+	Sim *experiments.SimSpec `json:"sim,omitempty"`
+	// Experiment names the catalog entry for an "experiment" job.
+	Experiment string `json:"experiment,omitempty"`
+	// Scale is "quick" or "full" for an "experiment" job (default quick).
+	Scale string `json:"scale,omitempty"`
+}
+
+// ParseJobSpec parses and validates an untrusted job submission. Unknown
+// fields, trailing garbage, oversized bodies and invalid specs are all
+// errors; hostile bytes must never panic. The returned spec is fully
+// normalized: running it needs no further defaulting, so the daemon and
+// the CLI agree on what a spec means.
+func ParseJobSpec(data []byte) (JobSpec, error) {
+	var js JobSpec
+	if len(data) > maxJobSpecBytes {
+		return js, fmt.Errorf("job spec of %d bytes exceeds the %d-byte limit", len(data), maxJobSpecBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&js); err != nil {
+		return js, fmt.Errorf("job spec: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return js, fmt.Errorf("job spec: trailing data after JSON document")
+	}
+
+	if js.Kind == "" {
+		if js.Experiment != "" {
+			js.Kind = "experiment"
+		} else {
+			js.Kind = "sim"
+		}
+	}
+	switch js.Kind {
+	case "sim":
+		if js.Experiment != "" || js.Scale != "" {
+			return js, fmt.Errorf("sim job must not set experiment or scale (scale lives in sim.scale)")
+		}
+		if js.Sim == nil {
+			js.Sim = &experiments.SimSpec{}
+		}
+		normalized, err := js.Sim.Normalize()
+		if err != nil {
+			return js, fmt.Errorf("sim spec: %w", err)
+		}
+		js.Sim = &normalized
+	case "experiment":
+		if js.Sim != nil {
+			return js, fmt.Errorf("experiment job must not set a sim spec")
+		}
+		name, err := experiments.CanonicalExperiment(js.Experiment)
+		if err != nil {
+			return js, err
+		}
+		js.Experiment = name
+		scale, err := experiments.ParseScale(js.Scale)
+		if err != nil {
+			return js, err
+		}
+		js.Scale = experiments.ScaleName(scale)
+	default:
+		return js, fmt.Errorf("unknown job kind %q (want sim or experiment)", js.Kind)
+	}
+	return js, nil
+}

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseJobSpec covers the accept/reject matrix; its name is also the
+// CI fuzz step's -run filter.
+func TestParseJobSpec(t *testing.T) {
+	good := []struct {
+		name, body string
+		check      func(t *testing.T, js JobSpec)
+	}{
+		{"empty object defaults to quick AI sim", `{}`, func(t *testing.T, js JobSpec) {
+			if js.Kind != "sim" || js.Sim == nil || js.Sim.Topology != "ai-processor" ||
+				js.Sim.Scale != "quick" || js.Sim.Cycles != 3000 {
+				t.Fatalf("normalized: %+v / %+v", js, js.Sim)
+			}
+		}},
+		{"explicit sim", `{"kind":"sim","sim":{"topology":"server-cpu","scale":"full","seed":7}}`,
+			func(t *testing.T, js JobSpec) {
+				if js.Sim.Topology != "server-cpu" || js.Sim.Cycles != 20000 || js.Sim.Seed != 7 {
+					t.Fatalf("normalized: %+v", js.Sim)
+				}
+			}},
+		{"experiment with inferred kind", `{"experiment":"fig11"}`, func(t *testing.T, js JobSpec) {
+			if js.Kind != "experiment" || js.Experiment != "fig11" || js.Scale != "quick" {
+				t.Fatalf("normalized: %+v", js)
+			}
+		}},
+		{"experiment alias resolves", `{"kind":"experiment","experiment":"fig14","scale":"full"}`,
+			func(t *testing.T, js JobSpec) {
+				if js.Experiment != "table7+fig14+table8" || js.Scale != "full" {
+					t.Fatalf("normalized: %+v", js)
+				}
+			}},
+	}
+	for _, tc := range good {
+		js, err := ParseJobSpec([]byte(tc.body))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		tc.check(t, js)
+	}
+
+	bad := []struct{ name, body string }{
+		{"not json", `not json`},
+		{"unknown field", `{"jobs":"sim"}`},
+		{"unknown nested field", `{"sim":{"topologyy":"x"}}`},
+		{"trailing garbage", `{} trailing`},
+		{"second document", `{}{}`},
+		{"unknown kind", `{"kind":"benchmark"}`},
+		{"unknown topology", `{"sim":{"topology":"mesh"}}`},
+		{"unknown experiment", `{"experiment":"fig99"}`},
+		{"unknown scale", `{"experiment":"fig11","scale":"huge"}`},
+		{"sim job with experiment", `{"kind":"sim","experiment":"fig11"}`},
+		{"experiment job with sim", `{"kind":"experiment","experiment":"fig11","sim":{}}`},
+		{"custom without config", `{"sim":{"topology":"custom"}}`},
+		{"config on builtin", `{"sim":{"config":"{}"}}`},
+		{"custom with bad config", `{"sim":{"topology":"custom","config":"not json"}}`},
+	}
+	for _, tc := range bad {
+		if _, err := ParseJobSpec([]byte(tc.body)); err == nil {
+			t.Fatalf("%s: accepted %q", tc.name, tc.body)
+		}
+	}
+
+	huge := `{"sim":{"topology":"custom","config":"` + strings.Repeat("x", maxJobSpecBytes) + `"}}`
+	if _, err := ParseJobSpec([]byte(huge)); err == nil {
+		t.Fatal("accepted an oversized spec")
+	}
+}
+
+// FuzzParseJobSpec: hostile bytes must error, never panic. Wired into
+// the CI fuzz-smoke step.
+func FuzzParseJobSpec(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"kind":"sim","sim":{"topology":"ai-processor","cycles":100}}`))
+	f.Add([]byte(`{"experiment":"fig11","scale":"quick"}`))
+	f.Add([]byte(`{"sim":{"topology":"custom","config":"{\"name\":\"x\"}"}}`))
+	f.Add([]byte(`{"kind":`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		js, err := ParseJobSpec(data)
+		if err == nil && js.Kind != "sim" && js.Kind != "experiment" {
+			t.Fatalf("accepted spec with kind %q", js.Kind)
+		}
+	})
+}

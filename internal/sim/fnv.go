@@ -1,0 +1,38 @@
+package sim
+
+// Incremental FNV-1a, bit-compatible with hash/fnv's New64a over the same
+// byte stream. The checkpoint subsystem uses it two ways: hashing a
+// topology description into the snapshot header, and folding per-flit
+// latency samples into a running digest that survives checkpoint/resume
+// (the golden resume tests compare it against an uninterrupted run's
+// hash/fnv digest).
+
+// FNVOffset is the FNV-1a 64-bit offset basis — the running digest's
+// initial value.
+const FNVOffset uint64 = 14695981039346656037
+
+// fnvPrime is the FNV-1a 64-bit prime.
+const fnvPrime uint64 = 1099511628211
+
+// FNV1aFold folds data into a running FNV-1a hash h.
+func FNV1aFold(h uint64, data []byte) uint64 {
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// FNV1aFoldU64 folds v's little-endian bytes into a running FNV-1a hash —
+// exactly what hash/fnv produces for binary.LittleEndian.PutUint64 input.
+func FNV1aFoldU64(h uint64, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xFF
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// FNV1a hashes data from the offset basis.
+func FNV1a(data []byte) uint64 { return FNV1aFold(FNVOffset, data) }

@@ -1,0 +1,282 @@
+// Snapshot primitives: a minimal little-endian binary codec and the
+// versioned checkpoint header every simulator snapshot starts with.
+//
+// The simulator's checkpoint/resume subsystem deliberately avoids
+// encoding/gob and reflection: snapshots are parsed from untrusted input
+// (a daemon accepts resume files over HTTP), so every read is explicit,
+// length-bounded and returns an error instead of panicking, and the byte
+// layout is a documented format rather than an implementation detail of
+// the Go runtime.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// SnapshotMagic opens every checkpoint stream.
+const SnapshotMagic = "NOCSNAP1"
+
+// SnapshotVersion is the current snapshot layout version. Any change to
+// the serialized layout of any component must bump it; readers reject
+// every other version (there is no cross-version migration — a
+// checkpoint is a resume token for the build that wrote it, not an
+// archival format).
+const SnapshotVersion = 1
+
+// Encoder accumulates a snapshot as little-endian bytes in memory.
+// Encoding cannot fail: the only error source in the snapshot pipeline
+// is the final write to the destination.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Data returns the accumulated bytes (aliased, valid until the next Put).
+func (e *Encoder) Data() []byte { return e.buf }
+
+// Len returns the number of bytes encoded so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// PutU8 appends one byte.
+func (e *Encoder) PutU8(v uint8) { e.buf = append(e.buf, v) }
+
+// PutU16 appends a little-endian uint16.
+func (e *Encoder) PutU16(v uint16) {
+	e.buf = append(e.buf, byte(v), byte(v>>8))
+}
+
+// PutU32 appends a little-endian uint32.
+func (e *Encoder) PutU32(v uint32) {
+	e.buf = append(e.buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// PutU64 appends a little-endian uint64.
+func (e *Encoder) PutU64(v uint64) {
+	e.buf = append(e.buf,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// PutI64 appends a two's-complement int64.
+func (e *Encoder) PutI64(v int64) { e.PutU64(uint64(v)) }
+
+// PutBool appends a bool as one byte.
+func (e *Encoder) PutBool(v bool) {
+	if v {
+		e.PutU8(1)
+	} else {
+		e.PutU8(0)
+	}
+}
+
+// PutF64 appends a float64 as its IEEE-754 bit pattern, which round-trips
+// exactly (including NaN payloads and signed zeros).
+func (e *Encoder) PutF64(v float64) { e.PutU64(math.Float64bits(v)) }
+
+// PutBytes appends a length-prefixed byte string.
+func (e *Encoder) PutBytes(b []byte) {
+	e.PutU32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// PutString appends a length-prefixed string.
+func (e *Encoder) PutString(s string) {
+	e.PutU32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Decoder reads a snapshot back. Errors are sticky: after the first
+// failure every further read returns a zero value and Err() reports the
+// original cause, so decode paths can read a whole record and check the
+// error once. No input — truncated, oversized, or hostile — makes a
+// Decoder panic.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder reads from data.
+func NewDecoder(data []byte) *Decoder { return &Decoder{buf: data} }
+
+// Err returns the first decode error, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Fail records a decode error (the first one wins).
+func (d *Decoder) Fail(format string, args ...interface{}) {
+	if d.err == nil {
+		d.err = fmt.Errorf("snapshot: offset %d: %s", d.off, fmt.Sprintf(format, args...))
+	}
+}
+
+// need reserves n bytes, failing the decoder when they are not there.
+func (d *Decoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if d.Remaining() < n {
+		d.Fail("truncated: need %d bytes, have %d", n, d.Remaining())
+		return false
+	}
+	return true
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+// U16 reads a little-endian uint16.
+func (d *Decoder) U16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := uint16(d.buf[d.off]) | uint16(d.buf[d.off+1])<<8
+	d.off += 2
+	return v
+}
+
+// U32 reads a little-endian uint32.
+func (d *Decoder) U32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	b := d.buf[d.off:]
+	v := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	d.off += 4
+	return v
+}
+
+// U64 reads a little-endian uint64.
+func (d *Decoder) U64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	b := d.buf[d.off:]
+	v := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+	d.off += 8
+	return v
+}
+
+// I64 reads a two's-complement int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// Bool reads one byte as a bool; any value other than 0 or 1 is an error.
+func (d *Decoder) Bool() bool {
+	switch d.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.Fail("invalid bool byte")
+		return false
+	}
+}
+
+// F64 reads a float64 bit pattern.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Count reads a uint32 element count and bounds it: hostile input cannot
+// claim more elements than the remaining bytes could possibly hold (each
+// element costs at least one byte), so decode loops are O(input), never
+// O(claimed).
+func (d *Decoder) Count(max int) int {
+	n := int(d.U32())
+	if d.err != nil {
+		return 0
+	}
+	if n < 0 || n > max || n > d.Remaining() {
+		d.Fail("count %d out of range (max %d, %d bytes left)", n, max, d.Remaining())
+		return 0
+	}
+	return n
+}
+
+// Bytes reads a length-prefixed byte string of at most max bytes. The
+// returned slice aliases the decoder's buffer.
+func (d *Decoder) Bytes(max int) []byte {
+	n := int(d.U32())
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > max {
+		d.Fail("byte string of %d exceeds limit %d", n, max)
+		return nil
+	}
+	if !d.need(n) {
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// String reads a length-prefixed string of at most max bytes.
+func (d *Decoder) String(max int) string { return string(d.Bytes(max)) }
+
+// SnapshotHeader identifies a checkpoint stream: the layout version, a
+// hash of the topology it snapshots (resume must rebuild the identical
+// system first), and the simulated cycle the snapshot was taken at.
+type SnapshotHeader struct {
+	Version  uint16
+	TopoHash uint64
+	Cycle    uint64
+}
+
+// WriteSnapshotHeader encodes the magic and header fields.
+func WriteSnapshotHeader(e *Encoder, h SnapshotHeader) {
+	e.buf = append(e.buf, SnapshotMagic...)
+	e.PutU16(h.Version)
+	e.PutU64(h.TopoHash)
+	e.PutU64(h.Cycle)
+}
+
+// ReadSnapshotHeader decodes and validates a checkpoint header. Hostile
+// or truncated input returns an error, never a panic; an unsupported
+// version is an error (checkpoints are not a cross-version format).
+func ReadSnapshotHeader(d *Decoder) (SnapshotHeader, error) {
+	var h SnapshotHeader
+	if !d.need(len(SnapshotMagic)) {
+		return h, d.Err()
+	}
+	magic := d.buf[d.off : d.off+len(SnapshotMagic)]
+	d.off += len(SnapshotMagic)
+	if string(magic) != SnapshotMagic {
+		d.Fail("bad magic %q", magic)
+		return h, d.Err()
+	}
+	h.Version = d.U16()
+	h.TopoHash = d.U64()
+	h.Cycle = d.U64()
+	if err := d.Err(); err != nil {
+		return h, err
+	}
+	if h.Version != SnapshotVersion {
+		d.Fail("unsupported snapshot version %d (want %d)", h.Version, SnapshotVersion)
+		return h, d.Err()
+	}
+	return h, nil
+}
+
+// State exposes the RNG's internal state for checkpointing.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState restores a checkpointed RNG state.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
+// RNG exposes the sampler's generator for checkpointing (the zeta tables
+// are pure functions of n and theta, rebuilt at construction).
+func (z *Zipf) RNG() *RNG { return z.rng }

@@ -66,6 +66,11 @@ type AIConfig struct {
 	// attached but before the topology freezes — the hook experiments
 	// use to add trace replayers or probes at the built stations.
 	BeforeFinalize func(a *AIProcessor)
+
+	// Seed perturbs every RNG stream in the build; zero keeps the
+	// historical streams (the golden digests), other values give
+	// statistically independent replicas of the same system.
+	Seed uint64
 }
 
 // DefaultAIConfig returns the paper-scale AI die: 32 AI cores on 16
@@ -187,7 +192,7 @@ func BuildAIProcessor(cfg AIConfig) *AIProcessor {
 
 	// AI cores on the vertical rings: interleaved L2 targets, sequential
 	// tensor streams offset per core.
-	rng := sim.NewRNG(0xA1)
+	rng := sim.NewRNG(0xA1 ^ cfg.Seed)
 	for v := 0; v < cfg.VRings; v++ {
 		for c := 0; c < cfg.CoresPerVRing; c++ {
 			idx := v*cfg.CoresPerVRing + c

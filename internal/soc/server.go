@@ -44,6 +44,11 @@ type ServerConfig struct {
 	// PALink calibrates the package-to-package Protocol Adapter links
 	// (zero value: derived from Bridge with SerDes-class latency).
 	PALink noc.RBRGL2Config
+
+	// Seed perturbs every RNG stream in the build; zero keeps the
+	// historical streams (the golden digests), other values give
+	// statistically independent replicas of the same system.
+	Seed uint64
 }
 
 // DefaultServerConfig returns the paper-scale system: 96 cores over two
@@ -266,7 +271,7 @@ func BuildServerCPU(cfg ServerConfig, kind CoreKind, memCoreCfg func(core int, s
 	homeOf := func(addr uint64) noc.NodeID {
 		return s.Dirs[s.Homes.HomeOf(addr)].Node()
 	}
-	rng := sim.NewRNG(0x5eC0)
+	rng := sim.NewRNG(0x5eC0 ^ cfg.Seed)
 	for i, sk := range sockets {
 		name := fmt.Sprintf("d%d.c%d.core%d", sk.die, sk.cluster, sk.index)
 		switch kind {
