@@ -27,9 +27,11 @@ func main() {
 	stateDir := flag.String("state", "", "directory for suspended-job checkpoints (empty = no persistence)")
 	retryAfter := flag.Int("retry-after", 1, "Retry-After seconds advertised on 429")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines inside one experiment job")
+	partitions := flag.Int("partitions", 0, "ring partitions inside one simulation job (0 = sequential engine; results are bit-identical at every setting)")
 	flag.Parse()
 
 	experiments.SetParallelism(*parallel)
+	experiments.SetSimPartitions(*partitions)
 
 	srv, err := server.New(server.Config{
 		QueueDepth:        *queueDepth,

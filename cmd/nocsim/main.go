@@ -37,6 +37,7 @@ func main() {
 	faultsPath := flag.String("faults", "", "JSON fault-schedule file applied to a -config run (see internal/fault)")
 	retryCycles := flag.Int("retry", 0, "arm CHI timeout/retry on every -config requester with this timeout (cycles); 0 disables")
 	retryMax := flag.Int("retries", 3, "retry budget per transaction when -retry is set")
+	partitions := flag.Int("partitions", -1, "override the -config system's ring partition count (0/1 = sequential engine; results are bit-identical at every setting; -1 keeps the config's own setting)")
 	metricsOn := flag.Bool("metrics", false, "attach the metrics registry to a -config run")
 	metricsOut := flag.String("metrics-out", "metrics.json", "metrics snapshot output file (JSON) when -metrics is set")
 	metricsInterval := flag.Uint64("metrics-interval", 100, "cycles between series samples when -metrics is set")
@@ -70,7 +71,7 @@ func main() {
 		if !*metricsOn {
 			obs.metricsOut = ""
 		}
-		if err := runConfig(*configPath, *faultsPath, *cycles, *describe, *retryCycles, *retryMax, obs); err != nil {
+		if err := runConfig(*configPath, *faultsPath, *cycles, *describe, *retryCycles, *retryMax, *partitions, obs); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -127,7 +128,7 @@ const traceCap = 1 << 17
 
 // runConfig builds and runs a JSON-defined system, reporting per-device
 // statistics.
-func runConfig(path, faultsPath string, cycles int, describe bool, retryCycles, retryMax int, obs observeOpts) error {
+func runConfig(path, faultsPath string, cycles int, describe bool, retryCycles, retryMax, partitions int, obs observeOpts) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -155,6 +156,9 @@ func runConfig(path, faultsPath string, cycles int, describe bool, retryCycles, 
 				d.RetryTimeout, d.RetryMax = retryCycles, retryMax
 			}
 		}
+	}
+	if partitions >= 0 {
+		spec.Partitions = partitions
 	}
 	sys, err := spec.Build()
 	if err != nil {

@@ -1,0 +1,253 @@
+package config
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/fnv"
+	"testing"
+
+	"chipletnoc/internal/noc"
+)
+
+// The config-level partition differential suite extends the soc suite to
+// the declarative reference fabrics — a bridged multi-ring chain, a
+// mesh-of-rings and a hub-and-spoke — proving the conservative-time
+// engine is bit-identical to the sequential engine on arbitrary
+// user-described topologies, not just the two paper systems, and that
+// the partitions knob in a spec document is behaviour-neutral.
+
+// multiringSpec chains four full rings with RBRG-L2 bridges: the
+// simplest topology whose partitions only communicate through
+// serialized boundary devices.
+const multiringSpec = `{
+  "name": "diff-multiring",
+  "rings": [
+    {"name": "r0", "positions": 12, "full": true},
+    {"name": "r1", "positions": 12, "full": true},
+    {"name": "r2", "positions": 12, "full": true},
+    {"name": "r3", "positions": 12, "full": true}
+  ],
+  "devices": [
+    {"name": "c0", "type": "requester", "ring": "r0", "position": 0,
+     "outstanding": 8, "rate": 0.8, "readFraction": 0.7, "lineBytes": 64, "targets": ["m3"]},
+    {"name": "c1", "type": "requester", "ring": "r1", "position": 2,
+     "outstanding": 8, "rate": 0.8, "readFraction": 0.5, "lineBytes": 64, "targets": ["m0", "m3"]},
+    {"name": "c2", "type": "requester", "ring": "r2", "position": 4,
+     "outstanding": 8, "rate": 0.8, "readFraction": 0.6, "lineBytes": 64, "targets": ["m0"]},
+    {"name": "m0", "type": "memory", "ring": "r0", "position": 6,
+     "accessCycles": 20, "bytesPerCycle": 64, "queueDepth": 16},
+    {"name": "m3", "type": "memory", "ring": "r3", "position": 6,
+     "accessCycles": 20, "bytesPerCycle": 64, "queueDepth": 16}
+  ],
+  "bridges": [
+    {"name": "b01", "type": "rbrg-l2",
+     "stations": [{"ring": "r0", "position": 11}, {"ring": "r1", "position": 0}]},
+    {"name": "b12", "type": "rbrg-l2",
+     "stations": [{"ring": "r1", "position": 11}, {"ring": "r2", "position": 0}]},
+    {"name": "b23", "type": "rbrg-l2",
+     "stations": [{"ring": "r2", "position": 11}, {"ring": "r3", "position": 0}]}
+  ]
+}`
+
+// meshSpec crosses two vertical and two horizontal rings with RBRG-L1
+// intersections — the AI die's fabric in miniature, where every ring
+// touches every other partition.
+const meshSpec = `{
+  "name": "diff-mesh",
+  "rings": [
+    {"name": "v0", "positions": 10, "full": true},
+    {"name": "v1", "positions": 10, "full": true},
+    {"name": "h0", "positions": 10, "full": true},
+    {"name": "h1", "positions": 10, "full": true}
+  ],
+  "devices": [
+    {"name": "c00", "type": "requester", "ring": "v0", "position": 0,
+     "outstanding": 6, "rate": 0.9, "readFraction": 0.5, "lineBytes": 128, "targets": ["l20", "l21"]},
+    {"name": "c10", "type": "requester", "ring": "v1", "position": 0,
+     "outstanding": 6, "rate": 0.9, "readFraction": 0.5, "lineBytes": 128, "targets": ["l21", "l20"]},
+    {"name": "l20", "type": "memory", "ring": "h0", "position": 5,
+     "accessCycles": 8, "bytesPerCycle": 128, "queueDepth": 32},
+    {"name": "l21", "type": "memory", "ring": "h1", "position": 5,
+     "accessCycles": 8, "bytesPerCycle": 128, "queueDepth": 32}
+  ],
+  "bridges": [
+    {"name": "x00", "type": "rbrg-l1",
+     "stations": [{"ring": "v0", "position": 3}, {"ring": "h0", "position": 0}]},
+    {"name": "x01", "type": "rbrg-l1",
+     "stations": [{"ring": "v0", "position": 7}, {"ring": "h1", "position": 0}]},
+    {"name": "x10", "type": "rbrg-l1",
+     "stations": [{"ring": "v1", "position": 3}, {"ring": "h0", "position": 9}]},
+    {"name": "x11", "type": "rbrg-l1",
+     "stations": [{"ring": "v1", "position": 7}, {"ring": "h1", "position": 9}]}
+  ]
+}`
+
+// hubSpec attaches three spoke rings to one central hub ring — the
+// IO-die pattern, with a deliberately unbalanced partition weight (the
+// hub is bigger than any spoke).
+const hubSpec = `{
+  "name": "diff-hub",
+  "rings": [
+    {"name": "hub", "positions": 16, "full": true},
+    {"name": "s0", "positions": 6, "full": true},
+    {"name": "s1", "positions": 6, "full": true},
+    {"name": "s2", "positions": 6, "full": true}
+  ],
+  "devices": [
+    {"name": "c0", "type": "requester", "ring": "s0", "position": 2,
+     "outstanding": 4, "rate": 0.7, "readFraction": 0.8, "lineBytes": 64, "targets": ["dram"]},
+    {"name": "c1", "type": "requester", "ring": "s1", "position": 2,
+     "outstanding": 4, "rate": 0.7, "readFraction": 0.4, "lineBytes": 64, "targets": ["dram"]},
+    {"name": "c2", "type": "requester", "ring": "s2", "position": 2,
+     "outstanding": 4, "rate": 0.7, "readFraction": 0.6, "lineBytes": 64, "targets": ["dram"]},
+    {"name": "dram", "type": "memory", "ring": "hub", "position": 8,
+     "accessCycles": 40, "bytesPerCycle": 32, "queueDepth": 24}
+  ],
+  "bridges": [
+    {"name": "h0", "type": "rbrg-l2",
+     "stations": [{"ring": "hub", "position": 0}, {"ring": "s0", "position": 0}]},
+    {"name": "h1", "type": "rbrg-l2",
+     "stations": [{"ring": "hub", "position": 5}, {"ring": "s1", "position": 0}]},
+    {"name": "h2", "type": "rbrg-l2",
+     "stations": [{"ring": "hub", "position": 11}, {"ring": "s2", "position": 0}]}
+  ]
+}`
+
+// meshFaultSpec is meshSpec plus a fault schedule killing and repairing
+// one intersection mid-run with a watchdog armed: the partitioned engine
+// must fall back for the failure window and still match bit for bit.
+const meshFaultSpec = `{
+  "name": "diff-mesh",
+  "rings": [
+    {"name": "v0", "positions": 10, "full": true},
+    {"name": "v1", "positions": 10, "full": true},
+    {"name": "h0", "positions": 10, "full": true},
+    {"name": "h1", "positions": 10, "full": true}
+  ],
+  "devices": [
+    {"name": "c00", "type": "requester", "ring": "v0", "position": 0,
+     "outstanding": 6, "rate": 0.9, "readFraction": 0.5, "lineBytes": 128,
+     "retryTimeout": 400, "retryMax": 8, "targets": ["l20", "l21"]},
+    {"name": "c10", "type": "requester", "ring": "v1", "position": 0,
+     "outstanding": 6, "rate": 0.9, "readFraction": 0.5, "lineBytes": 128,
+     "retryTimeout": 400, "retryMax": 8, "targets": ["l21", "l20"]},
+    {"name": "l20", "type": "memory", "ring": "h0", "position": 5,
+     "accessCycles": 8, "bytesPerCycle": 128, "queueDepth": 32},
+    {"name": "l21", "type": "memory", "ring": "h1", "position": 5,
+     "accessCycles": 8, "bytesPerCycle": 128, "queueDepth": 32}
+  ],
+  "bridges": [
+    {"name": "x00", "type": "rbrg-l1",
+     "stations": [{"ring": "v0", "position": 3}, {"ring": "h0", "position": 0}]},
+    {"name": "x01", "type": "rbrg-l1",
+     "stations": [{"ring": "v0", "position": 7}, {"ring": "h1", "position": 0}]},
+    {"name": "x10", "type": "rbrg-l1",
+     "stations": [{"ring": "v1", "position": 3}, {"ring": "h0", "position": 9}]},
+    {"name": "x11", "type": "rbrg-l1",
+     "stations": [{"ring": "v1", "position": 7}, {"ring": "h1", "position": 9}]}
+  ],
+  "faults": {
+    "watchdogCycles": 600,
+    "events": [
+      {"at": 400, "kind": "kill-bridge", "bridge": "x00", "repairAt": 1200},
+      {"at": 700, "kind": "drop-flit"},
+      {"at": 900, "kind": "corrupt-flit"}
+    ]
+  }
+}`
+
+// configDigest is the comparable outcome of one run: the exported
+// counters plus an FNV-1a hash over per-flit latencies in delivery
+// order.
+type configDigest struct {
+	Injected, Delivered, Dropped uint64
+	Deflections, Hops            uint64
+	Latencies, LatencyFNV        uint64
+}
+
+// runSpec builds specJSON at the given partition count, runs it, and
+// returns the digest plus the final checkpoint bytes (nil when the spec
+// carries a fault schedule — injectors do not checkpoint).
+func runSpec(t *testing.T, specJSON string, parts, cycles int) (configDigest, []byte) {
+	t.Helper()
+	spec, err := Parse([]byte(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Partitions = parts
+	sys, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	var d configDigest
+	sys.Net.RecordLatency(func(f *noc.Flit, cycles uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], cycles)
+		h.Write(b[:])
+		d.Latencies++
+	})
+	sys.Run(cycles)
+	d.Injected = sys.Net.InjectedFlits
+	d.Delivered = sys.Net.DeliveredFlits
+	d.Dropped = sys.Net.DroppedFlits
+	d.Deflections = sys.Net.Deflections
+	d.Hops = sys.Net.TotalHops
+	d.LatencyFNV = h.Sum64()
+	if err := sys.Net.CheckConservation(); err != nil {
+		t.Fatalf("partitions=%d: %v", parts, err)
+	}
+	if sys.Injector != nil {
+		return d, nil
+	}
+	var ckpt bytes.Buffer
+	if err := sys.WriteCheckpoint(&ckpt, nil); err != nil {
+		t.Fatalf("partitions=%d: checkpoint: %v", parts, err)
+	}
+	return d, ckpt.Bytes()
+}
+
+// TestPartitionEquivalenceConfigTopologies sweeps every declarative
+// reference fabric across partition counts, requiring the digest and
+// checkpoint bytes to match the sequential run exactly. Counts beyond
+// the ring count (8 on 4-ring fabrics) exercise the clamp.
+func TestPartitionEquivalenceConfigTopologies(t *testing.T) {
+	cases := []struct {
+		name, spec string
+		cycles     int
+	}{
+		{"multiring", multiringSpec, 4000},
+		{"mesh", meshSpec, 4000},
+		{"hub", hubSpec, 4000},
+		{"mesh-faults", meshFaultSpec, 3000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seqDigest, seqCkpt := runSpec(t, tc.spec, 1, tc.cycles)
+			if seqDigest.Delivered == 0 {
+				t.Fatalf("sequential reference delivered nothing: %+v", seqDigest)
+			}
+			for _, parts := range []int{2, 4, 8} {
+				digest, ckpt := runSpec(t, tc.spec, parts, tc.cycles)
+				if digest != seqDigest {
+					t.Errorf("partitions=%d: digest diverged\n got: %+v\nwant: %+v", parts, digest, seqDigest)
+				}
+				if !bytes.Equal(ckpt, seqCkpt) {
+					t.Errorf("partitions=%d: checkpoint bytes diverged (%d vs %d bytes)", parts, len(ckpt), len(seqCkpt))
+				}
+			}
+		})
+	}
+}
+
+// TestPartitionSpecKnobRejectsNegative pins the validation path.
+func TestPartitionSpecKnobRejectsNegative(t *testing.T) {
+	spec, err := Parse([]byte(multiringSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Partitions = -1
+	if _, err := spec.Build(); err == nil {
+		t.Fatal("negative partitions must not build")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"chipletnoc/internal/baseline"
 	"chipletnoc/internal/soc"
 	"chipletnoc/internal/stats"
+	"chipletnoc/internal/traffic"
 )
 
 // commitSHA resolves the commit the binary was built from: the module
@@ -58,6 +59,12 @@ type BenchCase struct {
 	LatencyP90 float64 `json:"latency_p90,omitempty"`
 	LatencyP99 float64 `json:"latency_p99,omitempty"`
 	LatencyMax float64 `json:"latency_max,omitempty"`
+	// Workers is the effective partition count the case's simulation ran
+	// on (the tick engine's concurrency, not the machine's CPU count —
+	// the report-level NumCPU/GoMaxProcs describe the host, this field
+	// describes the run). 1 for sequential reference cases; zero for
+	// experiment wrappers that run many internal simulations.
+	Workers int `json:"workers,omitempty"`
 }
 
 // BenchReport is the whole suite's result.
@@ -92,6 +99,66 @@ func (r *BenchReport) WriteJSON(w io.Writer) error {
 // benchAICycles is the reference AI-die run length (Quick golden length).
 const benchAICycles = 3000
 
+// benchQuadDieCycles sizes the heavy partitioned reference: long enough
+// that the parallel engine's speedup dominates worker start-up costs.
+const benchQuadDieCycles = 6000
+
+// benchAICase runs the Quick golden AI die at the given partition count
+// and records throughput, latency percentiles and the worker count.
+func benchAICase(c *BenchCase, partitions int) {
+	cfg := soc.DefaultAIConfig()
+	cfg.VRings, cfg.HRings = 4, 2
+	cfg.CoresPerVRing, cfg.L2PerHRing = 2, 4
+	cfg.HBMStacks, cfg.DMAEngines = 2, 2
+	cfg.Partitions = partitions
+	a := soc.BuildAIProcessor(cfg)
+	a.Run(benchAICycles)
+	c.SimCycles = benchAICycles
+	c.Workers = a.Net.Partitions()
+	var lat stats.Histogram
+	for _, core := range a.Cores {
+		lat.Merge(&core.Latency)
+	}
+	c.LatencyP50 = lat.Percentile(50)
+	c.LatencyP90 = lat.Percentile(90)
+	c.LatencyP99 = lat.Percentile(99)
+	c.LatencyMax = lat.Max()
+}
+
+// benchQuadDieCase runs a four-compute-die Server-CPU (two packages of
+// two dies, PA-linked) under saturating memory traffic at the given
+// partition count — the scaling showcase: the dies' ring groups only
+// meet at the serialized RBRG-L2 bridges, so the partitioned engine's
+// speedup here is near its best case.
+func benchQuadDieCase(c *BenchCase, partitions int) {
+	cfg := soc.DefaultServerConfig()
+	cfg.Packages = 2
+	cfg.ClustersPerDie = 12
+	cfg.Partitions = partitions
+	s := soc.BuildServerCPU(cfg, soc.MemoryCores, func(core int, s *soc.ServerCPU) traffic.RequesterConfig {
+		const line = 64
+		return traffic.RequesterConfig{
+			Outstanding:  16,
+			Rate:         1,
+			ReadFraction: 0.7,
+			LineBytes:    line,
+			Stream:       traffic.NewSeqStream(uint64(core)<<28, line, 1<<22),
+			TargetOf:     traffic.InterleavedTargetsBy(s.AllDDRNodes(), line),
+		}
+	})
+	s.Run(benchQuadDieCycles)
+	c.SimCycles = benchQuadDieCycles
+	c.Workers = s.Net.Partitions()
+	var lat stats.Histogram
+	for _, core := range s.MemCores {
+		lat.Merge(&core.Latency)
+	}
+	c.LatencyP50 = lat.Percentile(50)
+	c.LatencyP90 = lat.Percentile(90)
+	c.LatencyP99 = lat.Percentile(99)
+	c.LatencyMax = lat.Max()
+}
+
 // measureCase times fn with allocation accounting. A GC before each case
 // keeps one case's garbage from billing the next.
 func measureCase(name string, fn func(c *BenchCase)) BenchCase {
@@ -124,23 +191,12 @@ func benchSuite() []struct {
 		name string
 		run  func(c *BenchCase)
 	}{
-		{"ref/ai-processor", func(c *BenchCase) {
-			cfg := soc.DefaultAIConfig()
-			cfg.VRings, cfg.HRings = 4, 2
-			cfg.CoresPerVRing, cfg.L2PerHRing = 2, 4
-			cfg.HBMStacks, cfg.DMAEngines = 2, 2
-			a := soc.BuildAIProcessor(cfg)
-			a.Run(benchAICycles)
-			c.SimCycles = benchAICycles
-			var lat stats.Histogram
-			for _, core := range a.Cores {
-				lat.Merge(&core.Latency)
-			}
-			c.LatencyP50 = lat.Percentile(50)
-			c.LatencyP90 = lat.Percentile(90)
-			c.LatencyP99 = lat.Percentile(99)
-			c.LatencyMax = lat.Max()
-		}},
+		{"ref/ai-processor", func(c *BenchCase) { benchAICase(c, 1) }},
+		{"ref/ai-processor-par2", func(c *BenchCase) { benchAICase(c, 2) }},
+		{"ref/ai-processor-par4", func(c *BenchCase) { benchAICase(c, 4) }},
+		{"ref/quad-die", func(c *BenchCase) { benchQuadDieCase(c, 1) }},
+		{"ref/quad-die-par2", func(c *BenchCase) { benchQuadDieCase(c, 2) }},
+		{"ref/quad-die-par4", func(c *BenchCase) { benchQuadDieCase(c, 4) }},
 		{"ref/multiring-uniform", func(c *BenchCase) {
 			const warmup, window = 2000, 10000
 			p := baseline.MeasureUniform(baseline.NewMultiRing(32, true), 0.1, 64, warmup, window, 1)

@@ -7,13 +7,22 @@ import (
 	"testing"
 )
 
-// TestBenchSuiteReferenceCases runs only the two reference simulations
-// (the exp/* wrappers are covered by the experiment tests) and checks
-// the report carries the fields CI diffs against.
+// TestBenchSuiteReferenceCases runs only the reference simulations (the
+// exp/* wrappers are covered by the experiment tests) and checks the
+// report carries the fields CI diffs against, including the partitioned
+// variants' worker counts.
 func TestBenchSuiteReferenceCases(t *testing.T) {
 	report := RunBenchSuite(func(name string) bool { return strings.HasPrefix(name, "ref/") })
-	if len(report.Cases) != 2 {
-		t.Fatalf("got %d ref cases, want 2", len(report.Cases))
+	if len(report.Cases) != 7 {
+		t.Fatalf("got %d ref cases, want 7", len(report.Cases))
+	}
+	wantWorkers := map[string]int{
+		"ref/ai-processor":      1,
+		"ref/ai-processor-par2": 2,
+		"ref/ai-processor-par4": 4,
+		"ref/quad-die":          1,
+		"ref/quad-die-par2":     2,
+		"ref/quad-die-par4":     4,
 	}
 	for _, c := range report.Cases {
 		if c.SimCycles == 0 || c.CyclesPerSec <= 0 {
@@ -24,6 +33,9 @@ func TestBenchSuiteReferenceCases(t *testing.T) {
 		}
 		if c.LatencyP50 <= 0 || c.LatencyP99 < c.LatencyP50 {
 			t.Errorf("%s: implausible latency percentiles: %+v", c.Name, c)
+		}
+		if want, ok := wantWorkers[c.Name]; ok && c.Workers != want {
+			t.Errorf("%s: workers = %d, want %d", c.Name, c.Workers, want)
 		}
 	}
 	if report.GoVersion == "" || report.NumCPU <= 0 {

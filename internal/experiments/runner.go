@@ -43,6 +43,33 @@ func Parallelism() int {
 	return parallelism.n
 }
 
+var simPartitions = struct {
+	sync.RWMutex
+	n int
+}{}
+
+// SetSimPartitions sets the process-wide default partition count RunSim
+// applies when a spec does not request one itself (the nocd daemon's
+// -partitions flag lands here). 0 — the initial state — means
+// sequential. Orthogonal to SetParallelism: that bounds concurrent jobs,
+// this parallelises the interior of one simulation. Results are
+// bit-identical at every setting.
+func SetSimPartitions(n int) {
+	if n < 0 {
+		n = 0
+	}
+	simPartitions.Lock()
+	simPartitions.n = n
+	simPartitions.Unlock()
+}
+
+// SimPartitions returns the process-wide default partition count.
+func SimPartitions() int {
+	simPartitions.RLock()
+	defer simPartitions.RUnlock()
+	return simPartitions.n
+}
+
 // JobTiming is one job's measured wall clock.
 type JobTiming struct {
 	Name string

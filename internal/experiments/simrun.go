@@ -52,6 +52,14 @@ type SimSpec struct {
 	// topology (stored as a string so specs stay comparable — checkpoint
 	// resume compares specs for identity).
 	Config string `json:"config,omitempty"`
+	// Partitions selects the tick engine for this run: 0 inherits the
+	// process-wide default (SetSimPartitions), 1 forces sequential,
+	// higher counts advance ring groups concurrently. Results are
+	// bit-identical at every setting, so the field is deliberately NOT
+	// part of the job's identity: it does not travel in job JSON or in
+	// checkpoints, and a checkpoint taken at one partition count resumes
+	// at any other.
+	Partitions int `json:"-"`
 }
 
 // Normalize fills defaults and validates; it is idempotent, and both the
@@ -337,6 +345,9 @@ func decodeExtra(extra []byte, spec SimSpec) (*simProgress, error) {
 	if err := json.Unmarshal(specJSON, &ckptSpec); err != nil {
 		return nil, fmt.Errorf("checkpoint spec: %w", err)
 	}
+	// The partition count is a speed knob, not part of the run's
+	// identity: a checkpoint resumes under any engine.
+	ckptSpec.Partitions, spec.Partitions = 0, 0
 	if ckptSpec != spec {
 		return nil, fmt.Errorf("checkpoint was taken for spec %+v, not %+v", ckptSpec, spec)
 	}
@@ -365,6 +376,11 @@ func RunSim(spec SimSpec, resume []byte, ctl *SimControl) (*SimResult, error) {
 	sys, err := buildSimSystem(spec)
 	if err != nil {
 		return nil, err
+	}
+	if p := spec.Partitions; p > 0 {
+		sys.net.SetPartitions(p)
+	} else if p := SimPartitions(); p > 0 {
+		sys.net.SetPartitions(p)
 	}
 	progress := &simProgress{latHash: sim.FNVOffset}
 	if resume != nil {

@@ -142,7 +142,7 @@ func (b *RBRGL1) Tick(now sim.Cycle) {
 				} else {
 					in.iface.Recv()
 				}
-				b.net.dropFlit(f, &b.net.UnroutableDrops, in.iface.station.ring, trace.Reroute, b.name, "no forward route")
+				b.net.dropFlit(f, in.iface.station.ring.shard, cUnroutable, in.iface.station.ring, trace.Reroute, b.name, "no forward route")
 				continue
 			}
 			if !out.Send(f) {
@@ -169,7 +169,7 @@ func (b *RBRGL1) Tick(now sim.Cycle) {
 func (b *RBRGL1) dropBuffers() {
 	for _, h := range b.halves {
 		for _, f := range h.escape {
-			b.net.dropFlit(f, &b.net.FaultDrops, h.iface.station.ring, trace.Fault, b.name, "lost in dead bridge")
+			b.net.dropFlit(f, h.iface.station.ring.shard, cFault, h.iface.station.ring, trace.Fault, b.name, "lost in dead bridge")
 		}
 		clearFlits(h.escape)
 		h.escape = h.escape[:0]
@@ -407,16 +407,16 @@ func (b *RBRGL2) dropBuffers() {
 		h := &b.half[side]
 		r := h.iface.station.ring
 		for _, f := range h.tx {
-			b.net.dropFlit(f, &b.net.FaultDrops, r, trace.Fault, b.name, "lost in dead bridge")
+			b.net.dropFlit(f, r.shard, cFault, r, trace.Fault, b.name, "lost in dead bridge")
 		}
 		for _, f := range h.reserve {
-			b.net.dropFlit(f, &b.net.FaultDrops, r, trace.Fault, b.name, "lost in dead bridge")
+			b.net.dropFlit(f, r.shard, cFault, r, trace.Fault, b.name, "lost in dead bridge")
 		}
 		for _, pf := range h.pipe {
-			b.net.dropFlit(pf.f, &b.net.FaultDrops, r, trace.Fault, b.name, "lost on dead link")
+			b.net.dropFlit(pf.f, r.shard, cFault, r, trace.Fault, b.name, "lost on dead link")
 		}
 		for _, f := range h.rx {
-			b.net.dropFlit(f, &b.net.FaultDrops, r, trace.Fault, b.name, "lost in dead bridge")
+			b.net.dropFlit(f, r.shard, cFault, r, trace.Fault, b.name, "lost in dead bridge")
 		}
 		clearFlits(h.tx)
 		clearFlits(h.reserve)

@@ -182,7 +182,7 @@ func (n *Network) DropLiveFlit(nth int) bool {
 	s.flit = nil
 	l.occ--
 	r.settleHops(f)
-	n.dropFlit(f, &n.FaultDrops, r, trace.Fault, "injector", "flit dropped")
+	n.dropFlit(f, r.shard, cFault, r, trace.Fault, "injector", "flit dropped")
 	return true
 }
 
@@ -270,7 +270,7 @@ func (n *Network) sweepLoop(r *Ring, l *loop, expired func(*Flit) bool) {
 		s.flit = nil
 		l.occ--
 		r.settleHops(f)
-		n.dropFlit(f, &n.WatchdogDrops, r, trace.WatchdogDrop, "ring", "aged out on ring")
+		n.dropFlit(f, r.shard, cWatchdogDrops, r, trace.WatchdogDrop, "ring", "aged out on ring")
 	}
 }
 
@@ -283,23 +283,22 @@ func (n *Network) sweepQueue(r *Ring, ni *NodeInterface, q *flitRing, expired fu
 	for count := q.len(); count > 0; count-- {
 		f := q.pop()
 		if expired(f) && !(ejectQueue && f.Dst == ni.node) {
-			n.dropFlit(f, &n.WatchdogDrops, r, trace.WatchdogDrop, n.nodes[ni.node].name, "aged out in queue")
+			n.dropFlit(f, r.shard, cWatchdogDrops, r, trace.WatchdogDrop, n.nodes[ni.node].name, "aged out in queue")
 			continue
 		}
 		q.push(f)
 	}
 }
 
-// dropFlit accounts one removed flit: the aggregate DroppedFlits counter
-// (part of the conservation invariant), the per-cause counter, a purge of
-// any E-tag state the flit left on its current ring, and a trace event.
-// The flit is returned to the free-list — callers must not reference it
+// dropFlit accounts one removed flit: the aggregate dropped counter
+// (part of the conservation invariant), the per-cause counter — both on
+// the shard sh owning the context the drop happened in — a purge of any
+// E-tag state the flit left on its current ring, and a trace event. The
+// flit is returned to the free-list — callers must not reference it
 // after this call.
-func (n *Network) dropFlit(f *Flit, cause *uint64, r *Ring, kind trace.Kind, where, detail string) {
-	n.DroppedFlits++
-	if cause != nil {
-		*cause++
-	}
+func (n *Network) dropFlit(f *Flit, sh *shard, cause counterIdx, r *Ring, kind trace.Kind, where, detail string) {
+	sh.counts[cDropped]++
+	sh.counts[cause]++
 	if r != nil {
 		purgeTagState(r, f.ID)
 	}
@@ -314,7 +313,7 @@ func (n *Network) dropInterfaceQueues(ni *NodeInterface) {
 	where := n.nodes[ni.node].name
 	for _, q := range []*flitRing{&ni.inject, &ni.bypass, &ni.eject} {
 		for q.len() > 0 {
-			n.dropFlit(q.pop(), &n.FaultDrops, r, trace.Fault, where, "lost in dead bridge")
+			n.dropFlit(q.pop(), r.shard, cFault, r, trace.Fault, where, "lost in dead bridge")
 		}
 	}
 	if ni.itagArmed {

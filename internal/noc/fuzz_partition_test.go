@@ -1,0 +1,123 @@
+package noc
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"testing"
+)
+
+// FuzzPartitionMergeEquivalence is the adversarial check on the barrier
+// merge: a randomized bridged topology with cross-ring traffic, advanced
+// under an ARBITRARY ring-to-partition assignment (not the planner's LPT
+// — any grouping the fuzzer invents, including wildly unbalanced and
+// empty partitions), must produce exactly the sequential engine's
+// counters, delivery order per sink, and latency stream. Ring count,
+// ring sizes, traffic pattern and the assignment all come from the fuzz
+// input.
+func FuzzPartitionMergeEquivalence(f *testing.F) {
+	f.Add(uint8(4), uint8(2), []byte{0, 1, 2, 3, 9, 9, 9})
+	f.Add(uint8(2), uint8(3), []byte{1, 0})
+	f.Add(uint8(6), uint8(4), []byte{5, 0, 5, 0, 2, 2, 0x40, 0x11})
+	f.Add(uint8(5), uint8(8), []byte{0, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, nrings, parts uint8, raw []byte) {
+		nr := 2 + int(nrings)%5 // 2..6 rings
+		k := 2 + int(parts)%7   // 2..8 partitions
+		byteAt := func(i int) byte {
+			if len(raw) == 0 {
+				return 0
+			}
+			return raw[i%len(raw)]
+		}
+
+		// build constructs the same topology twice: a chain of full
+		// rings joined by RBRG-L2 bridges, one source and one sink per
+		// ring, every source sending to the sink on the "opposite" ring
+		// so most traffic crosses partition boundaries.
+		build := func() (*Network, []*source, []*sink) {
+			net := NewNetwork("fuzz")
+			rings := make([]*Ring, nr)
+			for i := range rings {
+				positions := 4 + int(byteAt(i))%9 // 4..12
+				rings[i] = net.AddRing(positions, true)
+			}
+			srcs := make([]*source, nr)
+			snks := make([]*sink, nr)
+			for i, r := range rings {
+				srcs[i] = newSource(t, net, r.AddStation(1), "src")
+				snks[i] = newSink(t, net, r.AddStation(2), "snk", 2)
+			}
+			cfg := DefaultRBRGL2Config()
+			for i := 0; i+1 < nr; i++ {
+				NewRBRGL2(net, "br", cfg,
+					rings[i].AddStation(0), rings[i+1].AddStation(3))
+			}
+			net.MustFinalize()
+
+			for i, s := range srcs {
+				target := snks[(i+nr/2)%nr]
+				burst := 4 + int(byteAt(i+nr))%13
+				for j := 0; j < burst; j++ {
+					s.queue(net.NewFlit(s.Node(), target.Node(), KindData, 64))
+				}
+			}
+			return net, srcs, snks
+		}
+
+		digest := func(net *Network, snks []*sink, latHash uint64) uint64 {
+			h := fnv.New64a()
+			var b [8]byte
+			put := func(v uint64) {
+				binary.LittleEndian.PutUint64(b[:], v)
+				h.Write(b[:])
+			}
+			put(net.InjectedFlits)
+			put(net.DeliveredFlits)
+			put(net.DroppedFlits)
+			put(net.Deflections)
+			put(net.TotalHops)
+			put(latHash)
+			for _, s := range snks {
+				put(uint64(len(s.got)))
+				for _, fl := range s.got {
+					put(fl.ID) // delivery order per sink, not just counts
+				}
+			}
+			return h.Sum64()
+		}
+
+		// Half the inputs install a latency recorder, exercising the
+		// split cycle (ring barrier + ordered replay); the rest run the
+		// fused cycle.
+		withLatency := byteAt(nr+1)&1 == 1
+		run := func(partitioned bool) uint64 {
+			net, _, snks := build()
+			latHash := uint64(14695981039346656037) // FNV-1a offset basis
+			if withLatency {
+				net.RecordLatency(func(fl *Flit, cycles uint64) {
+					latHash ^= cycles
+					latHash *= 1099511628211
+				})
+			}
+			if partitioned {
+				net.SetPartitions(k)
+				assign := make([]int, nr)
+				for i := range assign {
+					assign[i] = int(byteAt(nr+2+i)) % k
+				}
+				net.plan = net.buildPlan(assign, k)
+			}
+			net.Run(600)
+			if err := net.CheckConservation(); err != nil {
+				t.Fatalf("partitioned=%v: %v", partitioned, err)
+			}
+			return digest(net, snks, latHash)
+		}
+
+		seq := run(false)
+		par := run(true)
+		if seq != par {
+			t.Fatalf("nrings=%d parts=%d withLatency=%v: partitioned digest %#x != sequential %#x",
+				nr, k, withLatency, par, seq)
+		}
+	})
+}

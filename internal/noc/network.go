@@ -3,6 +3,7 @@ package noc
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"chipletnoc/internal/metrics"
@@ -44,7 +45,14 @@ type Network struct {
 	now     sim.Cycle
 	ticks   uint64 // total Tick calls; elapsed simulated cycles
 
-	nextFlitID uint64
+	// flit identity: per-source-node sequence streams. A flit's ID is
+	// (stream sequence << flitIDShift) | source node, so IDs are globally
+	// unique, never zero (sequences start at 1; zero is the trace
+	// sentinel), and — crucially for the partitioned engine — depend only
+	// on the minting node's own history, not on any global order across
+	// nodes. flitIDShift is fixed at Finalize from the node count.
+	flitSeq     []uint64
+	flitIDShift uint
 
 	// ring-graph routing, built by Finalize
 	finalized bool
@@ -56,11 +64,24 @@ type Network struct {
 	// walks in routeFrom/localTarget. Rebuilt with the BFS tables.
 	routeTbl [][]routeEntry
 
-	// freeFlits is the deterministic flit free-list (see NewFlit /
-	// ReleaseFlit). A plain LIFO slice, never sync.Pool: each Network is
-	// single-threaded, so recycling order is reproducible and race-free
-	// even when the parallel harness runs many networks at once.
-	freeFlits []*Flit
+	// Counter/free-list shards and the partitioned tick engine (see
+	// shard.go and partition.go). shards always holds at least one shard;
+	// in sequential mode everything routes through shards[0], so the flit
+	// free-list stays a plain deterministic LIFO, never a sync.Pool —
+	// recycling order is reproducible and race-free even when the
+	// parallel harness runs many networks at once. nodeShard keys a
+	// node's flit pool to the partition its device ticks in.
+	shards     []*shard
+	nodeShard  []*shard
+	partitions int       // requested partition count (<=1: sequential)
+	plan       *tickPlan // lazily built; nil or invalid after topology edits
+
+	// bufferLatency is set while partitions run ring phases concurrently:
+	// deliveries then buffer their latency samples per ring instead of
+	// invoking the recorder, and the serial replay between the ring and
+	// device phases re-emits them in ring order — exactly the sequential
+	// engine's delivery order.
+	bufferLatency bool
 
 	// ITagEnabled / ETagEnabled toggle the starvation and deflection
 	// control tags (on by default; the tag ablation turns them off).
@@ -113,6 +134,7 @@ func NewNetwork(name string) *Network {
 	return &Network{
 		name:        name,
 		bridges:     make(map[[2]RingID][]NodeID),
+		shards:      []*shard{new(shard)},
 		ITagEnabled: true,
 		ETagEnabled: true,
 	}
@@ -142,6 +164,7 @@ func (n *Network) AddRing(positions int, full bool) *Ring {
 	r := &Ring{
 		id:        RingID(len(n.rings)),
 		net:       n,
+		shard:     n.shards[0],
 		positions: positions,
 		full:      full,
 		stationAt: make([]*CrossStation, positions),
@@ -202,32 +225,54 @@ func (n *Network) AttachQueued(node NodeID, st *CrossStation, injectDepth, eject
 // AddDevice registers a device for per-cycle ticking (after ring logic).
 func (n *Network) AddDevice(d Device) {
 	n.devices = append(n.devices, d)
+	n.invalidatePlan()
 }
 
 // NewFlit mints a flit with a network-unique ID, reusing storage from the
-// free-list when available. IDs stay strictly monotonic whether or not
-// the struct is recycled, so everything keyed by flit ID (E-tag state,
-// bridge load-balancing, traces) is unaffected by pooling.
+// minting node's free-list when available. IDs are strictly monotonic
+// per source node whether or not the struct is recycled, so everything
+// keyed by flit ID (E-tag state, bridge load-balancing, traces) is
+// unaffected by pooling — and because each node draws from its own
+// sequence stream, the IDs a run produces are identical at any partition
+// count.
 func (n *Network) NewFlit(src, dst NodeID, kind Kind, payloadBytes int) *Flit {
-	n.nextFlitID++
-	if k := len(n.freeFlits); k > 0 {
-		f := n.freeFlits[k-1]
-		n.freeFlits[k-1] = nil
-		n.freeFlits = n.freeFlits[:k-1]
-		*f = Flit{ID: n.nextFlitID, Src: src, Dst: dst, Kind: kind, PayloadBytes: payloadBytes}
+	for int(src) >= len(n.flitSeq) {
+		// Pre-Finalize minting only (tests): Finalize sizes the vector to
+		// the node count, and partitioned runs start after Finalize.
+		n.flitSeq = append(n.flitSeq, 0)
+	}
+	n.flitSeq[src]++
+	shift := n.flitIDShift
+	if shift == 0 {
+		shift = preFinalizeIDShift
+	}
+	id := n.flitSeq[src]<<shift | uint64(src)
+	sh := n.shardFor(src)
+	if k := len(sh.freeFlits); k > 0 {
+		f := sh.freeFlits[k-1]
+		sh.freeFlits[k-1] = nil
+		sh.freeFlits = sh.freeFlits[:k-1]
+		*f = Flit{ID: id, Src: src, Dst: dst, Kind: kind, PayloadBytes: payloadBytes}
 		return f
 	}
-	return &Flit{ID: n.nextFlitID, Src: src, Dst: dst, Kind: kind, PayloadBytes: payloadBytes}
+	return &Flit{ID: id, Src: src, Dst: dst, Kind: kind, PayloadBytes: payloadBytes}
 }
 
-// ReleaseFlit returns a flit to the network's free-list for reuse by a
-// later NewFlit. Callers hand back delivered flits after consuming them
-// (the network itself recycles dropped ones in dropFlit); the flit must
-// not be referenced afterwards. The free-list is a plain LIFO owned by
-// this network — deliberately not a sync.Pool, whose scheduler-dependent
+// preFinalizeIDShift is the sequence shift used for flits minted before
+// Finalize fixes the real one from the node count (test convenience —
+// production systems mint only after Finalize).
+const preFinalizeIDShift = 32
+
+// ReleaseFlit returns a flit to its destination node's free-list for
+// reuse by a later NewFlit. Callers hand back delivered flits after
+// consuming them (the network itself recycles dropped ones in dropFlit);
+// the flit must not be referenced afterwards. Each free-list is a plain
+// LIFO — deliberately not a sync.Pool, whose scheduler-dependent
 // recycling would make allocation behaviour (and any accidental
 // use-after-release) nondeterministic across runs and racy across the
-// parallel harness's concurrent networks. Releasing nil is a no-op;
+// parallel harness's concurrent networks. Keying the list by f.Dst keeps
+// releases partition-local under the partitioned engine: the releasing
+// device is always the flit's destination. Releasing nil is a no-op;
 // releasing twice panics, because the second owner's writes would
 // silently corrupt an unrelated future flit.
 func (n *Network) ReleaseFlit(f *Flit) {
@@ -239,7 +284,8 @@ func (n *Network) ReleaseFlit(f *Flit) {
 	}
 	f.freed = true
 	f.Msg = nil
-	n.freeFlits = append(n.freeFlits, f)
+	sh := n.shardFor(f.Dst)
+	sh.freeFlits = append(sh.freeFlits, f)
 }
 
 // Finalize freezes the topology and builds the ring-graph routing tables.
@@ -285,6 +331,12 @@ func (n *Network) Finalize() error {
 			}
 		}
 	}
+	// Fix the flit-ID layout: enough low bits to hold any node ID, the
+	// rest for that node's private sequence counter.
+	for len(n.flitSeq) < len(n.nodes) {
+		n.flitSeq = append(n.flitSeq, 0)
+	}
+	n.flitIDShift = uint(bits.Len(uint(len(n.flitSeq))))
 	n.finalized = true
 	return nil
 }
@@ -471,8 +523,10 @@ func (n *Network) routeFrom(r RingID, dst NodeID) (dstRing RingID, local bool, e
 // localTarget returns the station position and interface index a flit on
 // ring r must leave at to reach its destination: the destination itself
 // when local, otherwise a bridge towards the destination's ring. Multiple
-// parallel bridges between the same ring pair are load-balanced by flit
-// ID, which is stable for the flit's lifetime; failed bridges were
+// parallel bridges between the same ring pair are load-balanced by the
+// flit's sequence number plus its source (stable for the flit's
+// lifetime, so consecutive flits from one node alternate bridges and
+// different nodes start at different offsets); failed bridges were
 // filtered out of the table at rebuild time, and a pair whose every
 // bridge failed is unreachable.
 func (n *Network) localTarget(r *Ring, f *Flit) (pos, iface int, err error) {
@@ -483,7 +537,8 @@ func (n *Network) localTarget(r *Ring, f *Flit) (pos, iface int, err error) {
 	if e.local {
 		return e.exit.pos, e.exit.iface, nil
 	}
-	c := e.cands[int(f.ID)%len(e.cands)]
+	seq := f.ID >> n.flitIDShift
+	c := e.cands[int((seq+uint64(f.Src))%uint64(len(e.cands)))]
 	return c.pos, c.iface, nil
 }
 
@@ -510,21 +565,30 @@ func (n *Network) flitEjected(ni *NodeInterface, f *Flit, now sim.Cycle) {
 		n.trace(trace.Eject, f.ID, n.nodes[ni.node].name, "")
 		return // transit stop at a bridge; the bridge forwards it
 	}
+	r := ni.station.ring
 	if f.Corrupted {
 		// The destination's link-level check rejects the payload. The
 		// flit was appended to the eject queue by this very ejection, so
 		// it is the tail entry; remove it and count the drop instead of
 		// a delivery.
 		ni.eject.popTail()
-		n.dropFlit(f, &n.CorruptDrops, ni.station.ring, trace.Fault, n.nodes[ni.node].name, "corrupt payload discarded")
+		n.dropFlit(f, r.shard, cCorrupt, r, trace.Fault, n.nodes[ni.node].name, "corrupt payload discarded")
 		ni.promoteReservations()
 		return
 	}
 	n.trace(trace.Deliver, f.ID, n.nodes[ni.node].name, "")
-	n.DeliveredFlits++
-	n.DeliveredBytes += uint64(f.PayloadBytes)
+	r.shard.counts[cDelivered]++
+	r.shard.counts[cDeliveredBytes] += uint64(f.PayloadBytes)
 	if n.latency != nil {
-		n.latency(f, uint64(now-f.Created))
+		if n.bufferLatency {
+			// Concurrent ring phase: park the sample on the delivering
+			// ring; the serial replay before the device phase re-emits
+			// every ring's samples in ring order (delivered flits are not
+			// released until devices run, so f stays valid).
+			r.latBuf = append(r.latBuf, latSample{f: f, cycles: uint64(now - f.Created)})
+		} else {
+			n.latency(f, uint64(now-f.Created))
+		}
 	}
 	if n.OnDeliver != nil {
 		n.OnDeliver(f, now)
@@ -538,7 +602,8 @@ func (n *Network) flitEjected(ni *NodeInterface, f *Flit, now sim.Cycle) {
 func (n *Network) InFlight() uint64 { return n.InjectedFlits - n.DeliveredFlits - n.DroppedFlits }
 
 // Tick implements sim.Component: rings advance, stations work, devices
-// (including bridges and generators) run.
+// (including bridges and generators) run. Tick is always a sequential
+// cycle; Run uses the partitioned engine when partitions are configured.
 func (n *Network) Tick(now sim.Cycle) {
 	if !n.finalized {
 		panic("noc: Tick before Finalize")
@@ -546,6 +611,15 @@ func (n *Network) Tick(now sim.Cycle) {
 	n.now = now
 	n.ticks++
 	n.throttleTick()
+	n.sequentialCycle(now)
+}
+
+// sequentialCycle runs one cycle's ring, device and bookkeeping phases on
+// the calling goroutine. Counters still flow through the shards (keyed
+// by ring/node, not by goroutine), so this body is also the per-cycle
+// fallback the partitioned engine drops to whenever a cycle is not
+// eligible for concurrency.
+func (n *Network) sequentialCycle(now sim.Cycle) {
 	for _, r := range n.rings {
 		r.advance()
 	}
@@ -555,9 +629,18 @@ func (n *Network) Tick(now sim.Cycle) {
 	for _, d := range n.devices {
 		d.Tick(now)
 	}
+	n.cycleTail(now)
+}
+
+// cycleTail is the serial end of every cycle regardless of engine: the
+// watchdog sweep when due, the shard fold that makes the exported
+// counters exact at the cycle boundary, and the metrics sample (which
+// must observe folded counters).
+func (n *Network) cycleTail(now sim.Cycle) {
 	if n.watchdogBudget > 0 && n.ticks%n.watchdogPeriod == 0 {
 		n.watchdogSweep(now)
 	}
+	n.foldShards()
 	if n.metrics != nil {
 		n.metrics.TickSample(n.ticks)
 	}

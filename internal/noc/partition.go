@@ -1,0 +1,328 @@
+// The conservative-time partitioned tick engine. Rings are grouped into
+// partitions that advance a cycle concurrently on a worker pool; state
+// crosses a partition boundary only through bridge devices, which tick
+// in the serial tail of the cycle. Because every inter-ring transfer
+// buffers inside a bridge for at least one cycle, the per-cycle barrier
+// is sound — no partition can observe another partition's current-cycle
+// work — and because every merge point (serial device order, latency
+// replay, shard folds) follows a fixed enumeration order, a partitioned
+// run is bit-identical to the sequential engine at any partition count.
+//
+// Per-cycle schedule (eligible cycles):
+//
+//	serial   set now/ticks, throttle window, eligibility check
+//	parallel per partition: advance + tick own rings (ring-ID order)
+//	barrier  — only with a latency recorder installed —
+//	serial   replay buffered latency samples in ring order
+//	parallel per partition: tick own devices (registration order)
+//	barrier
+//	serial   boundary/serial devices (registration order), watchdog
+//	         sweep when due, shard fold, metrics sample
+//
+// Without a latency recorder the two parallel spans fuse into one: a
+// partition's rings and devices touch only that partition's state, so no
+// barrier is needed between them.
+//
+// Cycles that are not eligible run the ordinary sequential body instead:
+// a throttle controller (global arbitration sequence), a tracer or an
+// OnDeliver hook (caller-visible mid-cycle ordering), or a non-empty
+// failed-bridge set (drops purge tag state across a ring while devices
+// run, the one non-commuting bridge/device interaction) each make a
+// cycle order-sensitive. Fault-free, unhooked cycles — the steady state
+// — all run parallel.
+package noc
+
+import (
+	"chipletnoc/internal/sim"
+)
+
+// NodeOwner is implemented by devices anchored at a single network node
+// (requesters, memory and coherence controllers, ring bridges). The
+// partition planner uses it to co-locate a device with the partition
+// owning its rings; a device whose node spans partitions — an inter-die
+// bridge — ticks serially at the barrier instead.
+type NodeOwner interface {
+	Node() NodeID
+}
+
+// partition is one concurrently advancing ring group.
+type partition struct {
+	rings   []*Ring  // ring-ID ascending
+	devices []Device // registration order
+}
+
+// tickPlan is the frozen schedule for a partition count: the ring
+// groups, their co-located devices, and the devices that must tick
+// serially (node spans partitions, or no NodeOwner).
+type tickPlan struct {
+	parts  []*partition
+	serial []Device // registration order; the fault injector lands here
+}
+
+// SetPartitions requests the partition count used by Run: 0 or 1 selects
+// the sequential engine, higher counts are clamped to the ring count.
+// Results are bit-identical at every setting. Takes effect on the next
+// Run call.
+func (n *Network) SetPartitions(p int) {
+	if p < 0 {
+		p = 0
+	}
+	n.partitions = p
+	n.invalidatePlan()
+}
+
+// Partitions returns the effective partition count Run uses: at least 1,
+// at most the ring count.
+func (n *Network) Partitions() int {
+	p := n.partitions
+	if p > len(n.rings) {
+		p = len(n.rings)
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// invalidatePlan discards the frozen schedule (topology or partition
+// request changed) and restores the sequential shard routing. Cheap when
+// no plan exists.
+func (n *Network) invalidatePlan() {
+	if n.plan == nil {
+		return
+	}
+	n.plan = nil
+	for _, r := range n.rings {
+		r.shard = n.shards[0]
+	}
+	n.nodeShard = nil
+}
+
+// ensurePlan builds (or returns) the frozen schedule for the current
+// partition request. Ring weights feed a deterministic LPT assignment,
+// so the plan — and therefore every parallel run — is a pure function of
+// the topology and the partition count.
+func (n *Network) ensurePlan() *tickPlan {
+	if n.plan != nil {
+		return n.plan
+	}
+	k := n.Partitions()
+	weights := make([]int, len(n.rings))
+	for i, r := range n.rings {
+		// A ring's per-cycle cost is dominated by its station logic,
+		// with the slot rotation contributing per position per direction.
+		w := r.positions
+		if r.full {
+			w *= 2
+		}
+		weights[i] = w + 8*len(r.stations)
+	}
+	n.plan = n.buildPlan(sim.PartitionLPT(weights, k), k)
+	return n.plan
+}
+
+// buildPlan freezes a schedule from an explicit ring-to-partition
+// assignment (assign[i] in [0, k) for ring i). ensurePlan feeds it the
+// LPT assignment; the fuzz suite feeds it arbitrary ones — correctness
+// must not depend on how rings are grouped.
+func (n *Network) buildPlan(assign []int, k int) *tickPlan {
+	for len(n.shards) < k {
+		n.shards = append(n.shards, new(shard))
+	}
+	plan := &tickPlan{parts: make([]*partition, k)}
+	for i := range plan.parts {
+		plan.parts[i] = &partition{}
+	}
+	for i, r := range n.rings {
+		r.shard = n.shards[assign[i]]
+		p := plan.parts[assign[i]]
+		p.rings = append(p.rings, r)
+	}
+
+	// A node belongs to a partition when all its interfaces do; its flit
+	// pool then lives on that partition's shard. Spanning nodes (inter-
+	// partition bridges) pool on shard 0 — their devices only run in the
+	// serial tail, where shard 0 is exclusively owned.
+	nodePart := make([]int, len(n.nodes))
+	n.nodeShard = make([]*shard, len(n.nodes))
+	for id, info := range n.nodes {
+		part := -1
+		for _, ni := range info.ifaces {
+			p := assign[ni.station.ring.id]
+			if part == -1 {
+				part = p
+			} else if part != p {
+				part = -2
+				break
+			}
+		}
+		nodePart[id] = part
+		if part >= 0 {
+			n.nodeShard[id] = n.shards[part]
+		} else {
+			n.nodeShard[id] = n.shards[0]
+		}
+	}
+
+	for _, d := range n.devices {
+		owner, ok := d.(NodeOwner)
+		if !ok {
+			plan.serial = append(plan.serial, d)
+			continue
+		}
+		if p := nodePart[owner.Node()]; p >= 0 {
+			plan.parts[p].devices = append(plan.parts[p].devices, d)
+		} else {
+			plan.serial = append(plan.serial, d)
+		}
+	}
+	return plan
+}
+
+// cycleParallelEligible reports whether the upcoming cycle may run its
+// ring and device phases concurrently (see the package comment for why
+// each condition forces the sequential body).
+func (n *Network) cycleParallelEligible() bool {
+	return n.throttle == nil && n.Tracer == nil && n.OnDeliver == nil && len(n.failed) == 0
+}
+
+// tickRings advances and ticks the partition's rings, ring-ID ascending
+// — the sequential engine's order restricted to this partition.
+func (p *partition) tickRings(now sim.Cycle) {
+	for _, r := range p.rings {
+		r.advance()
+	}
+	for _, r := range p.rings {
+		r.tick(now)
+	}
+}
+
+// tickDevices ticks the partition's co-located devices in registration
+// order.
+func (p *partition) tickDevices(now sim.Cycle) {
+	for _, d := range p.devices {
+		d.Tick(now)
+	}
+}
+
+// replayLatencies drains every ring's buffered latency samples in ring
+// order, re-emitting them through the recorder exactly as the sequential
+// ring phase would have: rings tick in ascending ID, so ascending-ID
+// replay of per-ring in-order buffers reproduces the global delivery
+// order. Runs serially, after the ring phase and before any device can
+// release a delivered flit.
+func (n *Network) replayLatencies() {
+	for _, r := range n.rings {
+		for i := range r.latBuf {
+			s := &r.latBuf[i]
+			n.latency(s.f, s.cycles)
+			s.f = nil
+		}
+		r.latBuf = r.latBuf[:0]
+	}
+}
+
+// worker modes, chosen by the coordinator each cycle before it releases
+// the pool. The barrier's happens-before edge publishes the choice.
+const (
+	parFused = iota // single parallel span: rings then devices
+	parSplit        // rings / latency-replay barrier / devices
+	parQuit         // run finished: workers exit
+)
+
+// Run advances the network the given number of cycles, using the
+// partitioned engine when SetPartitions configured more than one
+// partition and the topology supports it. Results are bit-identical to
+// calling Tick in a loop.
+func (n *Network) Run(cycles int) {
+	if cycles <= 0 {
+		return
+	}
+	if !n.finalized {
+		panic("noc: Run before Finalize")
+	}
+	if n.partitions <= 1 {
+		for i := 0; i < cycles; i++ {
+			n.Tick(sim.Cycle(n.ticks))
+		}
+		return
+	}
+	plan := n.ensurePlan()
+	if len(plan.parts) <= 1 {
+		for i := 0; i < cycles; i++ {
+			n.Tick(sim.Cycle(n.ticks))
+		}
+		return
+	}
+	n.runPartitioned(plan, cycles)
+}
+
+// runPartitioned drives one worker goroutine per partition beyond the
+// first (the coordinator ticks partition 0 itself and runs every serial
+// section). The pool lives for this call; per-cycle synchronisation is a
+// reused sense-reversing barrier.
+func (n *Network) runPartitioned(plan *tickPlan, cycles int) {
+	barrier := sim.NewSpinBarrier(len(plan.parts))
+	mode := parFused
+
+	for _, p := range plan.parts[1:] {
+		go func(p *partition) {
+			var sense uint32
+			for {
+				barrier.Wait(&sense) // cycle start: mode and n.now published
+				switch mode {
+				case parQuit:
+					return
+				case parFused:
+					p.tickRings(n.now)
+					p.tickDevices(n.now)
+				case parSplit:
+					p.tickRings(n.now)
+					barrier.Wait(&sense) // ring phase complete
+					barrier.Wait(&sense) // latency replay complete
+					p.tickDevices(n.now)
+				}
+				barrier.Wait(&sense) // cycle end
+			}
+		}(p)
+	}
+
+	var sense uint32
+	p0 := plan.parts[0]
+	for i := 0; i < cycles; i++ {
+		now := sim.Cycle(n.ticks)
+		n.now = now
+		n.ticks++
+		n.throttleTick()
+		if !n.cycleParallelEligible() {
+			// Order-sensitive cycle: the workers stay parked at the
+			// barrier while the coordinator runs the sequential body.
+			n.sequentialCycle(now)
+			continue
+		}
+		if n.latency == nil {
+			mode = parFused
+			barrier.Wait(&sense)
+			p0.tickRings(now)
+			p0.tickDevices(now)
+			barrier.Wait(&sense)
+		} else {
+			mode = parSplit
+			n.bufferLatency = true
+			barrier.Wait(&sense)
+			p0.tickRings(now)
+			barrier.Wait(&sense) // every partition's ring phase done
+			n.replayLatencies()
+			barrier.Wait(&sense) // release the device phase
+			p0.tickDevices(now)
+			barrier.Wait(&sense)
+			n.bufferLatency = false
+		}
+		for _, d := range plan.serial {
+			d.Tick(now)
+		}
+		n.cycleTail(now)
+	}
+	mode = parQuit
+	barrier.Wait(&sense)
+}

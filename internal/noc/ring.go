@@ -83,11 +83,25 @@ type Ring struct {
 	net       *Network
 	positions int
 	full      bool
+	// shard receives this ring's counter increments — shards[0] under the
+	// sequential engine, the owning partition's shard under the
+	// partitioned one (see partition.go).
+	shard *shard
+	// latBuf parks latency samples delivered during a concurrent ring
+	// phase; the serial replay between the ring and device phases drains
+	// every ring's buffer in ring order.
+	latBuf []latSample
 	// cw holds the clockwise loop; ccw the counter-clockwise one
 	// (ccw.slots is nil for half rings).
 	cw, ccw   loop
 	stations  []*CrossStation // ordered by position
 	stationAt []*CrossStation // dense position index (nil = no station)
+}
+
+// latSample is one buffered delivery-latency observation.
+type latSample struct {
+	f      *Flit
+	cycles uint64
 }
 
 // ID returns the ring identifier.
@@ -149,10 +163,10 @@ func (r *Ring) loopFor(d Direction) *loop {
 // from the cycle it boarded its slot.
 func (r *Ring) advance() {
 	r.cw.rotateHigh()
-	r.net.TotalHops += uint64(r.cw.occ)
+	r.shard.counts[cHops] += uint64(r.cw.occ)
 	if r.full {
 		r.ccw.rotateLow()
-		r.net.TotalHops += uint64(r.ccw.occ)
+		r.shard.counts[cHops] += uint64(r.ccw.occ)
 	}
 }
 

@@ -318,7 +318,10 @@ func (n *Network) SnapshotState(e *sim.Encoder) error {
 
 	e.PutU64(uint64(n.now))
 	e.PutU64(n.ticks)
-	e.PutU64(n.nextFlitID)
+	e.PutU32(uint32(len(n.flitSeq)))
+	for _, s := range n.flitSeq {
+		e.PutU64(s)
+	}
 	e.PutBool(n.ITagEnabled)
 	e.PutBool(n.ETagEnabled)
 	e.PutU64(n.watchdogBudget)
@@ -395,7 +398,15 @@ func (n *Network) RestoreState(d *sim.Decoder) error {
 
 	n.now = sim.Cycle(d.U64())
 	n.ticks = d.U64()
-	n.nextFlitID = d.U64()
+	if c := d.Count(1 << 20); d.Err() == nil {
+		if c != len(n.flitSeq) {
+			d.Fail("flit sequence count %d does not match %d nodes", c, len(n.flitSeq))
+		} else {
+			for i := range n.flitSeq {
+				n.flitSeq[i] = d.U64()
+			}
+		}
+	}
 	n.ITagEnabled = d.Bool()
 	n.ETagEnabled = d.Bool()
 	n.watchdogBudget = d.U64()
@@ -440,9 +451,11 @@ func (n *Network) RestoreState(d *sim.Decoder) error {
 	if err := d.Err(); err != nil {
 		return err
 	}
-	// The free-list is derived scratch state: a resumed process starts
-	// with an empty pool, exactly like the fresh run did at cycle 0.
-	n.freeFlits = nil
+	// The free-lists are derived scratch state: a resumed process starts
+	// with empty pools, exactly like the fresh run did at cycle 0.
+	for _, sh := range n.shards {
+		sh.freeFlits = nil
+	}
 	// Routing tables are pure functions of topology + failure set;
 	// rebuild rather than deserialize. Live flits already carry their
 	// (snapshotted) routes, so no reroute pass runs here.

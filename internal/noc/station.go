@@ -217,15 +217,16 @@ func (ni *NodeInterface) route(f *Flit) bool {
 	if f.Dst == ni.node {
 		panic(fmt.Sprintf("noc: node %d sending to itself", ni.node))
 	}
-	net := ni.station.ring.net
+	r := ni.station.ring
+	net := r.net
 	if !f.counted {
 		f.counted = true
 		f.Created = net.now
-		net.InjectedFlits++
+		r.shard.counts[cInjected]++
 	}
-	pos, iface, err := net.localTarget(ni.station.ring, f)
+	pos, iface, err := net.localTarget(r, f)
 	if err != nil {
-		net.dropFlit(f, &net.UnroutableDrops, nil, trace.Reroute, net.nodes[ni.node].name, err.Error())
+		net.dropFlit(f, r.shard, cUnroutable, nil, trace.Reroute, net.nodes[ni.node].name, err.Error())
 		return false
 	}
 	f.localDst = pos
@@ -516,7 +517,7 @@ func (st *CrossStation) handleDirection(d Direction, s *slot, now sim.Cycle) {
 		} else {
 			f.Deflections++
 			dst.Deflected++
-			st.ring.net.Deflections++
+			st.ring.shard.counts[cDeflections]++
 			st.ring.net.trace(traceDeflect, f.ID, st.ring.net.nodes[dst.node].name, "")
 		}
 	}

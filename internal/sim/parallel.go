@@ -1,0 +1,89 @@
+// Parallel-engine primitives for conservative-time partitioned ticking:
+// a sense-reversing spin barrier sized for per-cycle synchronisation, and
+// the deterministic longest-processing-time partitioner the NoC uses to
+// assign rings to worker partitions. Both are policy-free — the noc layer
+// decides what runs between barrier crossings.
+package sim
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// SpinBarrier is a reusable sense-reversing barrier for a fixed set of
+// participants. It spins (yielding the processor) instead of parking on a
+// mutex because partitioned simulation crosses it every cycle: the wait
+// is expected to be far shorter than a scheduler round-trip. Each
+// participant owns a local sense word, passed to every Wait call; the
+// zero value of the sense word is the correct initial state.
+type SpinBarrier struct {
+	parties int32
+	count   atomic.Int32
+	sense   atomic.Uint32
+}
+
+// NewSpinBarrier returns a barrier for n participants (n >= 1).
+func NewSpinBarrier(n int) *SpinBarrier {
+	if n < 1 {
+		panic("sim: SpinBarrier needs at least one participant")
+	}
+	return &SpinBarrier{parties: int32(n)}
+}
+
+// Wait blocks until all participants have called Wait with their own
+// local sense. The last arriver releases everyone; atomics give the
+// usual happens-before edge, so writes made before Wait by any
+// participant are visible to every participant after Wait returns.
+func (b *SpinBarrier) Wait(local *uint32) {
+	*local ^= 1
+	if b.count.Add(1) == b.parties {
+		b.count.Store(0)
+		b.sense.Store(*local)
+		return
+	}
+	for b.sense.Load() != *local {
+		runtime.Gosched()
+	}
+}
+
+// PartitionLPT assigns n weighted items to k bins using the classic
+// longest-processing-time greedy: items sorted by descending weight (ties
+// to the lower index) each go to the currently lightest bin (ties to the
+// lower bin). The result is deterministic — a pure function of the
+// weights — which the partitioned engine relies on for reproducibility.
+// Returned assign[i] is the bin of item i. Bins may end up empty when
+// k > n.
+func PartitionLPT(weights []int, k int) (assign []int) {
+	if k < 1 {
+		panic("sim: PartitionLPT needs at least one bin")
+	}
+	order := make([]int, len(weights))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort by (weight desc, index asc): n is a ring count,
+	// small; stability by construction.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if weights[b] > weights[a] {
+				order[j-1], order[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	load := make([]int, k)
+	assign = make([]int, len(weights))
+	for _, it := range order {
+		best := 0
+		for b := 1; b < k; b++ {
+			if load[b] < load[best] {
+				best = b
+			}
+		}
+		assign[it] = best
+		load[best] += weights[it]
+	}
+	return assign
+}

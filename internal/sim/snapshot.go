@@ -21,8 +21,10 @@ const SnapshotMagic = "NOCSNAP1"
 // the serialized layout of any component must bump it; readers reject
 // every other version (there is no cross-version migration — a
 // checkpoint is a resume token for the build that wrote it, not an
-// archival format).
-const SnapshotVersion = 1
+// archival format). Version 2: flit identity became a per-source-node
+// sequence vector (one counter per node) instead of a single global
+// counter.
+const SnapshotVersion = 2
 
 // Encoder accumulates a snapshot as little-endian bytes in memory.
 // Encoding cannot fail: the only error source in the snapshot pipeline

@@ -71,6 +71,11 @@ type AIConfig struct {
 	// historical streams (the golden digests), other values give
 	// statistically independent replicas of the same system.
 	Seed uint64
+
+	// Partitions selects the tick engine for Run: 0 or 1 is sequential,
+	// higher counts advance ring groups concurrently. Results are
+	// bit-identical at every setting (see noc.SetPartitions).
+	Partitions int
 }
 
 // DefaultAIConfig returns the paper-scale AI die: 32 AI cores on 16
@@ -281,6 +286,7 @@ func BuildAIProcessor(cfg AIConfig) *AIProcessor {
 		cfg.BeforeFinalize(a)
 	}
 	net.MustFinalize()
+	net.SetPartitions(cfg.Partitions)
 
 	for _, core := range a.Cores {
 		a.CoreIfaces = append(a.CoreIfaces, core.Interface())
@@ -297,11 +303,10 @@ func (a *AIProcessor) L2Nodes() []noc.NodeID {
 	return out
 }
 
-// Run advances the AI processor n cycles.
+// Run advances the AI processor n cycles on the configured engine
+// (sequential, or partitioned when Cfg.Partitions > 1).
 func (a *AIProcessor) Run(n int) {
-	for i := 0; i < n; i++ {
-		a.Net.Tick(sim.Cycle(a.Net.Ticks()))
-	}
+	a.Net.Run(n)
 }
 
 // BandwidthTBps converts payload bytes over cycles into TB/s at the

@@ -1,0 +1,186 @@
+package soc
+
+import (
+	"bytes"
+	"testing"
+
+	"chipletnoc/internal/fault"
+	"chipletnoc/internal/metrics"
+	"chipletnoc/internal/noc"
+)
+
+// The partition differential suite proves the tentpole guarantee of the
+// conservative-time engine on the two evaluated systems: a partitioned
+// run is bit-identical to the sequential run at every partition count —
+// same flit digest (counters plus the delivery-order latency hash), same
+// metrics snapshot, and byte-identical checkpoints, with and without an
+// active fault schedule. The sequential leg of each test is itself
+// pinned by the golden constants in golden_test.go, so these tests
+// anchor the parallel engine to the published numbers, not merely to
+// another engine run in the same process.
+
+// partitionCounts are the fan-outs every differential test sweeps. 8
+// exceeds the golden server build's ring count on purpose: the clamp to
+// the ring count must also be digest-neutral.
+var partitionCounts = []int{2, 4, 8}
+
+// diffRun drives one build for cycles and returns the flit digest, the
+// final checkpoint bytes (nil when withCkpt is false — fault injectors
+// do not checkpoint) and the metrics snapshot JSON.
+func diffRun(t *testing.T, net *noc.Network, run func(int), cycles, parts int, withCkpt bool) (flitDigest, []byte, []byte) {
+	t.Helper()
+	net.SetPartitions(parts)
+	reg := metrics.New(500)
+	net.EnableMetrics(reg)
+	latencies, latencyFNV := hashLatencies(net)
+	run(cycles)
+
+	var ckpt bytes.Buffer
+	if withCkpt {
+		if err := noc.WriteCheckpoint(&ckpt, net, nil); err != nil {
+			t.Fatalf("checkpoint at %d partitions: %v", parts, err)
+		}
+	}
+	var met bytes.Buffer
+	if err := reg.Snapshot("diff", uint64(cycles)).WriteJSON(&met); err != nil {
+		t.Fatalf("metrics snapshot at %d partitions: %v", parts, err)
+	}
+	return digestNet(net, latencies, latencyFNV), ckpt.Bytes(), met.Bytes()
+}
+
+// diffSweep runs the sequential reference and every partition count of
+// the same build, requiring bit-identity across all three artifacts.
+func diffSweep(t *testing.T, build func() (*noc.Network, func(int)), cycles int, withCkpt bool) flitDigest {
+	t.Helper()
+	net, run := build()
+	seqDigest, seqCkpt, seqMet := diffRun(t, net, run, cycles, 1, withCkpt)
+	for _, parts := range partitionCounts {
+		net, run := build()
+		digest, ckpt, met := diffRun(t, net, run, cycles, parts, withCkpt)
+		if digest != seqDigest {
+			t.Errorf("partitions=%d: digest diverged\n got: %#v\nwant: %#v", parts, digest, seqDigest)
+		}
+		if !bytes.Equal(ckpt, seqCkpt) {
+			t.Errorf("partitions=%d: checkpoint bytes diverged (%d vs %d bytes)", parts, len(ckpt), len(seqCkpt))
+		}
+		if !bytes.Equal(met, seqMet) {
+			t.Errorf("partitions=%d: metrics snapshot diverged:\n%s\nvs sequential:\n%s", parts, met, seqMet)
+		}
+	}
+	return seqDigest
+}
+
+// TestPartitionEquivalenceServerCPU sweeps the golden coherent-read
+// scenario: cross-die CHI traffic through RBRG-L2 bridges, where the
+// bridges span partitions and tick in the serial tail.
+func TestPartitionEquivalenceServerCPU(t *testing.T) {
+	digest := diffSweep(t, func() (*noc.Network, func(int)) {
+		s := goldenServerBuild()
+		return s.Net, s.Run
+	}, 4000, true)
+	// Anchor: the sequential leg must still be the golden run.
+	checkDigest(t, digest, goldenServerDigest)
+}
+
+// TestPartitionEquivalenceAIProcessor sweeps the golden AI die: the
+// densest build, with cores, DMA engines, HBM and the RBRG-L1 mesh
+// intersections all active.
+func TestPartitionEquivalenceAIProcessor(t *testing.T) {
+	digest := diffSweep(t, func() (*noc.Network, func(int)) {
+		a := goldenAIBuild()
+		return a.Net, a.Run
+	}, 3000, true)
+	checkDigest(t, digest, goldenAIDigest)
+}
+
+// TestPartitionEquivalenceAIFaults sweeps the golden fault-injection
+// run: a bridge kill and repair, a flit drop and a corruption mid-run.
+// Cycles with a non-empty failed set fall back to the sequential body;
+// this test proves the fallback seam itself is digest-neutral.
+func TestPartitionEquivalenceAIFaults(t *testing.T) {
+	build := func() (*noc.Network, func(int)) {
+		a := goldenAIBuild()
+		names := a.Net.BridgeNames()
+		sched := &fault.Schedule{
+			WatchdogCycles: 1200,
+			Events: []fault.Event{
+				{At: 500, Kind: fault.KillBridge, Bridge: names[0], RepairAt: 1800},
+				{At: 900, Kind: fault.DropFlit},
+				{At: 1000, Kind: fault.CorruptFlit},
+			},
+		}
+		if _, err := fault.NewInjector(a.Net, sched, 0x5e5); err != nil {
+			t.Fatalf("NewInjector: %v", err)
+		}
+		return a.Net, a.Run
+	}
+	// No checkpoint leg: the injector does not support checkpointing.
+	digest := diffSweep(t, build, 3000, false)
+	checkDigest(t, digest, goldenAIFaultDigest)
+}
+
+// TestPartitionCheckpointResumeAcrossCounts proves a checkpoint is a
+// partition-count-free artifact: one taken mid-run by the parallel
+// engine restores into a system running at a different count (or
+// sequentially) and finishes bit-identical to the uninterrupted run.
+func TestPartitionCheckpointResumeAcrossCounts(t *testing.T) {
+	const half, full = 1500, 3000
+
+	// Uninterrupted sequential reference.
+	ref := goldenAIBuild()
+	ref.Run(full)
+	var refCkpt bytes.Buffer
+	if err := ref.WriteCheckpoint(&refCkpt, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-run checkpoint from the 4-partition engine...
+	a := goldenAIBuild()
+	a.Net.SetPartitions(4)
+	a.Run(half)
+	var mid bytes.Buffer
+	if err := a.WriteCheckpoint(&mid, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// ...must equal the sequential engine's mid-run checkpoint...
+	seq := goldenAIBuild()
+	seq.Run(half)
+	var seqMid bytes.Buffer
+	if err := seq.WriteCheckpoint(&seqMid, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mid.Bytes(), seqMid.Bytes()) {
+		t.Fatalf("mid-run checkpoints differ between engines (%d vs %d bytes)", mid.Len(), seqMid.Len())
+	}
+
+	// ...and resume at every other count to the identical final state.
+	for _, parts := range []int{1, 2, 8} {
+		b := goldenAIBuild()
+		if _, err := b.ReadCheckpoint(bytes.NewReader(mid.Bytes())); err != nil {
+			t.Fatalf("resume at %d partitions: %v", parts, err)
+		}
+		b.Net.SetPartitions(parts)
+		b.Run(full - half)
+		var got bytes.Buffer
+		if err := b.WriteCheckpoint(&got, nil); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), refCkpt.Bytes()) {
+			t.Errorf("par4 checkpoint resumed at %d partitions diverged from the uninterrupted run", parts)
+		}
+	}
+}
+
+// TestPartitionPlanServerCPUIsMultiPartition guards the sweep against
+// degenerating: the golden server build must actually split into
+// multiple concurrent ring groups at the counts the suite uses, with
+// its inter-die bridges serialized.
+func TestPartitionPlanServerCPUIsMultiPartition(t *testing.T) {
+	s := goldenServerBuild()
+	s.Net.SetPartitions(4)
+	if got := s.Net.Partitions(); got < 2 {
+		t.Fatalf("effective partitions = %d, want >= 2", got)
+	}
+	s.Run(10) // force the plan to build and take a few parallel cycles
+}

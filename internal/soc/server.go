@@ -49,6 +49,11 @@ type ServerConfig struct {
 	// historical streams (the golden digests), other values give
 	// statistically independent replicas of the same system.
 	Seed uint64
+
+	// Partitions selects the tick engine for Run: 0 or 1 is sequential,
+	// higher counts advance ring groups concurrently. Results are
+	// bit-identical at every setting (see noc.SetPartitions).
+	Partitions int
 }
 
 // DefaultServerConfig returns the paper-scale system: 96 cores over two
@@ -290,6 +295,7 @@ func BuildServerCPU(cfg ServerConfig, kind CoreKind, memCoreCfg func(core int, s
 	}
 
 	net.MustFinalize()
+	net.SetPartitions(cfg.Partitions)
 	return s
 }
 
@@ -311,11 +317,10 @@ func (s *ServerCPU) AllDDRNodes() []noc.NodeID {
 	return out
 }
 
-// Run advances the whole package n cycles.
+// Run advances the whole package n cycles on the configured engine
+// (sequential, or partitioned when Cfg.Partitions > 1).
 func (s *ServerCPU) Run(n int) {
-	for i := 0; i < n; i++ {
-		s.Net.Tick(sim.Cycle(s.Net.Ticks()))
-	}
+	s.Net.Run(n)
 }
 
 // RunUntil advances until stop returns true or the budget is exhausted,

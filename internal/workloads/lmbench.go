@@ -1,5 +1,7 @@
 package workloads
 
+import "sort"
+
 // LMBenchKernel is one bandwidth micro-benchmark of Figure 10, reduced to
 // the request mix it puts on the memory path.
 type LMBenchKernel struct {
@@ -83,9 +85,17 @@ func LMBenchSuite(specs []SystemSpec, seed uint64) map[string]map[string]LMBench
 // across kernels — the "x times better on average" figure the paper
 // quotes.
 func GeomeanRatio(a, b map[string]LMBenchResult, metric func(LMBenchResult) float64) float64 {
+	// Float multiplication is order-sensitive at the last ulp, so reduce
+	// in sorted-key order: the figure must not depend on map iteration.
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	prod := 1.0
 	n := 0
-	for k, ra := range a {
+	for _, k := range keys {
+		ra := a[k]
 		rb, ok := b[k]
 		if !ok {
 			continue
