@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"chipletnoc/internal/durable"
 	"chipletnoc/internal/experiments"
 )
 
@@ -176,13 +177,10 @@ func runSim(scale experiments.Scale, topology, configFile string, cycles, seed, 
 	var ctl *experiments.SimControl
 	if checkpointFile != "" && checkpointEvery > 0 {
 		ctl = &experiments.SimControl{OnCheckpoint: func(data []byte, cycle uint64) error {
-			// Write-then-rename keeps the previous checkpoint intact if
-			// the process dies mid-write.
-			tmp := checkpointFile + ".tmp"
-			if err := os.WriteFile(tmp, data, 0o644); err != nil {
-				return err
-			}
-			if err := os.Rename(tmp, checkpointFile); err != nil {
+			// The durable layer stages, fsyncs and renames, so a crash at
+			// any instant leaves the previous complete checkpoint (or the
+			// new complete one) — never a torn file.
+			if err := durable.WriteFile(checkpointFile, data, 0o644); err != nil {
 				return err
 			}
 			fmt.Printf("checkpoint: cycle %d -> %s (%d bytes)\n", cycle, checkpointFile, len(data))

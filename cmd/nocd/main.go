@@ -24,10 +24,11 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	queueDepth := flag.Int("queue-depth", 16, "max queued jobs before submissions get 429")
 	workers := flag.Int("workers", 2, "concurrent job workers")
-	stateDir := flag.String("state", "", "directory for suspended-job checkpoints (empty = no persistence)")
+	stateDir := flag.String("state", "", "directory for job records and checkpoints (empty = no persistence)")
 	retryAfter := flag.Int("retry-after", 1, "Retry-After seconds advertised on 429")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines inside one experiment job")
 	partitions := flag.Int("partitions", 0, "ring partitions inside one simulation job (0 = sequential engine; results are bit-identical at every setting)")
+	jobDeadline := flag.Duration("job-deadline", 0, "wall-clock budget per job, e.g. 10m (0 = unlimited)")
 	flag.Parse()
 
 	experiments.SetParallelism(*parallel)
@@ -38,13 +39,32 @@ func main() {
 		Workers:           *workers,
 		StateDir:          *stateDir,
 		RetryAfterSeconds: *retryAfter,
+		JobDeadline:       *jobDeadline,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nocd: %v\n", err)
 		os.Exit(1)
 	}
+	if rec := srv.Recovery(); rec.Resumed+rec.Requeued+rec.Quarantined > 0 || len(rec.Notes) > 0 {
+		fmt.Printf("nocd: recovery — %d resumed, %d requeued, %d quarantined\n",
+			rec.Resumed, rec.Requeued, rec.Quarantined)
+		for _, n := range rec.Notes {
+			fmt.Printf("nocd:   %s\n", n)
+		}
+	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// A slowloris client must not be able to hold a connection (and
+		// its goroutine) forever: bound every phase of the exchange.
+		// WriteTimeout is generous because full-scale experiment results
+		// stream multi-megabyte CSVs to slow clients.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Printf("nocd: listening on http://%s (queue %d, %d workers", *addr, *queueDepth, *workers)

@@ -1,0 +1,181 @@
+// Chaos harness: deterministic fault injection for the persistence
+// layer. Two mechanisms, both inert in production:
+//
+//   - Crash points. When the NOCDUR_CRASH environment variable names a
+//     protocol step ("tmp-written", "tmp-synced", "renamed", optionally
+//     ":N" for the Nth hit), the process exits hard at that step —
+//     exactly the torn state a power cut or SIGKILL leaves behind, but
+//     placed deterministically so tests can assert the recovery story
+//     for each step.
+//
+//   - Fault wrappers. FailingWriter, ShortWriter, FlippingWriter and
+//     the read-side flip hook inject I/O faults (die after N bytes,
+//     short writes, flipped bits) into WriteFile/ReadFile, so the
+//     atomic-replacement protocol's error handling is exercised without
+//     touching real hardware.
+package durable
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// CrashExitCode is the status a crash point exits with, distinct from
+// any normal failure so harnesses can assert the crash actually fired.
+const CrashExitCode = 37
+
+// CrashEnv is the environment variable that arms crash points:
+// "point" or "point:N" (crash on the Nth hit, default the 1st).
+const CrashEnv = "NOCDUR_CRASH"
+
+var crash struct {
+	once  sync.Once
+	point string
+	nth   int
+	mu    sync.Mutex
+	hits  int
+}
+
+// CrashPoint exits the process when the CrashEnv variable arms this
+// named point. It is called between the steps of WriteFile's protocol;
+// with the variable unset (production) it costs one sync.Once check.
+func CrashPoint(name string) {
+	crash.once.Do(func() {
+		spec := os.Getenv(CrashEnv)
+		if spec == "" {
+			return
+		}
+		crash.point, crash.nth = spec, 1
+		if p, n, ok := strings.Cut(spec, ":"); ok {
+			if v, err := strconv.Atoi(n); err == nil && v > 0 {
+				crash.point, crash.nth = p, v
+			}
+		}
+	})
+	if crash.point != name {
+		return
+	}
+	crash.mu.Lock()
+	crash.hits++
+	fire := crash.hits == crash.nth
+	crash.mu.Unlock()
+	if fire {
+		fmt.Fprintf(os.Stderr, "durable: crash point %q fired (hit %d)\n", name, crash.nth)
+		os.Exit(CrashExitCode)
+	}
+}
+
+var (
+	hookMu     sync.Mutex
+	writerWrap func(io.Writer) io.Writer
+	readMangle func([]byte) []byte
+)
+
+// SetWriterWrap installs a test-only wrapper applied to the destination
+// of every WriteFile (nil removes it). Install before spawning writers
+// and remove after they are joined.
+func SetWriterWrap(f func(io.Writer) io.Writer) {
+	hookMu.Lock()
+	writerWrap = f
+	hookMu.Unlock()
+}
+
+// SetReadMangle installs a test-only transform applied to every
+// ReadFile result (nil removes it) — simulated bit rot on the read path.
+func SetReadMangle(f func([]byte) []byte) {
+	hookMu.Lock()
+	readMangle = f
+	hookMu.Unlock()
+}
+
+func wrapWriter(w io.Writer) io.Writer {
+	hookMu.Lock()
+	f := writerWrap
+	hookMu.Unlock()
+	if f != nil {
+		return f(w)
+	}
+	return w
+}
+
+func wrapRead(data []byte) []byte {
+	hookMu.Lock()
+	f := readMangle
+	hookMu.Unlock()
+	if f != nil {
+		return f(data)
+	}
+	return data
+}
+
+// ErrInjectedFault is returned by FailingWriter once its budget is
+// spent — the moment the simulated crash "happens".
+var ErrInjectedFault = fmt.Errorf("durable: injected write fault")
+
+// FailingWriter passes bytes through until Limit bytes have been
+// written, then fails every further write — a process dying mid-write.
+type FailingWriter struct {
+	W       io.Writer
+	Limit   int64
+	written int64
+}
+
+// Write implements io.Writer.
+func (f *FailingWriter) Write(p []byte) (int, error) {
+	room := f.Limit - f.written
+	if room <= 0 {
+		return 0, ErrInjectedFault
+	}
+	if int64(len(p)) <= room {
+		n, err := f.W.Write(p)
+		f.written += int64(n)
+		return n, err
+	}
+	n, err := f.W.Write(p[:room])
+	f.written += int64(n)
+	if err != nil {
+		return n, err
+	}
+	return n, ErrInjectedFault
+}
+
+// ShortWriter forwards at most Max bytes per call and reports the
+// truncated count with a nil error — the io.Writer contract violation a
+// buggy transport could commit; WriteFile must detect it.
+type ShortWriter struct {
+	W   io.Writer
+	Max int
+}
+
+// Write implements io.Writer.
+func (s *ShortWriter) Write(p []byte) (int, error) {
+	if len(p) > s.Max {
+		p = p[:s.Max]
+	}
+	return s.W.Write(p)
+}
+
+// FlippingWriter XORs Mask into the byte at absolute offset Offset of
+// the stream — one bit of rot placed deterministically.
+type FlippingWriter struct {
+	W      io.Writer
+	Offset int64
+	Mask   byte
+	pos    int64
+}
+
+// Write implements io.Writer.
+func (fw *FlippingWriter) Write(p []byte) (int, error) {
+	if fw.Offset >= fw.pos && fw.Offset < fw.pos+int64(len(p)) {
+		q := append([]byte(nil), p...)
+		q[fw.Offset-fw.pos] ^= fw.Mask
+		p = q
+	}
+	n, err := fw.W.Write(p)
+	fw.pos += int64(n)
+	return n, err
+}

@@ -1,10 +1,17 @@
 // Checkpoint file framing: a checkpoint is the versioned snapshot
 // header, an opaque caller blob (callers store their own progress there
 // — spec, latency digest, metrics carry-over), and the full network
-// snapshot. Resume requires rebuilding the identical network first; the
-// header's topology hash enforces that. Every system type (soc builds,
-// config-file builds) layers its checkpoint API on these two functions,
-// so the file format is identical everywhere.
+// snapshot, each sealed with a CRC32-C, the whole file closed by a
+// length+checksum trailer. Resume requires rebuilding the identical
+// network first; the header's topology hash enforces that. Every system
+// type (soc builds, config-file builds) layers its checkpoint API on
+// these two functions, so the file format is identical everywhere.
+//
+// The reader proves the file complete and untampered (trailer length +
+// whole-file CRC) before decoding a single field, so a truncated, torn
+// or bit-rotted checkpoint surfaces as sim.ErrCorruptSnapshot and never
+// reaches RestoreState. The per-section seals then localize which part
+// was damaged for diagnostics.
 package noc
 
 import (
@@ -21,7 +28,8 @@ const MaxCheckpointExtra = 64 << 20
 // resume upload cannot ask for unbounded memory.
 const MaxCheckpointBytes = 1 << 30
 
-// WriteCheckpoint serializes header + extra + network state to w.
+// WriteCheckpoint serializes sealed header + extra + network state to w,
+// closed by the length+checksum trailer.
 func WriteCheckpoint(w io.Writer, net *Network, extra []byte) error {
 	if len(extra) > MaxCheckpointExtra {
 		return fmt.Errorf("noc: checkpoint extra blob of %d bytes exceeds limit", len(extra))
@@ -32,16 +40,24 @@ func WriteCheckpoint(w io.Writer, net *Network, extra []byte) error {
 		TopoHash: net.TopoHash(),
 		Cycle:    net.Ticks(),
 	})
+	exStart := e.Mark()
 	e.PutBytes(extra)
+	e.SealSection(exStart)
+	stStart := e.Mark()
 	if err := net.SnapshotState(e); err != nil {
 		return err
 	}
+	e.SealSection(stStart)
+	sim.WriteSnapshotTrailer(e)
 	_, err := w.Write(e.Data())
 	return err
 }
 
 // ReadCheckpoint restores a checkpoint into the freshly built net and
-// returns the caller blob. All input is treated as untrusted.
+// returns the caller blob. All input is treated as untrusted: the
+// trailer and whole-file checksum are verified before anything is
+// decoded, so net is never mutated by damaged bytes. Integrity failures
+// satisfy errors.Is(err, sim.ErrCorruptSnapshot).
 func ReadCheckpoint(r io.Reader, net *Network) ([]byte, error) {
 	data, err := io.ReadAll(io.LimitReader(r, MaxCheckpointBytes+1))
 	if err != nil {
@@ -50,7 +66,17 @@ func ReadCheckpoint(r io.Reader, net *Network) ([]byte, error) {
 	if len(data) > MaxCheckpointBytes {
 		return nil, fmt.Errorf("noc: checkpoint exceeds %d bytes", MaxCheckpointBytes)
 	}
-	d := sim.NewDecoder(data)
+	payload, ferr := sim.VerifySnapshotFrame(data)
+	if ferr != nil {
+		// Old-format (pre-v3) files have no trailer; parsing the header
+		// turns "missing trailer" into the more useful "unsupported
+		// snapshot version N" for them. Both paths wrap ErrCorruptSnapshot.
+		if _, herr := sim.ReadSnapshotHeader(sim.NewDecoder(data)); herr != nil {
+			return nil, herr
+		}
+		return nil, ferr
+	}
+	d := sim.NewDecoder(payload)
 	h, err := sim.ReadSnapshotHeader(d)
 	if err != nil {
 		return nil, err
@@ -58,18 +84,25 @@ func ReadCheckpoint(r io.Reader, net *Network) ([]byte, error) {
 	if want := net.TopoHash(); h.TopoHash != want {
 		return nil, fmt.Errorf("noc: checkpoint topology %#x does not match built system %#x", h.TopoHash, want)
 	}
+	exStart := d.Mark()
 	extra := append([]byte(nil), d.Bytes(MaxCheckpointExtra)...)
+	d.VerifySection(exStart, "extra")
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
+	stStart := d.Mark()
 	if err := net.RestoreState(d); err != nil {
 		return nil, err
 	}
+	d.VerifySection(stStart, "state")
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
 	if d.Remaining() != 0 {
-		return nil, fmt.Errorf("noc: %d trailing bytes after checkpoint", d.Remaining())
+		return nil, fmt.Errorf("noc: %d trailing bytes after checkpoint: %w", d.Remaining(), sim.ErrCorruptSnapshot)
 	}
 	if got := net.Ticks(); got != h.Cycle {
-		return nil, fmt.Errorf("noc: restored cycle %d does not match header %d", got, h.Cycle)
+		return nil, fmt.Errorf("noc: restored cycle %d does not match header %d: %w", got, h.Cycle, sim.ErrCorruptSnapshot)
 	}
 	return extra, nil
 }

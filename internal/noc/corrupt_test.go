@@ -1,0 +1,155 @@
+package noc
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"chipletnoc/internal/sim"
+)
+
+// buildFuzzNet is buildSnapNet without the queued traffic, usable from
+// both *testing.T and *testing.F; identical calls build identical
+// networks (same topology hash).
+func buildFuzzNet(tb testing.TB) (*Network, *source, *source) {
+	tb.Helper()
+	net := NewNetwork("snap")
+	v := net.AddRing(8, true)
+	h := net.AddRing(8, true)
+	stA := v.AddStation(0)
+	stBrV := v.AddStation(4)
+	stBrH := h.AddStation(0)
+	stB := h.AddStation(4)
+	a := newSource(tb, net, stA, "a")
+	b := newSource(tb, net, stB, "b")
+	NewRBRGL1(net, "br", DefaultRBRGL1Config(), stBrV, stBrH)
+	net.MustFinalize()
+	return net, a, b
+}
+
+// checkpointBytes produces one real mid-flight checkpoint of the
+// two-ring crossing, plus a fresh twin network to restore into.
+func checkpointBytes(t *testing.T) []byte {
+	t.Helper()
+	net, _, _ := buildSnapNet(t, 50)
+	runCycles(net, 40)
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, net, []byte("extra blob")); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestCheckpointRejectsTruncation is the headline robustness property:
+// a valid checkpoint truncated at EVERY byte offset must be rejected
+// with sim.ErrCorruptSnapshot — no panic, no partial restore. Because
+// the frame (trailer + whole-file CRC) is verified before any field is
+// decoded, the target network is never touched, so one twin suffices
+// for all offsets.
+func TestCheckpointRejectsTruncation(t *testing.T) {
+	data := checkpointBytes(t)
+	twin, _, _ := buildSnapNet(t, 50)
+	for n := 0; n < len(data); n++ {
+		_, err := ReadCheckpoint(bytes.NewReader(data[:n]), twin)
+		if err == nil {
+			t.Fatalf("truncation to %d of %d bytes was accepted", n, len(data))
+		}
+		if !errors.Is(err, sim.ErrCorruptSnapshot) {
+			t.Fatalf("truncation to %d bytes: err %v does not wrap ErrCorruptSnapshot", n, err)
+		}
+	}
+	if twin.Ticks() != 0 {
+		t.Fatalf("twin network was mutated by rejected input (ticks %d)", twin.Ticks())
+	}
+}
+
+// TestCheckpointRejectsBitRot flips every byte of the file — payload
+// and trailer alike — and requires ErrCorruptSnapshot each time. The
+// whole-file CRC32-C catches all single-byte damage.
+func TestCheckpointRejectsBitRot(t *testing.T) {
+	data := checkpointBytes(t)
+	twin, _, _ := buildSnapNet(t, 50)
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x40
+		_, err := ReadCheckpoint(bytes.NewReader(mut), twin)
+		if err == nil {
+			t.Fatalf("flipped byte %d of %d was accepted", i, len(data))
+		}
+		if !errors.Is(err, sim.ErrCorruptSnapshot) {
+			t.Fatalf("flipped byte %d: err %v does not wrap ErrCorruptSnapshot", i, err)
+		}
+	}
+}
+
+// TestCheckpointRejectsOldVersion crafts a v2-era file — valid header
+// shape, no seals, no trailer — and requires rejection that names the
+// version, so operators learn "old format" rather than "corrupt".
+func TestCheckpointRejectsOldVersion(t *testing.T) {
+	net, _, _ := buildSnapNet(t, 10)
+	e := sim.NewEncoder()
+	for _, b := range []byte(sim.SnapshotMagic) {
+		e.PutU8(b)
+	}
+	e.PutU16(2) // the pre-seal version
+	e.PutU64(net.TopoHash())
+	e.PutU64(0)
+	e.PutBytes([]byte("old extra"))
+	_, err := ReadCheckpoint(bytes.NewReader(e.Data()), net)
+	if err == nil {
+		t.Fatal("v2-era checkpoint was accepted")
+	}
+	if !errors.Is(err, sim.ErrCorruptSnapshot) {
+		t.Fatalf("v2 rejection %v does not wrap ErrCorruptSnapshot", err)
+	}
+	if !strings.Contains(err.Error(), "version") {
+		t.Fatalf("v2 rejection should name the version, got: %v", err)
+	}
+}
+
+// TestCheckpointRejectsTrailingBytes: appending garbage after a valid
+// frame must fail frame verification (the trailer records the true
+// length).
+func TestCheckpointRejectsTrailingBytes(t *testing.T) {
+	data := append(checkpointBytes(t), 0xEE, 0xFF)
+	twin, _, _ := buildSnapNet(t, 50)
+	_, err := ReadCheckpoint(bytes.NewReader(data), twin)
+	if !errors.Is(err, sim.ErrCorruptSnapshot) {
+		t.Fatalf("trailing bytes: err %v does not wrap ErrCorruptSnapshot", err)
+	}
+}
+
+// FuzzReadCheckpoint throws arbitrary bytes at the full restore path.
+// The invariant is absolute: any outcome but a clean error or a correct
+// restore is a bug, and integrity failures must wrap ErrCorruptSnapshot.
+func FuzzReadCheckpoint(f *testing.F) {
+	seedNet, a, b := buildFuzzNet(f)
+	for i := 0; i < 20; i++ {
+		a.queue(seedNet.NewFlit(a.Node(), b.Node(), KindData, LineBytes))
+	}
+	runCycles(seedNet, 30)
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, seedNet, []byte("seed extra")); err != nil {
+		f.Fatalf("seed checkpoint: %v", err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(sim.SnapshotMagic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		net, _, _ := buildFuzzNet(t)
+		extra, err := ReadCheckpoint(bytes.NewReader(data), net)
+		if err != nil {
+			return // rejected cleanly — the only requirement is no panic
+		}
+		// Accepted: it must have been a byte-faithful checkpoint.
+		var rt bytes.Buffer
+		if werr := WriteCheckpoint(&rt, net, extra); werr != nil {
+			t.Fatalf("re-encode of accepted checkpoint failed: %v", werr)
+		}
+		if !bytes.Equal(rt.Bytes(), data) {
+			t.Fatalf("accepted checkpoint does not round-trip: %d in, %d out", len(data), rt.Len())
+		}
+	})
+}

@@ -1,0 +1,263 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"chipletnoc/internal/durable"
+	"chipletnoc/internal/experiments"
+)
+
+// TestCrashRecoveryE2E is the chaos gate run against the REAL daemon
+// binary: a long checkpointing simulation is SIGKILLed mid-run several
+// times — including once through a durable-layer crash point, the
+// precise instant between staging and rename — and every restarted
+// daemon must either resume from the last persisted checkpoint or
+// requeue from scratch. Either way the final CSV must be byte-identical
+// to an uninterrupted in-process run: crashes may cost time, never
+// correctness.
+func TestCrashRecoveryE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e crash test builds and repeatedly kills the daemon binary")
+	}
+
+	bin := filepath.Join(t.TempDir(), "nocd")
+	build := exec.Command("go", "build", "-o", bin, "chipletnoc/cmd/nocd")
+	build.Dir = moduleRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building nocd: %v\n%s", err, out)
+	}
+
+	stateDir := t.TempDir()
+	addr := freeAddr(t)
+	base := "http://" + addr
+
+	// ~400k cycles ≈ a few seconds of wall clock — long enough that every
+	// kill below lands mid-run — checkpointing every 2000 cycles.
+	specJSON := `{"kind":"sim","sim":{"topology":"ai-processor","scale":"quick","cycles":400000,"checkpoint_every":2000}}`
+	spec, err := ParseJobSpec([]byte(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	daemon := startDaemon(t, bin, addr, stateDir, nil)
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(specJSON))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var v jobView
+	json.NewDecoder(resp.Body).Decode(&v)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	jobID := v.ID
+
+	// Round 1 and 2: SIGKILL once the rolling checkpoint has advanced.
+	for round := 1; round <= 2; round++ {
+		waitCheckpointAdvance(t, base, jobID, round)
+		daemon.Process.Kill()
+		daemon.Wait()
+		daemon = startDaemon(t, bin, addr, stateDir, nil)
+		assertJobAlive(t, base, jobID)
+	}
+
+	// Round 3: arm a durable-layer crash point so the daemon kills itself
+	// exactly between fsyncing the staged checkpoint and renaming it — the
+	// worst instant a power cut can choose. Exit code 37 proves the crash
+	// point (not an ordinary failure) ended the process.
+	waitCheckpointAdvance(t, base, jobID, 3)
+	daemon.Process.Kill()
+	daemon.Wait()
+	// The resumed job checkpoints within milliseconds of boot, so this
+	// instance can die before /healthz ever answers — start it without
+	// the health gate and just await the self-inflicted exit.
+	daemon = exec.Command(bin, "-addr", addr, "-state", stateDir, "-workers", "1")
+	daemon.Env = append(os.Environ(), durable.CrashEnv+"=tmp-synced:2")
+	daemon.Stdout, daemon.Stderr = os.Stderr, os.Stderr
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Wait(); err == nil {
+		t.Fatal("crash-point daemon exited cleanly")
+	} else if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != durable.CrashExitCode {
+		t.Fatalf("crash-point daemon: %v, want exit code %d", err, durable.CrashExitCode)
+	}
+
+	// Final instance: no faults; the job must finish.
+	daemon = startDaemon(t, bin, addr, stateDir, nil)
+	defer func() {
+		daemon.Process.Signal(syscall.SIGTERM)
+		daemon.Wait()
+	}()
+	waitJobStatus(t, base, jobID, StatusDone, 2*time.Minute)
+
+	resp, err = http.Get(base + "/jobs/" + jobID + "/result?format=csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := readAll(resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: HTTP %d: %s", resp.StatusCode, got)
+	}
+
+	want, err := experiments.RunSim(*spec.Sim, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want.CSV() {
+		t.Errorf("CSV after %d crashes differs from the uninterrupted run (%d vs %d bytes)",
+			3, len(got), len(want.CSV()))
+	}
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// freeAddr grabs an ephemeral port. The tiny close-to-listen race is
+// acceptable in a test.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// startDaemon launches nocd and waits until /healthz answers.
+func startDaemon(t *testing.T, bin, addr, stateDir string, extraEnv []string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", addr, "-state", stateDir, "-workers", "1")
+	cmd.Env = append(os.Environ(), extraEnv...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd
+			}
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("daemon at %s never became healthy: %v", addr, err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// waitCheckpointAdvance blocks until the job's reported cycle moves past
+// what the previous round saw, proving at least one fresh checkpoint is
+// on disk before the next kill.
+func waitCheckpointAdvance(t *testing.T, base, id string, round int) {
+	t.Helper()
+	deadline := time.Now().Add(time.Minute)
+	var floor uint64
+	for {
+		v, ok := pollJob(base, id)
+		if ok {
+			if floor == 0 && v.Cycle > 0 {
+				floor = v.Cycle
+			}
+			if v.Cycle > floor && floor > 0 {
+				return
+			}
+			if v.Status == StatusDone {
+				t.Fatalf("round %d: job finished before the kill — make the job longer", round)
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("round %d: checkpoint never advanced", round)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// assertJobAlive checks a restarted daemon still knows the job.
+func assertJobAlive(t *testing.T, base, id string) {
+	t.Helper()
+	v, ok := pollJob(base, id)
+	if !ok {
+		t.Fatalf("job %s lost across restart", id)
+	}
+	if v.Status == StatusFailed {
+		t.Fatalf("job %s failed across restart: %s", id, v.Error)
+	}
+}
+
+func waitJobStatus(t *testing.T, base, id string, want JobStatus, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		v, ok := pollJob(base, id)
+		if ok && v.Status == want {
+			return
+		}
+		if ok && v.Status == StatusFailed {
+			t.Fatalf("job %s failed: %s", id, v.Error)
+		}
+		if time.Now().After(deadline) {
+			st := "unreachable"
+			if ok {
+				st = string(v.Status)
+			}
+			t.Fatalf("job %s stuck in %s (want %s)", id, st, want)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func pollJob(base, id string) (jobView, bool) {
+	resp, err := http.Get(base + "/jobs/" + id)
+	if err != nil {
+		return jobView{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return jobView{}, false
+	}
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return jobView{}, false
+	}
+	return v, true
+}
+
+func readAll(resp *http.Response) (string, error) {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}

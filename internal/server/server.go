@@ -8,13 +8,17 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"chipletnoc/internal/durable"
 	"chipletnoc/internal/experiments"
+	"chipletnoc/internal/sim"
 )
 
 // JobStatus is a job's lifecycle state.
@@ -56,11 +60,16 @@ type Config struct {
 	QueueDepth int
 	// Workers is the worker-pool size (default 2).
 	Workers int
-	// StateDir, when set, persists suspended jobs so a restarted daemon
-	// resumes them. Empty disables persistence.
+	// StateDir, when set, persists job records and rolling checkpoints
+	// so a restarted daemon — graceful or crashed — resumes or requeues
+	// them. Empty disables persistence.
 	StateDir string
 	// RetryAfterSeconds is the Retry-After hint on 429 (default 1).
 	RetryAfterSeconds int
+	// JobDeadline caps one job's wall clock (0 = unlimited). A sim job
+	// over the deadline stops at its next interrupt poll; an experiment
+	// job (coarse-grained, uninterruptible) is failed after the fact.
+	JobDeadline time.Duration
 }
 
 // Server is the job service. Create with New, expose with Handler, stop
@@ -74,19 +83,28 @@ type Server struct {
 	queue    chan *Job
 	draining atomic.Bool
 	wg       sync.WaitGroup
+	recovery RecoveryReport
 }
 
-// persistedJob is the on-disk record of a suspended job; the checkpoint
-// itself lives next to it in <id>.ckpt.
+// jobRecordSuffix and checkpointSuffix name a job's two state files:
+// <id>.job is the sealed (checksummed) JSON record, <id>.ckpt the
+// self-verifying NOCSNAP checkpoint.
+const (
+	jobRecordSuffix  = ".job"
+	checkpointSuffix = ".ckpt"
+)
+
+// persistedJob is the on-disk record of a submitted, running or
+// suspended job; its checkpoint lives next to it in <id>.ckpt.
 type persistedJob struct {
 	ID    string  `json:"id"`
 	Spec  JobSpec `json:"spec"`
 	Cycle uint64  `json:"cycle"`
 }
 
-// New builds a server, reloads any suspended jobs from cfg.StateDir
-// (they re-enter the queue ahead of new submissions), and starts the
-// worker pool.
+// New builds a server, recovers persisted jobs from cfg.StateDir (they
+// re-enter the queue ahead of new submissions; damaged state is
+// quarantined, never fatal), and starts the worker pool.
 func New(cfg Config) (*Server, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 16
@@ -105,7 +123,7 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		var err error
-		if reloaded, err = s.loadState(); err != nil {
+		if reloaded, err = s.recoverState(); err != nil {
 			return nil, err
 		}
 	}
@@ -124,42 +142,6 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// loadState reads suspended jobs back from the state directory in job-ID
-// order and advances nextID past them.
-func (s *Server) loadState() ([]*Job, error) {
-	entries, err := os.ReadDir(s.cfg.StateDir)
-	if err != nil {
-		return nil, err
-	}
-	var jobs []*Job
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
-			continue
-		}
-		data, err := os.ReadFile(filepath.Join(s.cfg.StateDir, e.Name()))
-		if err != nil {
-			return nil, err
-		}
-		var p persistedJob
-		if err := json.Unmarshal(data, &p); err != nil {
-			return nil, fmt.Errorf("state file %s: %w", e.Name(), err)
-		}
-		job := &Job{ID: p.ID, Spec: p.Spec, Status: StatusQueued, Cycle: p.Cycle}
-		ckpt, err := os.ReadFile(filepath.Join(s.cfg.StateDir, p.ID+".ckpt"))
-		if err == nil {
-			job.resume = ckpt
-		} else if !errors.Is(err, os.ErrNotExist) {
-			return nil, err
-		}
-		if n, err := strconv.Atoi(strings.TrimPrefix(p.ID, "job-")); err == nil && n >= s.nextID {
-			s.nextID = n + 1
-		}
-		jobs = append(jobs, job)
-	}
-	sort.Slice(jobs, func(i, j int) bool { return jobIDLess(jobs[i].ID, jobs[j].ID) })
-	return jobs, nil
-}
-
 // jobIDLess orders "job-N" IDs numerically.
 func jobIDLess(a, b string) bool {
 	an, aerr := strconv.Atoi(strings.TrimPrefix(a, "job-"))
@@ -170,7 +152,12 @@ func jobIDLess(a, b string) bool {
 	return a < b
 }
 
-// persistJob writes a suspended job's record and checkpoint atomically.
+// persistJob writes a job's record (and checkpoint, when it carries
+// one) through the durable layer: sealed envelopes, atomic replacement,
+// fsync of file and directory. The checkpoint goes first so a crash
+// between the two writes leaves an older-but-consistent pair — the
+// record never references bytes that are not fully on disk. Callers
+// hold s.mu, which also serializes these writes against dropPersisted.
 func (s *Server) persistJob(job *Job) error {
 	if s.cfg.StateDir == "" {
 		return nil
@@ -179,29 +166,22 @@ func (s *Server) persistJob(job *Job) error {
 	if err != nil {
 		return err
 	}
-	write := func(name string, data []byte) error {
-		path := filepath.Join(s.cfg.StateDir, name)
-		tmp := path + ".tmp"
-		if err := os.WriteFile(tmp, data, 0o644); err != nil {
-			return err
-		}
-		return os.Rename(tmp, path)
-	}
 	if job.resume != nil {
-		if err := write(job.ID+".ckpt", job.resume); err != nil {
+		if err := durable.WriteFile(filepath.Join(s.cfg.StateDir, job.ID+checkpointSuffix), job.resume, 0o644); err != nil {
 			return err
 		}
 	}
-	return write(job.ID+".json", rec)
+	return durable.WriteSealed(filepath.Join(s.cfg.StateDir, job.ID+jobRecordSuffix), rec, 0o644)
 }
 
-// dropPersisted removes a job's on-disk record after it finishes.
+// dropPersisted removes a job's on-disk record after it reaches a
+// terminal state.
 func (s *Server) dropPersisted(id string) {
 	if s.cfg.StateDir == "" {
 		return
 	}
-	os.Remove(filepath.Join(s.cfg.StateDir, id+".json"))
-	os.Remove(filepath.Join(s.cfg.StateDir, id+".ckpt"))
+	os.Remove(filepath.Join(s.cfg.StateDir, id+jobRecordSuffix))
+	os.Remove(filepath.Join(s.cfg.StateDir, id+checkpointSuffix))
 }
 
 // worker drains the queue until Shutdown closes it.
@@ -212,8 +192,27 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob executes one dequeued job end to end.
+// testPanicHook, when set by a test, runs at the top of a job's
+// execution — the deterministic way to stage a worker panic.
+var testPanicHook func(*Job)
+
+// runJob executes one dequeued job end to end. A panic anywhere in the
+// job's execution is isolated here: the job is marked failed with the
+// stack attached and the worker survives to take the next job — one
+// misbehaving workload must never take down the whole daemon.
 func (s *Server) runJob(job *Job) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.mu.Lock()
+			if job.Status == StatusRunning {
+				job.Status = StatusFailed
+				job.Error = fmt.Sprintf("worker panic: %v\n\n%s", r, debug.Stack())
+				s.dropPersisted(job.ID)
+			}
+			s.mu.Unlock()
+		}
+	}()
+
 	s.mu.Lock()
 	if job.Status != StatusQueued {
 		// Canceled while waiting in the queue.
@@ -232,18 +231,34 @@ func (s *Server) runJob(job *Job) {
 	job.Status = StatusRunning
 	s.mu.Unlock()
 
+	if testPanicHook != nil {
+		testPanicHook(job)
+	}
+	started := time.Now()
 	switch job.Spec.Kind {
 	case "experiment":
-		s.runExperimentJob(job)
+		s.runExperimentJob(job, started)
 	default:
-		s.runSimJob(job)
+		s.runSimJob(job, started)
 	}
 }
 
+// pastDeadline reports whether a job that started at started has used
+// up the configured wall-clock budget.
+func (s *Server) pastDeadline(started time.Time) bool {
+	return s.cfg.JobDeadline > 0 && time.Since(started) > s.cfg.JobDeadline
+}
+
+// deadlineError renders the uniform deadline failure message.
+func (s *Server) deadlineError(started time.Time) string {
+	return fmt.Sprintf("job exceeded its %v wall-clock deadline (ran %v)",
+		s.cfg.JobDeadline, time.Since(started).Round(time.Millisecond))
+}
+
 // runExperimentJob runs a catalog artifact. Experiments are coarse-grained
-// (internally parallel, no checkpoint), so cancellation and shutdown take
-// effect at job granularity only.
-func (s *Server) runExperimentJob(job *Job) {
+// (internally parallel, no checkpoint), so cancellation, shutdown and the
+// wall-clock deadline take effect at job granularity only.
+func (s *Server) runExperimentJob(job *Job, started time.Time) {
 	scale, err := experiments.ParseScale(job.Spec.Scale)
 	if err != nil {
 		s.finish(job, func() { job.Status, job.Error = StatusFailed, err.Error() })
@@ -259,16 +274,28 @@ func (s *Server) runExperimentJob(job *Job) {
 			job.Status = StatusCanceled
 			return
 		}
+		if s.pastDeadline(started) {
+			job.Status, job.Error = StatusFailed, s.deadlineError(started)
+			return
+		}
 		job.Status, job.Artifact = StatusDone, art
 	})
 }
 
 // runSimJob runs one simulation with cooperative interruption: a DELETE
 // cancels at the next checkpoint boundary, a Shutdown suspends with a
-// checkpoint that the restarted daemon resumes.
-func (s *Server) runSimJob(job *Job) {
+// checkpoint that the restarted daemon resumes, and a wall-clock
+// deadline fails it. When the spec checkpoints periodically and a state
+// directory is configured, every checkpoint is persisted as it is taken,
+// so even a SIGKILLed daemon resumes from the last completed interval.
+func (s *Server) runSimJob(job *Job, started time.Time) {
+	var deadlineHit atomic.Bool
 	ctl := &experiments.SimControl{Interrupt: func() experiments.InterruptKind {
 		if job.cancel.Load() {
+			return experiments.CancelRun
+		}
+		if s.pastDeadline(started) {
+			deadlineHit.Store(true)
 			return experiments.CancelRun
 		}
 		if s.draining.Load() {
@@ -276,17 +303,47 @@ func (s *Server) runSimJob(job *Job) {
 		}
 		return experiments.KeepRunning
 	}}
+	if s.cfg.StateDir != "" && job.Spec.Sim.CheckpointEvery > 0 {
+		ctl.OnCheckpoint = func(data []byte, cycle uint64) error {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if job.Status != StatusRunning {
+				// Raced with a cancel: don't resurrect dropped files.
+				return nil
+			}
+			job.Cycle, job.resume = cycle, data
+			if err := s.persistJob(job); err != nil {
+				// Persistence is best-effort while the job is healthy; a
+				// full disk must not kill a running simulation.
+				s.note("job %s: rolling checkpoint at cycle %d not persisted: %v", job.ID, cycle, err)
+			}
+			return nil
+		}
+	}
 	res, err := experiments.RunSim(*job.Spec.Sim, job.resume, ctl)
+	if err != nil && job.resume != nil && errors.Is(err, sim.ErrCorruptSnapshot) {
+		// The resume blob was damaged in memory-to-run handoff or the
+		// recovery scan's frame check missed deeper rot. Quarantine the
+		// idea of resuming and rerun from scratch — determinism makes the
+		// fresh run's bytes identical.
+		s.mu.Lock()
+		job.resume, job.Cycle = nil, 0
+		s.note("job %s: resume checkpoint rejected (%v); rerunning from cycle 0", job.ID, err)
+		s.mu.Unlock()
+		res, err = experiments.RunSim(*job.Spec.Sim, nil, ctl)
+	}
 
 	var intr *experiments.Interrupted
 	s.finish(job, func() {
 		switch {
 		case err == nil:
 			job.Status, job.SimResult, job.resume = StatusDone, res, nil
-			s.dropPersisted(job.ID)
 		case errors.Is(err, experiments.ErrCanceled):
+			if deadlineHit.Load() {
+				job.Status, job.Error, job.resume = StatusFailed, s.deadlineError(started), nil
+				return
+			}
 			job.Status, job.resume = StatusCanceled, nil
-			s.dropPersisted(job.ID)
 		case errors.As(err, &intr):
 			job.Status, job.Cycle, job.resume = StatusSuspended, intr.Cycle, intr.Checkpoint
 			if perr := s.persistJob(job); perr != nil {
@@ -298,11 +355,16 @@ func (s *Server) runSimJob(job *Job) {
 	})
 }
 
-// finish applies a terminal state transition under the lock.
+// finish applies a terminal state transition under the lock; jobs
+// reaching a terminal state shed their on-disk record and checkpoint.
 func (s *Server) finish(job *Job, apply func()) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	apply()
+	switch job.Status {
+	case StatusDone, StatusFailed, StatusCanceled:
+		s.dropPersisted(job.ID)
+	}
 }
 
 // Shutdown stops accepting jobs, suspends everything queued or running
@@ -336,6 +398,13 @@ func (s *Server) Submit(spec JobSpec) (*Job, bool) {
 	s.nextID++
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
+	// Persist the record at admission so even a SIGKILLed daemon requeues
+	// every accepted job on restart. Best-effort: a full disk degrades
+	// durability, not service. (The write happens under s.mu, which
+	// orders it before any worker's dropPersisted for this job.)
+	if err := s.persistJob(job); err != nil {
+		s.note("job %s: admission record not persisted: %v", job.ID, err)
+	}
 	return job, true
 }
 
@@ -359,6 +428,15 @@ func (s *Server) Cancel(id string) (*Job, bool) {
 		job.cancel.Store(true)
 	}
 	return job, true
+}
+
+// Recovery returns a copy of the boot-time recovery report.
+func (s *Server) Recovery() RecoveryReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := s.recovery
+	rec.Notes = append([]string(nil), s.recovery.Notes...)
+	return rec
 }
 
 // Get returns a job by ID.
@@ -393,7 +471,13 @@ func (s *Server) view(job *Job) jobView {
 //	GET    /jobs/{id}/result result: ?format=json|csv|text, ?file= for
 //	                         experiment CSV artifacts
 //	DELETE /jobs/{id}        cancel (cooperative for running sim jobs)
-//	GET    /healthz          liveness
+//	GET    /healthz          liveness + queue depth (always 200 while up)
+//	GET    /readyz           readiness: queue utilization and the boot
+//	                         recovery report; 503 while draining
+//
+// Every route runs under a recovery middleware: a panicking handler
+// answers 500 with a JSON error instead of tearing down the connection
+// (and, with it, operator trust).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -401,10 +485,65 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleDelete)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	return recoverMiddleware(mux)
+}
+
+// recoverMiddleware turns a handler panic into a 500 JSON error so one
+// bad request cannot crash the daemon. http.ErrAbortHandler is the
+// net/http-sanctioned way to abort a response and is re-raised.
+func recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				httpError(w, http.StatusInternalServerError, "internal error: %v", rec)
+			}
+		}()
+		next.ServeHTTP(w, r)
 	})
-	return mux
+}
+
+// healthView is the /healthz body.
+type healthView struct {
+	Status     string `json:"status"`
+	QueueDepth int    `json:"queue_depth"`
+}
+
+// readyView is the /readyz body.
+type readyView struct {
+	Status        string         `json:"status"`
+	QueueDepth    int            `json:"queue_depth"`
+	QueueCapacity int            `json:"queue_capacity"`
+	Workers       int            `json:"workers"`
+	Recovery      RecoveryReport `json:"recovery"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthView{Status: "ok", QueueDepth: len(s.queue)})
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	rec := s.recovery
+	rec.Notes = append([]string(nil), s.recovery.Notes...)
+	s.mu.Unlock()
+	v := readyView{
+		Status:        "ready",
+		QueueDepth:    len(s.queue),
+		QueueCapacity: s.cfg.QueueDepth,
+		Workers:       s.cfg.Workers,
+		Recovery:      rec,
+	}
+	status := http.StatusOK
+	if s.draining.Load() {
+		v.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, v)
 }
 
 // writeJSON writes one JSON response.
@@ -424,8 +563,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
-	body, err := readBody(r)
+	body, err := readBody(w, r)
 	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"job spec exceeds the %d-byte limit", maxJobSpecBytes)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -443,17 +588,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, s.view(job))
 }
 
-// readBody reads a request body with the job-spec size cap.
-func readBody(r *http.Request) ([]byte, error) {
-	data, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxJobSpecBytes))
-	if err != nil {
-		var mbe *http.MaxBytesError
-		if errors.As(err, &mbe) {
-			return nil, fmt.Errorf("job spec exceeds the %d-byte limit", maxJobSpecBytes)
-		}
-		return nil, err
-	}
-	return data, nil
+// readBody reads a request body with the job-spec size cap. Passing the
+// ResponseWriter lets MaxBytesReader close the connection after an
+// over-limit body, so the client stops uploading; a *http.MaxBytesError
+// propagates to the caller, which maps it to 413.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, maxJobSpecBytes))
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"errors"
+	"hash/crc32"
 	"hash/fnv"
 	"math"
 	"testing"
@@ -167,6 +169,144 @@ func TestSnapshotHeaderRejects(t *testing.T) {
 			t.Errorf("%s: accepted", name)
 		}
 	}
+}
+
+// TestDecodeErrorsAreCorruptSnapshot: every decoder failure mode must
+// satisfy errors.Is(err, ErrCorruptSnapshot) so persistence layers can
+// branch on "damaged bytes" with one check.
+func TestDecodeErrorsAreCorruptSnapshot(t *testing.T) {
+	cases := map[string]func(d *Decoder){
+		"truncated":    func(d *Decoder) { d.U64() },
+		"bad bool":     func(d *Decoder) { d.Bool() },
+		"count range":  func(d *Decoder) { d.Count(0) },
+		"bytes limit":  func(d *Decoder) { d.Bytes(0) },
+		"explicit":     func(d *Decoder) { d.Fail("boom") },
+		"bad section":  func(d *Decoder) { d.VerifySection(0, "x") },
+		"bad header":   func(d *Decoder) { _, _ = ReadSnapshotHeader(d) },
+		"old version":  func(d *Decoder) { _, _ = ReadSnapshotHeader(d) },
+		"frame header": func(d *Decoder) { d.U32(); d.U32() },
+	}
+	inputs := map[string][]byte{
+		"truncated":    {1, 2},
+		"bad bool":     {7},
+		"count range":  {9, 0, 0, 0},
+		"bytes limit":  {9, 0, 0, 0},
+		"explicit":     {},
+		"bad section":  {1, 2, 3, 4, 0, 0, 0, 0},
+		"bad header":   []byte("NOTASNAPxxxxxxxxxxxxxxxxxxxxxxxxxx"),
+		"old version":  append([]byte(SnapshotMagic), 2, 0, 1, 0, 0, 0, 0, 0, 0, 0, 9, 0, 0, 0, 0, 0, 0, 0),
+		"frame header": {0},
+	}
+	for name, input := range inputs {
+		d := NewDecoder(input)
+		cases[name](d)
+		if err := d.Err(); err == nil {
+			t.Errorf("%s: no error", name)
+		} else if !errors.Is(err, ErrCorruptSnapshot) {
+			t.Errorf("%s: error %v does not wrap ErrCorruptSnapshot", name, err)
+		}
+	}
+}
+
+// TestSectionSealRoundTrip pins the section-seal contract: an intact
+// section verifies, a flipped byte anywhere inside it does not.
+func TestSectionSealRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	start := e.Mark()
+	e.PutU64(0xABCD)
+	e.PutString("section payload")
+	e.SealSection(start)
+	good := append([]byte(nil), e.Data()...)
+
+	d := NewDecoder(good)
+	ds := d.Mark()
+	d.U64()
+	d.String(64)
+	d.VerifySection(ds, "test")
+	if err := d.Err(); err != nil {
+		t.Fatalf("intact section rejected: %v", err)
+	}
+
+	for i := range good {
+		mut := append([]byte(nil), good...)
+		mut[i] ^= 0x10
+		d := NewDecoder(mut)
+		ds := d.Mark()
+		d.U64()
+		d.String(64)
+		d.VerifySection(ds, "test")
+		if err := d.Err(); err == nil {
+			t.Fatalf("flipped byte %d went unnoticed", i)
+		} else if !errors.Is(err, ErrCorruptSnapshot) {
+			t.Fatalf("flipped byte %d: error %v does not wrap ErrCorruptSnapshot", i, err)
+		}
+	}
+}
+
+// TestSnapshotFrameProperty is the codec-level property test: a sealed
+// frame verifies intact, and EVERY truncation offset and EVERY flipped
+// byte — payload or trailer — yields ErrCorruptSnapshot, never a panic
+// or a false accept.
+func TestSnapshotFrameProperty(t *testing.T) {
+	e := NewEncoder()
+	WriteSnapshotHeader(e, SnapshotHeader{Version: SnapshotVersion, TopoHash: 7, Cycle: 11})
+	e.PutString("state bytes of arbitrary content")
+	WriteSnapshotTrailer(e)
+	sealed := append([]byte(nil), e.Data()...)
+
+	payload, err := VerifySnapshotFrame(sealed)
+	if err != nil {
+		t.Fatalf("intact frame rejected: %v", err)
+	}
+	if len(payload) != len(sealed)-20 {
+		t.Fatalf("payload %d bytes, want %d", len(payload), len(sealed)-20)
+	}
+
+	for n := 0; n < len(sealed); n++ {
+		if _, err := VerifySnapshotFrame(sealed[:n]); !errors.Is(err, ErrCorruptSnapshot) {
+			t.Fatalf("truncation to %d bytes: err = %v, want ErrCorruptSnapshot", n, err)
+		}
+	}
+	for i := range sealed {
+		mut := append([]byte(nil), sealed...)
+		mut[i] ^= 0x01
+		if _, err := VerifySnapshotFrame(mut); !errors.Is(err, ErrCorruptSnapshot) {
+			t.Fatalf("flipped bit at byte %d: err = %v, want ErrCorruptSnapshot", i, err)
+		}
+	}
+}
+
+// TestCRC32CMatchesStdlib pins the polynomial: the codec must use
+// Castagnoli, not IEEE, so the format is implementable elsewhere.
+func TestCRC32CMatchesStdlib(t *testing.T) {
+	data := []byte("chiplet checkpoint bytes")
+	want := crc32.Checksum(data, crc32.MakeTable(crc32.Castagnoli))
+	if got := CRC32C(data); got != want {
+		t.Fatalf("CRC32C = %#x, stdlib Castagnoli = %#x", got, want)
+	}
+}
+
+func FuzzVerifySnapshotFrame(f *testing.F) {
+	e := NewEncoder()
+	WriteSnapshotHeader(e, SnapshotHeader{Version: SnapshotVersion, TopoHash: 3, Cycle: 5})
+	e.PutBytes([]byte("extra"))
+	WriteSnapshotTrailer(e)
+	f.Add(append([]byte(nil), e.Data()...))
+	f.Add([]byte(SnapshotTrailerMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := VerifySnapshotFrame(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptSnapshot) {
+				t.Fatalf("frame error %v does not wrap ErrCorruptSnapshot", err)
+			}
+			return
+		}
+		// Acceptance implies the trailer really covers the payload.
+		if len(payload) != len(data)-20 {
+			t.Fatalf("accepted frame with payload %d of %d bytes", len(payload), len(data))
+		}
+	})
 }
 
 func FuzzReadSnapshotHeader(f *testing.F) {
