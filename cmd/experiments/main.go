@@ -18,8 +18,10 @@ import (
 	"strings"
 	"time"
 
+	"chipletnoc/internal/artifact"
 	"chipletnoc/internal/durable"
 	"chipletnoc/internal/experiments"
+	"chipletnoc/internal/server"
 )
 
 func main() {
@@ -42,6 +44,7 @@ func main() {
 	checkpointEvery := flag.Uint64("checkpoint-every", 0, "simrun: checkpoint every N cycles (0 = off)")
 	checkpointFile := flag.String("checkpoint", "", "simrun: rolling checkpoint file (written atomically each interval)")
 	resumeFile := flag.String("resume", "", "simrun: resume from this checkpoint file instead of starting fresh")
+	cacheDir := flag.String("cache-dir", "", "simrun: content-addressed result cache directory (shareable with a nocd -cache-dir); a hit skips the simulation and replays identical bytes")
 	flag.Parse()
 
 	experiments.SetParallelism(*parallel)
@@ -128,7 +131,7 @@ func main() {
 		}
 	case "simrun":
 		if err := runSim(scale, *simTopology, *simConfig, *simCycles, *simSeed,
-			*checkpointEvery, *checkpointFile, *resumeFile, writeCSV); err != nil {
+			*checkpointEvery, *checkpointFile, *resumeFile, *cacheDir, writeCSV); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -149,9 +152,13 @@ func main() {
 
 // runSim executes one parameterized simulation, mirroring exactly the
 // spec defaults the daemon applies so CLI and service results are
-// byte-identical.
+// byte-identical. With -cache-dir it checks the same content-addressed
+// store the daemon uses (same keys, same payloads, so the two can share
+// a directory): a hit replays the stored result without simulating, a
+// completed run is stored for next time. All cache chatter goes to
+// stderr; stdout carries exactly the bytes a cold run would print.
 func runSim(scale experiments.Scale, topology, configFile string, cycles, seed, checkpointEvery uint64,
-	checkpointFile, resumeFile string, writeCSV func(name, data string)) error {
+	checkpointFile, resumeFile, cacheDir string, writeCSV func(name, data string)) error {
 	spec := experiments.SimSpec{
 		Topology:        topology,
 		Scale:           experiments.ScaleName(scale),
@@ -174,6 +181,39 @@ func runSim(scale experiments.Scale, topology, configFile string, cycles, seed, 
 		}
 		resume = data
 	}
+
+	var cache *artifact.Store
+	var cacheKey string
+	var normalized experiments.SimSpec
+	if cacheDir != "" {
+		store, err := artifact.Open(artifact.Config{Dir: cacheDir})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cache: disabled: %v\n", err)
+		} else if js, err := (server.JobSpec{Kind: "sim", Sim: &spec}).Normalize(); err == nil {
+			// An invalid spec falls through to RunSim for its real error.
+			if key, err := server.JobKey(js); err == nil {
+				cache, cacheKey, normalized = store, key, *js.Sim
+			}
+		}
+	}
+	if cache != nil {
+		if payload, ok := cache.Get(cacheKey); ok {
+			res, err := server.CachedSimResult(payload, normalized)
+			if err != nil {
+				// The envelope was intact but the payload shape is not
+				// ours: evict it and run for real.
+				cache.Delete(cacheKey)
+				fmt.Fprintf(os.Stderr, "cache: evicted undecodable entry %s: %v\n", cacheKey[:12], err)
+			} else {
+				fmt.Fprintf(os.Stderr, "cache: hit %s — serving stored result\n", cacheKey[:12])
+				fmt.Println(res.Render())
+				writeCSV("simrun.csv", res.CSV())
+				return nil
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "cache: miss %s\n", cacheKey[:12])
+		}
+	}
 	var ctl *experiments.SimControl
 	if checkpointFile != "" && checkpointEvery > 0 {
 		ctl = &experiments.SimControl{OnCheckpoint: func(data []byte, cycle uint64) error {
@@ -193,6 +233,15 @@ func runSim(scale experiments.Scale, topology, configFile string, cycles, seed, 
 	}
 	fmt.Println(r.Render())
 	writeCSV("simrun.csv", r.CSV())
+	if cache != nil {
+		if payload, err := (&server.CachedResult{Kind: "sim", Sim: r}).Encode(); err != nil {
+			fmt.Fprintf(os.Stderr, "cache: not stored: %v\n", err)
+		} else if err := cache.Put(cacheKey, payload); err != nil {
+			fmt.Fprintf(os.Stderr, "cache: not stored: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "cache: stored %s (%d bytes)\n", cacheKey[:12], len(payload))
+		}
+	}
 	return nil
 }
 

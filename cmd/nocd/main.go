@@ -16,6 +16,7 @@ import (
 	"syscall"
 	"time"
 
+	"chipletnoc/internal/artifact"
 	"chipletnoc/internal/experiments"
 	"chipletnoc/internal/server"
 )
@@ -29,10 +30,30 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines inside one experiment job")
 	partitions := flag.Int("partitions", 0, "ring partitions inside one simulation job (0 = sequential engine; results are bit-identical at every setting)")
 	jobDeadline := flag.Duration("job-deadline", 0, "wall-clock budget per job, e.g. 10m (0 = unlimited)")
+	cacheDir := flag.String("cache-dir", "", "directory for the content-addressed result cache (empty = caching off); resubmissions of completed jobs are served from it byte-identically")
+	cacheMem := flag.Int64("cache-mem", 64, "result cache memory tier budget in MiB")
+	cacheDisk := flag.Int64("cache-disk", 1024, "result cache disk tier budget in MiB")
 	flag.Parse()
 
 	experiments.SetParallelism(*parallel)
 	experiments.SetSimPartitions(*partitions)
+
+	// The cache is strictly opt-in: a daemon without -cache-dir behaves
+	// exactly as before. A broken cache directory degrades to no caching
+	// rather than refusing to serve.
+	var cache *artifact.Store
+	if *cacheDir != "" {
+		var err error
+		cache, err = artifact.Open(artifact.Config{
+			Dir:       *cacheDir,
+			MemBytes:  *cacheMem << 20,
+			DiskBytes: *cacheDisk << 20,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nocd: result cache disabled: %v\n", err)
+			cache = nil
+		}
+	}
 
 	srv, err := server.New(server.Config{
 		QueueDepth:        *queueDepth,
@@ -40,6 +61,7 @@ func main() {
 		StateDir:          *stateDir,
 		RetryAfterSeconds: *retryAfter,
 		JobDeadline:       *jobDeadline,
+		Cache:             cache,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nocd: %v\n", err)
@@ -70,6 +92,9 @@ func main() {
 	fmt.Printf("nocd: listening on http://%s (queue %d, %d workers", *addr, *queueDepth, *workers)
 	if *stateDir != "" {
 		fmt.Printf(", state %s", *stateDir)
+	}
+	if cache != nil {
+		fmt.Printf(", cache %s", *cacheDir)
 	}
 	fmt.Println(")")
 

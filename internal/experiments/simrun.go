@@ -88,8 +88,11 @@ func (s SimSpec) Normalize() (SimSpec, error) {
 		if err != nil {
 			return s, err
 		}
-		if cfg.Faults != nil && !cfg.Faults.Empty() {
-			return s, fmt.Errorf("fault schedules are not supported in simulation jobs (injector state is not checkpointed)")
+		if cfg.Faults != nil && !cfg.Faults.Empty() && s.CheckpointEvery > 0 {
+			return s, fmt.Errorf("checkpointing is not supported with a fault schedule (injector state is not checkpointed)")
+		}
+		if s.Config, err = canonicalJSON(s.Config); err != nil {
+			return s, fmt.Errorf("config document: %w", err)
 		}
 	default:
 		return s, fmt.Errorf("unknown topology %q (want ai-processor, server-cpu or custom)", s.Topology)
@@ -107,6 +110,26 @@ func (s SimSpec) Normalize() (SimSpec, error) {
 		}
 	}
 	return s, nil
+}
+
+// canonicalJSON re-renders a JSON document in canonical form: object
+// keys sorted, whitespace normalized, numeric literals preserved
+// verbatim (json.Number, so 64-bit seeds survive and no float rounding
+// sneaks in). Two submissions that differ only in key order or spacing
+// therefore normalize — and hash — identically. Idempotent by
+// construction: the canonical form re-canonicalizes to itself.
+func canonicalJSON(doc string) (string, error) {
+	dec := json.NewDecoder(strings.NewReader(doc))
+	dec.UseNumber()
+	var v interface{}
+	if err := dec.Decode(&v); err != nil {
+		return "", err
+	}
+	out, err := json.Marshal(v)
+	if err != nil {
+		return "", err
+	}
+	return string(out), nil
 }
 
 // SimResult is the deterministic outcome of a RunSim call: flit-level
@@ -210,6 +233,11 @@ type simSystem struct {
 	read       func(data []byte) ([]byte, error)
 	enableMet  func(reg *metrics.Registry)
 	requesters []*traffic.Requester
+	// checkpointable is false when the system carries live state outside
+	// the snapshot codec (a fault injector): such a run can be canceled
+	// but never suspended-with-state — a suspend restarts it from cycle
+	// 0, which determinism makes equivalent.
+	checkpointable bool
 }
 
 // buildSimSystem constructs the spec's topology. Quick AI is exactly the
@@ -232,12 +260,13 @@ func buildSimSystem(spec SimSpec) (*simSystem, error) {
 			reqs = append(reqs, a.HostDMA)
 		}
 		return &simSystem{
-			net:        a.Net,
-			run:        a.Run,
-			write:      func(buf *bytes.Buffer, extra []byte) error { return a.WriteCheckpoint(buf, extra) },
-			read:       func(data []byte) ([]byte, error) { return a.ReadCheckpoint(bytes.NewReader(data)) },
-			enableMet:  a.EnableMetrics,
-			requesters: reqs,
+			net:            a.Net,
+			run:            a.Run,
+			write:          func(buf *bytes.Buffer, extra []byte) error { return a.WriteCheckpoint(buf, extra) },
+			read:           func(data []byte) ([]byte, error) { return a.ReadCheckpoint(bytes.NewReader(data)) },
+			enableMet:      a.EnableMetrics,
+			requesters:     reqs,
+			checkpointable: true,
 		}, nil
 	case "server-cpu":
 		cores := 32
@@ -258,12 +287,13 @@ func buildSimSystem(spec SimSpec) (*simSystem, error) {
 			}
 		})
 		return &simSystem{
-			net:        s.Net,
-			run:        s.Run,
-			write:      func(buf *bytes.Buffer, extra []byte) error { return s.WriteCheckpoint(buf, extra) },
-			read:       func(data []byte) ([]byte, error) { return s.ReadCheckpoint(bytes.NewReader(data)) },
-			enableMet:  s.EnableMetrics,
-			requesters: s.MemCores,
+			net:            s.Net,
+			run:            s.Run,
+			write:          func(buf *bytes.Buffer, extra []byte) error { return s.WriteCheckpoint(buf, extra) },
+			read:           func(data []byte) ([]byte, error) { return s.ReadCheckpoint(bytes.NewReader(data)) },
+			enableMet:      s.EnableMetrics,
+			requesters:     s.MemCores,
+			checkpointable: true,
 		}, nil
 	case "custom":
 		cfgSpec, err := config.Parse([]byte(spec.Config))
@@ -273,9 +303,6 @@ func buildSimSystem(spec SimSpec) (*simSystem, error) {
 		sys, err := cfgSpec.Build()
 		if err != nil {
 			return nil, err
-		}
-		if sys.Injector != nil {
-			return nil, fmt.Errorf("fault schedules are not supported in simulation jobs")
 		}
 		names := make([]string, 0, len(sys.Requesters))
 		for n := range sys.Requesters {
@@ -287,12 +314,13 @@ func buildSimSystem(spec SimSpec) (*simSystem, error) {
 			reqs = append(reqs, sys.Requesters[n])
 		}
 		return &simSystem{
-			net:        sys.Net,
-			run:        sys.Run,
-			write:      func(buf *bytes.Buffer, extra []byte) error { return sys.WriteCheckpoint(buf, extra) },
-			read:       func(data []byte) ([]byte, error) { return sys.ReadCheckpoint(bytes.NewReader(data)) },
-			enableMet:  sys.EnableMetrics,
-			requesters: reqs,
+			net:            sys.Net,
+			run:            sys.Run,
+			write:          func(buf *bytes.Buffer, extra []byte) error { return sys.WriteCheckpoint(buf, extra) },
+			read:           func(data []byte) ([]byte, error) { return sys.ReadCheckpoint(bytes.NewReader(data)) },
+			enableMet:      sys.EnableMetrics,
+			requesters:     reqs,
+			checkpointable: sys.Injector == nil,
 		}, nil
 	}
 	panic("experiments: buildSimSystem on unnormalized spec")
@@ -345,9 +373,13 @@ func decodeExtra(extra []byte, spec SimSpec) (*simProgress, error) {
 	if err := json.Unmarshal(specJSON, &ckptSpec); err != nil {
 		return nil, fmt.Errorf("checkpoint spec: %w", err)
 	}
-	// The partition count is a speed knob, not part of the run's
-	// identity: a checkpoint resumes under any engine.
+	// Identity-excluded knobs are neutralized before comparison: the
+	// partition count is a speed knob (a checkpoint resumes under any
+	// engine) and the checkpoint cadence only decides when snapshots are
+	// taken, never what the simulation computes — so a checkpoint taken
+	// under one cadence may resume a submission that asked for another.
 	ckptSpec.Partitions, spec.Partitions = 0, 0
+	ckptSpec.CheckpointEvery, spec.CheckpointEvery = 0, 0
 	if ckptSpec != spec {
 		return nil, fmt.Errorf("checkpoint was taken for spec %+v, not %+v", ckptSpec, spec)
 	}
@@ -383,6 +415,9 @@ func RunSim(spec SimSpec, resume []byte, ctl *SimControl) (*SimResult, error) {
 		sys.net.SetPartitions(p)
 	}
 	progress := &simProgress{latHash: sim.FNVOffset}
+	if resume != nil && !sys.checkpointable {
+		return nil, fmt.Errorf("this spec carries a fault schedule and cannot resume from a checkpoint")
+	}
 	if resume != nil {
 		extra, err := sys.read(resume)
 		if err != nil {
@@ -438,6 +473,13 @@ func RunSim(spec SimSpec, resume []byte, ctl *SimControl) (*SimResult, error) {
 			case CancelRun:
 				return nil, ErrCanceled
 			case SuspendRun:
+				if !sys.checkpointable {
+					// A fault-schedule run has injector state no snapshot
+					// captures. Suspending it means abandoning progress:
+					// the empty checkpoint restarts it from cycle 0, and
+					// determinism makes the rerun byte-identical.
+					return nil, &Interrupted{Cycle: 0, Checkpoint: nil}
+				}
 				data, err := checkpoint()
 				if err != nil {
 					return nil, err

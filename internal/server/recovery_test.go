@@ -196,9 +196,9 @@ func TestRecoveryAdvancesNextID(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Shutdown()
-	job, ok := s.Submit(quickSimSpec(t))
-	if !ok {
-		t.Fatal("submit rejected")
+	job, err := s.Submit(quickSimSpec(t))
+	if err != nil {
+		t.Fatalf("submit rejected: %v", err)
 	}
 	if job.ID != "job-8" {
 		t.Fatalf("next submission got %s, want job-8", job.ID)
@@ -337,9 +337,9 @@ func TestSubmitPersistsRecordAtAdmission(t *testing.T) {
 	testPanicHook = func(job *Job) { time.Sleep(50 * time.Millisecond) }
 	defer func() { testPanicHook = nil }()
 
-	job, ok := s.Submit(quickSimSpec(t))
-	if !ok {
-		t.Fatal("submit rejected")
+	job, err := s.Submit(quickSimSpec(t))
+	if err != nil {
+		t.Fatalf("submit rejected: %v", err)
 	}
 	payload, rerr := durable.ReadSealed(filepath.Join(dir, job.ID+jobRecordSuffix))
 	if rerr != nil {

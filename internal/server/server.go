@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"chipletnoc/internal/artifact"
 	"chipletnoc/internal/durable"
 	"chipletnoc/internal/experiments"
 	"chipletnoc/internal/sim"
@@ -37,8 +38,7 @@ const (
 )
 
 // Job is one queued or executed submission. All mutable fields are
-// guarded by the server mutex except cancel, which the worker polls from
-// inside a run.
+// guarded by the server mutex.
 type Job struct {
 	ID     string
 	Spec   JobSpec
@@ -48,9 +48,55 @@ type Job struct {
 	Cycle     uint64
 	SimResult *experiments.SimResult
 	Artifact  *experiments.Artifact
+	// Cached marks a job served from the content-addressed result cache
+	// (no simulation ran for it).
+	Cached bool
+	// Coalesced marks a job that attached to another job's in-flight run
+	// instead of starting its own.
+	Coalesced bool
 	// resume is the checkpoint to continue from (reloaded or suspended).
 	resume []byte
+	// flight is the execution this job is attached to; jobs submitted
+	// with identical content addresses share one.
+	flight *flight
+}
+
+// flight is one execution of one content address. Every job whose spec
+// hashes to the flight's key attaches to it; the simulation runs once
+// and its result is delivered to all attached members (and the cache).
+// Members detach on cancel; only canceling the last member stops the
+// run. All fields except cancel are guarded by the server mutex.
+type flight struct {
+	// key is the content address, or "" when the spec is uncacheable or
+	// caching is off — an unkeyed flight never coalesces.
+	key  string
+	jobs []*Job
+	// running flips when a worker picks the flight up; members attaching
+	// after that are born running.
+	running bool
+	// cancel asks the run to stop at its next interrupt poll; set only
+	// when the LAST member cancels.
 	cancel atomic.Bool
+	// resume and cycle carry the checkpoint the run continues from.
+	resume []byte
+	cycle  uint64
+}
+
+// lead returns the member whose spec drives the run (checkpoint cadence
+// and all identity fields — which every member shares by construction).
+// Callers hold s.mu and have checked the flight is non-empty.
+func (fl *flight) lead() *Job { return fl.jobs[0] }
+
+// detach removes job from the flight's member list; it reports whether
+// the job was attached.
+func (fl *flight) detach(job *Job) bool {
+	for i, j := range fl.jobs {
+		if j == job {
+			fl.jobs = append(fl.jobs[:i], fl.jobs[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // Config tunes a Server. Zero values pick the documented defaults.
@@ -70,6 +116,12 @@ type Config struct {
 	// over the deadline stops at its next interrupt poll; an experiment
 	// job (coarse-grained, uninterruptible) is failed after the fact.
 	JobDeadline time.Duration
+	// Cache, when set, memoizes job admission: a submission whose
+	// content address is stored is answered from the cache without
+	// running, concurrent identical submissions coalesce into one run,
+	// and completed runs populate the store. Nil disables memoization
+	// entirely (every submission runs).
+	Cache *artifact.Store
 }
 
 // Server is the job service. Create with New, expose with Handler, stop
@@ -80,11 +132,19 @@ type Server struct {
 	jobs     map[string]*Job
 	order    []string
 	nextID   int
-	queue    chan *Job
+	flights  map[string]*flight // key -> open (queued or running) flight
+	queue    chan *flight
 	draining atomic.Bool
 	wg       sync.WaitGroup
 	recovery RecoveryReport
 }
+
+// Submission errors, distinguished so the HTTP layer can map them to
+// 429 (full) and 503 (draining).
+var (
+	ErrQueueFull = errors.New("job queue is full")
+	ErrDraining  = errors.New("server is shutting down")
+)
 
 // jobRecordSuffix and checkpointSuffix name a job's two state files:
 // <id>.job is the sealed (checksummed) JSON record, <id>.ckpt the
@@ -115,7 +175,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RetryAfterSeconds <= 0 {
 		cfg.RetryAfterSeconds = 1
 	}
-	s := &Server{cfg: cfg, jobs: map[string]*Job{}}
+	s := &Server{cfg: cfg, jobs: map[string]*Job{}, flights: map[string]*flight{}}
 
 	var reloaded []*Job
 	if cfg.StateDir != "" {
@@ -127,19 +187,70 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
-	// The queue must hold every reloaded job plus the configured depth of
-	// new ones, so a restart never rejects its own suspended work.
-	s.queue = make(chan *Job, cfg.QueueDepth+len(reloaded))
+	if cfg.Cache != nil {
+		st := cfg.Cache.Stats()
+		s.note("content cache attached: %d disk entries (%d bytes) reindexed", st.DiskEntries, st.DiskBytes)
+	}
+	// Recovered jobs with one content address share one flight, exactly
+	// as they would had they been submitted to a live daemon.
+	flights := s.coalesceRecovered(reloaded)
+	// The queue must hold every reloaded flight plus the configured depth
+	// of new ones, so a restart never rejects its own suspended work.
+	s.queue = make(chan *flight, cfg.QueueDepth+len(flights))
 	for _, job := range reloaded {
 		s.jobs[job.ID] = job
 		s.order = append(s.order, job.ID)
-		s.queue <- job
+	}
+	for _, fl := range flights {
+		s.queue <- fl
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s, nil
+}
+
+// coalesceRecovered groups recovered jobs into flights by content
+// address. The flight resumes from the furthest checkpoint any member
+// carried — every member's spec reaches the same result, so the most
+// progressed checkpoint serves them all.
+func (s *Server) coalesceRecovered(jobs []*Job) []*flight {
+	var flights []*flight
+	for _, job := range jobs {
+		key := s.jobKey(job.Spec)
+		if fl, ok := s.flights[key]; ok {
+			fl.jobs = append(fl.jobs, job)
+			job.flight = fl
+			job.Coalesced = true
+			if job.resume != nil && (fl.resume == nil || job.Cycle > fl.cycle) {
+				fl.resume, fl.cycle = job.resume, job.Cycle
+			}
+			s.note("job %s coalesced with recovered %s (same content address)", job.ID, fl.lead().ID)
+			continue
+		}
+		fl := &flight{key: key, jobs: []*Job{job}, resume: job.resume, cycle: job.Cycle}
+		job.flight = fl
+		if key != "" {
+			s.flights[key] = fl
+		}
+		flights = append(flights, fl)
+	}
+	return flights
+}
+
+// jobKey computes a spec's content address, or "" when memoization is
+// off or the spec has none — an uncacheable job still runs, it just
+// never coalesces or populates the store.
+func (s *Server) jobKey(spec JobSpec) string {
+	if s.cfg.Cache == nil {
+		return ""
+	}
+	key, err := JobKey(spec)
+	if err != nil {
+		return ""
+	}
+	return key
 }
 
 // jobIDLess orders "job-N" IDs numerically.
@@ -187,8 +298,8 @@ func (s *Server) dropPersisted(id string) {
 // worker drains the queue until Shutdown closes it.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for job := range s.queue {
-		s.runJob(job)
+	for fl := range s.queue {
+		s.runFlight(fl)
 	}
 }
 
@@ -196,51 +307,116 @@ func (s *Server) worker() {
 // execution — the deterministic way to stage a worker panic.
 var testPanicHook func(*Job)
 
-// runJob executes one dequeued job end to end. A panic anywhere in the
-// job's execution is isolated here: the job is marked failed with the
-// stack attached and the worker survives to take the next job — one
-// misbehaving workload must never take down the whole daemon.
-func (s *Server) runJob(job *Job) {
+// testRunHook, when set by a test, runs once per flight that actually
+// reaches execution (past the dequeue-time cache recheck) — the
+// deterministic way to count how many simulations really ran.
+var testRunHook func()
+
+// runFlight executes one dequeued flight end to end. A panic anywhere in
+// the execution is isolated here: every still-attached member is marked
+// failed with the stack attached and the worker survives to take the
+// next flight — one misbehaving workload must never take down the whole
+// daemon.
+func (s *Server) runFlight(fl *flight) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.mu.Lock()
-			if job.Status == StatusRunning {
-				job.Status = StatusFailed
-				job.Error = fmt.Sprintf("worker panic: %v\n\n%s", r, debug.Stack())
-				s.dropPersisted(job.ID)
+			for _, job := range fl.jobs {
+				if job.Status == StatusRunning {
+					job.Status = StatusFailed
+					job.Error = fmt.Sprintf("worker panic: %v\n\n%s", r, debug.Stack())
+					s.dropPersisted(job.ID)
+				}
 			}
+			s.unregisterFlightLocked(fl)
 			s.mu.Unlock()
 		}
 	}()
 
 	s.mu.Lock()
-	if job.Status != StatusQueued {
-		// Canceled while waiting in the queue.
+	if len(fl.jobs) == 0 {
+		// Every member canceled while the flight waited in the queue.
 		s.mu.Unlock()
 		return
 	}
 	if s.draining.Load() {
-		// Shutdown drained this job before it ever ran: suspend it as-is
-		// (with whatever checkpoint it already carried) for the next
-		// daemon instance.
-		job.Status = StatusSuspended
-		s.persistJob(job)
+		// Shutdown drained this flight before it ever ran: suspend the
+		// members as-is (with whatever checkpoint the flight already
+		// carried) for the next daemon instance.
+		for _, job := range fl.jobs {
+			job.Status = StatusSuspended
+			job.Cycle, job.resume = fl.cycle, fl.resume
+			s.persistJob(job)
+		}
+		s.unregisterFlightLocked(fl)
 		s.mu.Unlock()
 		return
 	}
-	job.Status = StatusRunning
+	fl.running = true
+	for _, job := range fl.jobs {
+		job.Status = StatusRunning
+	}
+	lead := fl.lead()
 	s.mu.Unlock()
 
 	if testPanicHook != nil {
-		testPanicHook(job)
+		testPanicHook(lead)
+	}
+	// Dequeue-time recheck: an identical flight may have completed (and
+	// populated the cache) while this one waited in the queue — most
+	// importantly for recovered jobs, which re-enter the queue without
+	// passing through Submit's cache probe.
+	if payload, ok := s.cfg.Cache.Get(fl.key); ok && s.finishFromCache(fl, payload) {
+		return
+	}
+	if testRunHook != nil {
+		testRunHook()
 	}
 	started := time.Now()
-	switch job.Spec.Kind {
+	switch lead.Spec.Kind {
 	case "experiment":
-		s.runExperimentJob(job, started)
+		s.runExperimentFlight(fl, started)
 	default:
-		s.runSimJob(job, started)
+		s.runSimFlight(fl, started)
 	}
+}
+
+// finishFromCache tries to settle every member of fl from a cached
+// payload. A payload that fails to decode is deleted from the store (it
+// passed the CRC but not the codec — format drift or a foreign writer)
+// and the flight runs normally.
+func (s *Server) finishFromCache(fl *flight, payload []byte) bool {
+	c, err := DecodeCachedResult(payload)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil || c.Kind != fl.lead().Spec.Kind {
+		s.cfg.Cache.Delete(fl.key)
+		s.note("cache entry %.12s… undecodable (%v); evicted, running fresh", fl.key, err)
+		return false
+	}
+	for _, job := range fl.jobs {
+		s.applyCachedLocked(job, c)
+	}
+	s.unregisterFlightLocked(fl)
+	return true
+}
+
+// applyCachedLocked settles one job from a decoded cache payload: done,
+// marked cached, spec echo patched to the job's own normalized spec (the
+// cached run agrees on every identity field, so only identity-excluded
+// knobs differ — and those must echo the submission for the body to be
+// byte-identical to a fresh run of it). Callers hold s.mu.
+func (s *Server) applyCachedLocked(job *Job, c *CachedResult) {
+	job.Status, job.Cached, job.resume = StatusDone, true, nil
+	switch c.Kind {
+	case "sim":
+		res := *c.Sim
+		res.Spec = *job.Spec.Sim
+		job.SimResult = &res
+	case "experiment":
+		job.Artifact = c.Artifact
+	}
+	s.dropPersisted(job.ID)
 }
 
 // pastDeadline reports whether a job that started at started has used
@@ -255,43 +431,49 @@ func (s *Server) deadlineError(started time.Time) string {
 		s.cfg.JobDeadline, time.Since(started).Round(time.Millisecond))
 }
 
-// runExperimentJob runs a catalog artifact. Experiments are coarse-grained
-// (internally parallel, no checkpoint), so cancellation, shutdown and the
-// wall-clock deadline take effect at job granularity only.
-func (s *Server) runExperimentJob(job *Job, started time.Time) {
-	scale, err := experiments.ParseScale(job.Spec.Scale)
+// runExperimentFlight runs a catalog artifact. Experiments are
+// coarse-grained (internally parallel, no checkpoint), so cancellation,
+// shutdown and the wall-clock deadline take effect at job granularity.
+func (s *Server) runExperimentFlight(fl *flight, started time.Time) {
+	lead := fl.lead()
+	scale, err := experiments.ParseScale(lead.Spec.Scale)
 	if err != nil {
-		s.finish(job, func() { job.Status, job.Error = StatusFailed, err.Error() })
+		s.finishFlight(fl, nil, func(job *Job) {
+			job.Status, job.Error = StatusFailed, err.Error()
+		})
 		return
 	}
-	art, err := experiments.RunExperiment(job.Spec.Experiment, scale)
-	s.finish(job, func() {
-		if err != nil {
+	art, err := experiments.RunExperiment(lead.Spec.Experiment, scale)
+	var payload []byte
+	if err == nil && !fl.cancel.Load() && !s.pastDeadline(started) {
+		payload = s.encodeForCache(fl, &CachedResult{Kind: "experiment", Artifact: art})
+	}
+	s.finishFlight(fl, payload, func(job *Job) {
+		switch {
+		case err != nil:
 			job.Status, job.Error = StatusFailed, err.Error()
-			return
-		}
-		if job.cancel.Load() {
+		case fl.cancel.Load():
 			job.Status = StatusCanceled
-			return
-		}
-		if s.pastDeadline(started) {
+		case s.pastDeadline(started):
 			job.Status, job.Error = StatusFailed, s.deadlineError(started)
-			return
+		default:
+			job.Status, job.Artifact = StatusDone, art
 		}
-		job.Status, job.Artifact = StatusDone, art
 	})
 }
 
-// runSimJob runs one simulation with cooperative interruption: a DELETE
-// cancels at the next checkpoint boundary, a Shutdown suspends with a
-// checkpoint that the restarted daemon resumes, and a wall-clock
-// deadline fails it. When the spec checkpoints periodically and a state
-// directory is configured, every checkpoint is persisted as it is taken,
-// so even a SIGKILLed daemon resumes from the last completed interval.
-func (s *Server) runSimJob(job *Job, started time.Time) {
+// runSimFlight runs one simulation with cooperative interruption: a
+// DELETE of the last member cancels at the next checkpoint boundary, a
+// Shutdown suspends with a checkpoint that the restarted daemon resumes,
+// and a wall-clock deadline fails it. When the lead spec checkpoints
+// periodically and a state directory is configured, every checkpoint is
+// persisted for every attached member as it is taken, so even a
+// SIGKILLed daemon resumes each of them from the last completed interval.
+func (s *Server) runSimFlight(fl *flight, started time.Time) {
+	lead := fl.lead()
 	var deadlineHit atomic.Bool
 	ctl := &experiments.SimControl{Interrupt: func() experiments.InterruptKind {
-		if job.cancel.Load() {
+		if fl.cancel.Load() {
 			return experiments.CancelRun
 		}
 		if s.pastDeadline(started) {
@@ -303,41 +485,50 @@ func (s *Server) runSimJob(job *Job, started time.Time) {
 		}
 		return experiments.KeepRunning
 	}}
-	if s.cfg.StateDir != "" && job.Spec.Sim.CheckpointEvery > 0 {
+	if s.cfg.StateDir != "" && lead.Spec.Sim.CheckpointEvery > 0 {
 		ctl.OnCheckpoint = func(data []byte, cycle uint64) error {
 			s.mu.Lock()
 			defer s.mu.Unlock()
-			if job.Status != StatusRunning {
-				// Raced with a cancel: don't resurrect dropped files.
-				return nil
-			}
-			job.Cycle, job.resume = cycle, data
-			if err := s.persistJob(job); err != nil {
-				// Persistence is best-effort while the job is healthy; a
-				// full disk must not kill a running simulation.
-				s.note("job %s: rolling checkpoint at cycle %d not persisted: %v", job.ID, cycle, err)
+			fl.resume, fl.cycle = data, cycle
+			for _, job := range fl.jobs {
+				if job.Status != StatusRunning {
+					// Raced with a cancel: don't resurrect dropped files.
+					continue
+				}
+				job.Cycle, job.resume = cycle, data
+				if err := s.persistJob(job); err != nil {
+					// Persistence is best-effort while the job is healthy; a
+					// full disk must not kill a running simulation.
+					s.note("job %s: rolling checkpoint at cycle %d not persisted: %v", job.ID, cycle, err)
+				}
 			}
 			return nil
 		}
 	}
-	res, err := experiments.RunSim(*job.Spec.Sim, job.resume, ctl)
-	if err != nil && job.resume != nil && errors.Is(err, sim.ErrCorruptSnapshot) {
+	res, err := experiments.RunSim(*lead.Spec.Sim, fl.resume, ctl)
+	if err != nil && fl.resume != nil && errors.Is(err, sim.ErrCorruptSnapshot) {
 		// The resume blob was damaged in memory-to-run handoff or the
 		// recovery scan's frame check missed deeper rot. Quarantine the
 		// idea of resuming and rerun from scratch — determinism makes the
 		// fresh run's bytes identical.
 		s.mu.Lock()
-		job.resume, job.Cycle = nil, 0
-		s.note("job %s: resume checkpoint rejected (%v); rerunning from cycle 0", job.ID, err)
+		fl.resume, fl.cycle = nil, 0
+		s.note("job %s: resume checkpoint rejected (%v); rerunning from cycle 0", lead.ID, err)
 		s.mu.Unlock()
-		res, err = experiments.RunSim(*job.Spec.Sim, nil, ctl)
+		res, err = experiments.RunSim(*lead.Spec.Sim, nil, ctl)
 	}
 
+	var payload []byte
+	if err == nil {
+		payload = s.encodeForCache(fl, &CachedResult{Kind: "sim", Sim: res})
+	}
 	var intr *experiments.Interrupted
-	s.finish(job, func() {
+	s.finishFlight(fl, payload, func(job *Job) {
 		switch {
 		case err == nil:
-			job.Status, job.SimResult, job.resume = StatusDone, res, nil
+			r := *res
+			r.Spec = *job.Spec.Sim
+			job.Status, job.SimResult, job.resume = StatusDone, &r, nil
 		case errors.Is(err, experiments.ErrCanceled):
 			if deadlineHit.Load() {
 				job.Status, job.Error, job.resume = StatusFailed, s.deadlineError(started), nil
@@ -355,15 +546,51 @@ func (s *Server) runSimJob(job *Job, started time.Time) {
 	})
 }
 
-// finish applies a terminal state transition under the lock; jobs
-// reaching a terminal state shed their on-disk record and checkpoint.
-func (s *Server) finish(job *Job, apply func()) {
+// encodeForCache renders a completed result for the store, or nil when
+// this flight's result is uncacheable. Encoding failures are advisory:
+// the members still get their results, the store just isn't populated.
+func (s *Server) encodeForCache(fl *flight, c *CachedResult) []byte {
+	if fl.key == "" {
+		return nil
+	}
+	payload, err := c.Encode()
+	if err != nil {
+		return nil
+	}
+	return payload
+}
+
+// finishFlight settles every still-attached member under one lock hold:
+// the cache is populated first, then each member's terminal transition
+// applies, then the flight unregisters. Submit holds the same lock for
+// its cache-then-flights probe, so there is no window where a new
+// identical submission sees neither the open flight nor the cached
+// result. Jobs reaching a terminal state shed their on-disk record and
+// checkpoint.
+func (s *Server) finishFlight(fl *flight, cachePayload []byte, apply func(*Job)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	apply()
-	switch job.Status {
-	case StatusDone, StatusFailed, StatusCanceled:
-		s.dropPersisted(job.ID)
+	if cachePayload != nil {
+		if err := s.cfg.Cache.Put(fl.key, cachePayload); err != nil {
+			s.note("cache entry %.12s… not persisted: %v", fl.key, err)
+		}
+	}
+	for _, job := range fl.jobs {
+		apply(job)
+		switch job.Status {
+		case StatusDone, StatusFailed, StatusCanceled:
+			s.dropPersisted(job.ID)
+		}
+	}
+	s.unregisterFlightLocked(fl)
+}
+
+// unregisterFlightLocked removes fl from the open-flight index so later
+// identical submissions start (or hit the cache) fresh. Callers hold
+// s.mu. Idempotent; a newer flight under the same key is left alone.
+func (s *Server) unregisterFlightLocked(fl *flight) {
+	if fl.key != "" && s.flights[fl.key] == fl {
+		delete(s.flights, fl.key)
 	}
 }
 
@@ -373,31 +600,75 @@ func (s *Server) finish(job *Job, apply func()) {
 // the suspended jobs.
 func (s *Server) Shutdown() {
 	// Closing the queue under the lock keeps Submit's non-blocking send
-	// from racing a send-on-closed-channel panic.
+	// from racing a send-on-closed-channel panic. Idempotent: a second
+	// Shutdown just waits for the drain.
 	s.mu.Lock()
-	s.draining.Store(true)
-	close(s.queue)
+	if !s.draining.Swap(true) {
+		close(s.queue)
+	}
 	s.mu.Unlock()
 	s.wg.Wait()
 }
 
-// Submit enqueues a parsed spec. It returns the job and true, or nil and
-// false when the queue is full (HTTP layer: 429).
-func (s *Server) Submit(spec JobSpec) (*Job, bool) {
+// Submit admits a job spec. The spec is normalized here — EVERY
+// admission path, HTTP and programmatic alike, goes through Submit, so
+// a job's identity, its persisted record and its log lines always agree
+// on the canonical spelling. With a cache configured, admission is
+// memoized: a stored content address answers instantly (the job is born
+// done, no queue slot consumed), an open flight for the address absorbs
+// the job as a coalesced member, and only a genuinely new address takes
+// a queue slot. Returns ErrQueueFull / ErrDraining for the two refusals.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	spec, err := spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining.Load() {
-		return nil, false
+		return nil, ErrDraining
 	}
+	key := s.jobKey(spec)
 	job := &Job{ID: fmt.Sprintf("job-%d", s.nextID), Spec: spec, Status: StatusQueued}
-	select {
-	case s.queue <- job:
-	default:
-		return nil, false
+
+	// Memoized admission, probe one: the store. (Get touches the disk
+	// tier on a memory miss; that IO rides under s.mu, which is fine at
+	// this service's scale and is what makes the probe atomic with
+	// finishFlight's populate-then-unregister.)
+	if payload, ok := s.cfg.Cache.Get(key); ok {
+		if c, derr := DecodeCachedResult(payload); derr == nil && c.Kind == spec.Kind {
+			s.register(job)
+			s.applyCachedLocked(job, c)
+			return job, nil
+		}
+		s.cfg.Cache.Delete(key)
+		s.note("cache entry %.12s… undecodable; evicted, running fresh", key)
 	}
-	s.nextID++
-	s.jobs[job.ID] = job
-	s.order = append(s.order, job.ID)
+	// Probe two: an open flight for the same address absorbs the job.
+	if fl, ok := s.flights[key]; ok {
+		job.flight, job.Coalesced = fl, true
+		if fl.running {
+			job.Status = StatusRunning
+		}
+		fl.jobs = append(fl.jobs, job)
+		s.register(job)
+		if err := s.persistJob(job); err != nil {
+			s.note("job %s: admission record not persisted: %v", job.ID, err)
+		}
+		return job, nil
+	}
+	// A new address: take a queue slot.
+	fl := &flight{key: key, jobs: []*Job{job}}
+	select {
+	case s.queue <- fl:
+	default:
+		return nil, ErrQueueFull
+	}
+	job.flight = fl
+	if key != "" {
+		s.flights[key] = fl
+	}
+	s.register(job)
 	// Persist the record at admission so even a SIGKILLed daemon requeues
 	// every accepted job on restart. Best-effort: a full disk degrades
 	// durability, not service. (The write happens under s.mu, which
@@ -405,13 +676,21 @@ func (s *Server) Submit(spec JobSpec) (*Job, bool) {
 	if err := s.persistJob(job); err != nil {
 		s.note("job %s: admission record not persisted: %v", job.ID, err)
 	}
-	return job, true
+	return job, nil
 }
 
-// Cancel requests a job stop: a queued job is canceled immediately, a
-// running one at its next interrupt poll (within one checkpoint
-// interval), a suspended one is dropped along with its checkpoint.
-// The bool reports whether the job exists.
+// register indexes a freshly admitted job. Callers hold s.mu.
+func (s *Server) register(job *Job) {
+	s.nextID++
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+}
+
+// Cancel requests a job stop. A queued or coalesced job detaches and
+// cancels immediately — other members of its flight are untouched; only
+// canceling the LAST member asks the running simulation itself to stop
+// at its next interrupt poll. A suspended job is dropped along with its
+// checkpoint. The bool reports whether the job exists.
 func (s *Server) Cancel(id string) (*Job, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -420,12 +699,28 @@ func (s *Server) Cancel(id string) (*Job, bool) {
 		return nil, false
 	}
 	switch job.Status {
-	case StatusQueued, StatusSuspended:
+	case StatusQueued, StatusRunning:
+		fl := job.flight
+		if job.Status == StatusRunning && len(fl.jobs) == 1 && fl.jobs[0] == job {
+			// Last member of a live run: cooperative stop. The flight
+			// unregisters now so an identical submission arriving before
+			// the stop lands starts fresh instead of joining a doomed run.
+			fl.cancel.Store(true)
+			s.unregisterFlightLocked(fl)
+			break
+		}
+		fl.detach(job)
 		job.Status = StatusCanceled
 		job.resume = nil
 		s.dropPersisted(id)
-	case StatusRunning:
-		job.cancel.Store(true)
+		if len(fl.jobs) == 0 {
+			// Emptied while still queued: the worker will skip the husk.
+			s.unregisterFlightLocked(fl)
+		}
+	case StatusSuspended:
+		job.Status = StatusCanceled
+		job.resume = nil
+		s.dropPersisted(id)
 	}
 	return job, true
 }
@@ -454,26 +749,38 @@ type jobView struct {
 	Status JobStatus `json:"status"`
 	Error  string    `json:"error,omitempty"`
 	Cycle  uint64    `json:"cycle,omitempty"`
+	// Cached: served from the content-addressed store, no run happened.
+	Cached bool `json:"cached,omitempty"`
+	// Coalesced: shared another identical submission's run.
+	Coalesced bool `json:"coalesced,omitempty"`
+}
+
+// viewLocked renders a job's status snapshot. Callers hold s.mu.
+func viewLocked(job *Job) jobView {
+	return jobView{ID: job.ID, Kind: job.Spec.Kind, Status: job.Status, Error: job.Error,
+		Cycle: job.Cycle, Cached: job.Cached, Coalesced: job.Coalesced}
 }
 
 // view renders a job's status snapshot under the lock.
 func (s *Server) view(job *Job) jobView {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return jobView{ID: job.ID, Kind: job.Spec.Kind, Status: job.Status, Error: job.Error, Cycle: job.Cycle}
+	return viewLocked(job)
 }
 
 // Handler returns the HTTP API:
 //
-//	POST   /jobs             submit a JobSpec (202, or 429 + Retry-After)
+//	POST   /jobs             submit a JobSpec (202, or 429 + Retry-After);
+//	                         X-Nocd-Cache: hit|coalesced|miss when a
+//	                         cache is configured
 //	GET    /jobs             list job statuses
 //	GET    /jobs/{id}        one job's status
 //	GET    /jobs/{id}/result result: ?format=json|csv|text, ?file= for
 //	                         experiment CSV artifacts
 //	DELETE /jobs/{id}        cancel (cooperative for running sim jobs)
 //	GET    /healthz          liveness + queue depth (always 200 while up)
-//	GET    /readyz           readiness: queue utilization and the boot
-//	                         recovery report; 503 while draining
+//	GET    /readyz           readiness: queue utilization, cache stats
+//	                         and the boot recovery report; 503 draining
 //
 // Every route runs under a recovery middleware: a panicking handler
 // answers 500 with a JSON error instead of tearing down the connection
@@ -515,11 +822,12 @@ type healthView struct {
 
 // readyView is the /readyz body.
 type readyView struct {
-	Status        string         `json:"status"`
-	QueueDepth    int            `json:"queue_depth"`
-	QueueCapacity int            `json:"queue_capacity"`
-	Workers       int            `json:"workers"`
-	Recovery      RecoveryReport `json:"recovery"`
+	Status        string          `json:"status"`
+	QueueDepth    int             `json:"queue_depth"`
+	QueueCapacity int             `json:"queue_capacity"`
+	Workers       int             `json:"workers"`
+	Cache         *artifact.Stats `json:"cache,omitempty"`
+	Recovery      RecoveryReport  `json:"recovery"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -537,6 +845,10 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		QueueCapacity: s.cfg.QueueDepth,
 		Workers:       s.cfg.Workers,
 		Recovery:      rec,
+	}
+	if s.cfg.Cache != nil {
+		st := s.cfg.Cache.Stats()
+		v.Cache = &st
 	}
 	status := http.StatusOK
 	if s.draining.Load() {
@@ -579,13 +891,37 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	job, ok := s.Submit(spec)
-	if !ok {
+	job, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
 		httpError(w, http.StatusTooManyRequests, "queue is full (%d jobs waiting); retry later", s.cfg.QueueDepth)
 		return
+	case errors.Is(err, ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
-	writeJSON(w, http.StatusAccepted, s.view(job))
+	view := s.view(job)
+	if s.cfg.Cache != nil {
+		w.Header().Set("X-Nocd-Cache", admissionDisposition(view))
+	}
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+// admissionDisposition names how an admitted job was answered, for the
+// X-Nocd-Cache response header.
+func admissionDisposition(v jobView) string {
+	switch {
+	case v.Cached:
+		return "hit"
+	case v.Coalesced:
+		return "coalesced"
+	default:
+		return "miss"
+	}
 }
 
 // readBody reads a request body with the job-spec size cap. Passing the
@@ -600,8 +936,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	views := make([]jobView, 0, len(s.order))
 	for _, id := range s.order {
-		job := s.jobs[id]
-		views = append(views, jobView{ID: job.ID, Kind: job.Spec.Kind, Status: job.Status, Error: job.Error, Cycle: job.Cycle})
+		views = append(views, viewLocked(s.jobs[id]))
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, views)
@@ -634,10 +969,18 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	status := job.Status
 	res, art := job.SimResult, job.Artifact
+	cached := job.Cached
 	s.mu.Unlock()
 	if status != StatusDone {
 		httpError(w, http.StatusConflict, "job is %s, not done", status)
 		return
+	}
+	if s.cfg.Cache != nil {
+		disposition := "miss"
+		if cached {
+			disposition = "hit"
+		}
+		w.Header().Set("X-Nocd-Cache", disposition)
 	}
 
 	format := r.URL.Query().Get("format")

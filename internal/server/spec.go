@@ -52,7 +52,17 @@ func ParseJobSpec(data []byte) (JobSpec, error) {
 	if _, err := dec.Token(); err != io.EOF {
 		return js, fmt.Errorf("job spec: trailing data after JSON document")
 	}
+	return js.Normalize()
+}
 
+// Normalize defaults the kind, validates the per-kind fields and
+// canonicalizes the embedded spec (including the custom-topology config
+// document, whose JSON is re-rendered with sorted keys). It is
+// idempotent, and EVERY admission path — HTTP parse and programmatic
+// Submit alike — normalizes before anything persists or hashes, so a
+// job's on-disk record, its log lines and its content hash always
+// describe the same canonical spec.
+func (js JobSpec) Normalize() (JobSpec, error) {
 	if js.Kind == "" {
 		if js.Experiment != "" {
 			js.Kind = "experiment"
