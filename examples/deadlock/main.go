@@ -69,7 +69,7 @@ func main() {
 				status = "DEADLOCKED"
 			}
 			fmt.Printf("epoch %d: +%d flits delivered (%s), DRM entries so far: %d\n",
-				epoch, delta, status, br.SwapEntries)
+				epoch, delta, status, br.SwapEntries())
 		}
 	}
 }

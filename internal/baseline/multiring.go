@@ -152,7 +152,7 @@ func (m *MultiRing) Delivered() (uint64, uint64) { return m.stats.packets, m.sta
 func (m *MultiRing) NocCounters() (uint64, uint64, uint64) {
 	var link uint64
 	for _, b := range m.bridges {
-		link += b.Transferred
+		link += b.Transferred()
 	}
 	return m.net.TotalHops, 0, link
 }

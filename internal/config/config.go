@@ -95,10 +95,17 @@ type Spec struct {
 	// absent or empty schedule changes nothing.
 	Faults *fault.Schedule `json:"faults,omitempty"`
 	// Partitions selects the tick engine: 0 or 1 is sequential, higher
-	// counts advance ring groups concurrently. Results are bit-identical
-	// at every setting, so this is a speed knob, not a semantic one —
-	// checkpoints taken at either setting resume at the other.
+	// counts advance ring groups concurrently, and -1 sizes the pool
+	// automatically from the machine and the topology. Results are
+	// bit-identical at every setting, so this is a speed knob, not a
+	// semantic one — checkpoints taken at either setting resume at the
+	// other.
 	Partitions int `json:"partitions,omitempty"`
+	// Lookahead caps the partitioned engine's superstep horizon in
+	// cycles; 0 (the default) lets the engine derive it from the
+	// topology's bridge pipeline depths. Behaviour-neutral like
+	// Partitions.
+	Lookahead int `json:"lookahead,omitempty"`
 }
 
 // Parse decodes a JSON spec.
@@ -186,8 +193,11 @@ func (s *Spec) Build() (*System, error) {
 	if len(s.Bridges) > MaxBridges {
 		return nil, fmt.Errorf("config: %d bridges exceeds the limit of %d", len(s.Bridges), MaxBridges)
 	}
-	if s.Partitions < 0 {
-		return nil, fmt.Errorf("config: partitions must be non-negative, got %d", s.Partitions)
+	if s.Partitions < -1 {
+		return nil, fmt.Errorf("config: partitions must be -1 (auto) or non-negative, got %d", s.Partitions)
+	}
+	if s.Lookahead < 0 {
+		return nil, fmt.Errorf("config: lookahead must be non-negative, got %d", s.Lookahead)
 	}
 	net := noc.NewNetwork(s.Name)
 	rings := make(map[string]*noc.Ring, len(s.Rings))
@@ -371,6 +381,7 @@ func (s *Spec) Build() (*System, error) {
 		return nil, fmt.Errorf("config: %w", err)
 	}
 	net.SetPartitions(s.Partitions)
+	net.SetLookahead(s.Lookahead)
 	if !s.Faults.Empty() {
 		inj, err := fault.NewInjector(net, s.Faults, s.Seed)
 		if err != nil {

@@ -240,14 +240,25 @@ func TestPartitionEquivalenceConfigTopologies(t *testing.T) {
 	}
 }
 
-// TestPartitionSpecKnobRejectsNegative pins the validation path.
+// TestPartitionSpecKnobRejectsNegative pins the validation path: -1 is
+// the auto sentinel and must build; anything below it must not. A bad
+// lookahead must not build either.
 func TestPartitionSpecKnobRejectsNegative(t *testing.T) {
 	spec, err := Parse([]byte(multiringSpec))
 	if err != nil {
 		t.Fatal(err)
 	}
 	spec.Partitions = -1
+	if _, err := spec.Build(); err != nil {
+		t.Fatalf("partitions=-1 (auto) must build: %v", err)
+	}
+	spec.Partitions = -2
 	if _, err := spec.Build(); err == nil {
-		t.Fatal("negative partitions must not build")
+		t.Fatal("partitions below -1 must not build")
+	}
+	spec.Partitions = 0
+	spec.Lookahead = -1
+	if _, err := spec.Build(); err == nil {
+		t.Fatal("negative lookahead must not build")
 	}
 }

@@ -252,7 +252,7 @@ func RunAblationSwap(scale Scale) AblationSwap {
 		}
 		stalled := net.DeliveredFlits == before
 		_ = gens
-		return net.DeliveredFlits, stalled, br.SwapEntries
+		return net.DeliveredFlits, stalled, br.SwapEntries()
 	}
 	var res AblationSwap
 	RunJobs("ablation-swap", []Job{

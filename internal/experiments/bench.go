@@ -63,8 +63,12 @@ type BenchCase struct {
 	// on (the tick engine's concurrency, not the machine's CPU count —
 	// the report-level NumCPU/GoMaxProcs describe the host, this field
 	// describes the run). 1 for sequential reference cases; zero for
-	// experiment wrappers that run many internal simulations.
-	Workers int `json:"workers,omitempty"`
+	// experiment wrappers that run many internal simulations. Always
+	// emitted so report diffs show engine concurrency explicitly.
+	Workers int `json:"workers"`
+	// Lookahead is the superstep horizon cap the case requested; zero
+	// means the engine derived it from the topology.
+	Lookahead int `json:"lookahead,omitempty"`
 }
 
 // BenchReport is the whole suite's result.
@@ -104,13 +108,16 @@ const benchAICycles = 3000
 const benchQuadDieCycles = 6000
 
 // benchAICase runs the Quick golden AI die at the given partition count
-// and records throughput, latency percentiles and the worker count.
-func benchAICase(c *BenchCase, partitions int) {
+// and superstep lookahead cap and records throughput, latency
+// percentiles and the worker count.
+func benchAICase(c *BenchCase, partitions, lookahead int) {
 	cfg := soc.DefaultAIConfig()
 	cfg.VRings, cfg.HRings = 4, 2
 	cfg.CoresPerVRing, cfg.L2PerHRing = 2, 4
 	cfg.HBMStacks, cfg.DMAEngines = 2, 2
 	cfg.Partitions = partitions
+	cfg.Lookahead = lookahead
+	c.Lookahead = lookahead
 	a := soc.BuildAIProcessor(cfg)
 	a.Run(benchAICycles)
 	c.SimCycles = benchAICycles
@@ -130,11 +137,13 @@ func benchAICase(c *BenchCase, partitions int) {
 // partition count — the scaling showcase: the dies' ring groups only
 // meet at the serialized RBRG-L2 bridges, so the partitioned engine's
 // speedup here is near its best case.
-func benchQuadDieCase(c *BenchCase, partitions int) {
+func benchQuadDieCase(c *BenchCase, partitions, lookahead int) {
 	cfg := soc.DefaultServerConfig()
 	cfg.Packages = 2
 	cfg.ClustersPerDie = 12
 	cfg.Partitions = partitions
+	cfg.Lookahead = lookahead
+	c.Lookahead = lookahead
 	s := soc.BuildServerCPU(cfg, soc.MemoryCores, func(core int, s *soc.ServerCPU) traffic.RequesterConfig {
 		const line = 64
 		return traffic.RequesterConfig{
@@ -191,12 +200,14 @@ func benchSuite() []struct {
 		name string
 		run  func(c *BenchCase)
 	}{
-		{"ref/ai-processor", func(c *BenchCase) { benchAICase(c, 1) }},
-		{"ref/ai-processor-par2", func(c *BenchCase) { benchAICase(c, 2) }},
-		{"ref/ai-processor-par4", func(c *BenchCase) { benchAICase(c, 4) }},
-		{"ref/quad-die", func(c *BenchCase) { benchQuadDieCase(c, 1) }},
-		{"ref/quad-die-par2", func(c *BenchCase) { benchQuadDieCase(c, 2) }},
-		{"ref/quad-die-par4", func(c *BenchCase) { benchQuadDieCase(c, 4) }},
+		{"ref/ai-processor", func(c *BenchCase) { benchAICase(c, 1, 0) }},
+		{"ref/ai-processor-par2", func(c *BenchCase) { benchAICase(c, 2, 0) }},
+		{"ref/ai-processor-par4", func(c *BenchCase) { benchAICase(c, 4, 0) }},
+		{"ref/ai-processor-par4-la8", func(c *BenchCase) { benchAICase(c, 4, 8) }},
+		{"ref/quad-die", func(c *BenchCase) { benchQuadDieCase(c, 1, 0) }},
+		{"ref/quad-die-par2", func(c *BenchCase) { benchQuadDieCase(c, 2, 0) }},
+		{"ref/quad-die-par4", func(c *BenchCase) { benchQuadDieCase(c, 4, 0) }},
+		{"ref/quad-die-par4-la8", func(c *BenchCase) { benchQuadDieCase(c, 4, 8) }},
 		{"ref/multiring-uniform", func(c *BenchCase) {
 			const warmup, window = 2000, 10000
 			p := baseline.MeasureUniform(baseline.NewMultiRing(32, true), 0.1, 64, warmup, window, 1)

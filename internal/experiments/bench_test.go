@@ -13,16 +13,22 @@ import (
 // variants' worker counts.
 func TestBenchSuiteReferenceCases(t *testing.T) {
 	report := RunBenchSuite(func(name string) bool { return strings.HasPrefix(name, "ref/") })
-	if len(report.Cases) != 7 {
-		t.Fatalf("got %d ref cases, want 7", len(report.Cases))
+	if len(report.Cases) != 9 {
+		t.Fatalf("got %d ref cases, want 9", len(report.Cases))
 	}
 	wantWorkers := map[string]int{
-		"ref/ai-processor":      1,
-		"ref/ai-processor-par2": 2,
-		"ref/ai-processor-par4": 4,
-		"ref/quad-die":          1,
-		"ref/quad-die-par2":     2,
-		"ref/quad-die-par4":     4,
+		"ref/ai-processor":          1,
+		"ref/ai-processor-par2":     2,
+		"ref/ai-processor-par4":     4,
+		"ref/ai-processor-par4-la8": 4,
+		"ref/quad-die":              1,
+		"ref/quad-die-par2":         2,
+		"ref/quad-die-par4":         4,
+		"ref/quad-die-par4-la8":     4,
+	}
+	wantLookahead := map[string]int{
+		"ref/ai-processor-par4-la8": 8,
+		"ref/quad-die-par4-la8":     8,
 	}
 	for _, c := range report.Cases {
 		if c.SimCycles == 0 || c.CyclesPerSec <= 0 {
@@ -37,6 +43,18 @@ func TestBenchSuiteReferenceCases(t *testing.T) {
 		if want, ok := wantWorkers[c.Name]; ok && c.Workers != want {
 			t.Errorf("%s: workers = %d, want %d", c.Name, c.Workers, want)
 		}
+		if c.Lookahead != wantLookahead[c.Name] {
+			t.Errorf("%s: lookahead = %d, want %d", c.Name, c.Lookahead, wantLookahead[c.Name])
+		}
+	}
+	// Workers must serialize on every ref case (no omitempty): CI diffs
+	// rely on the field being present even for sequential runs.
+	var probe bytes.Buffer
+	if err := report.WriteJSON(&probe); err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(probe.Bytes(), []byte(`"workers"`)); n != len(report.Cases) {
+		t.Errorf("workers field serialized on %d of %d cases", n, len(report.Cases))
 	}
 	if report.GoVersion == "" || report.NumCPU <= 0 {
 		t.Errorf("report metadata incomplete: %+v", report)

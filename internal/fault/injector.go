@@ -82,6 +82,27 @@ func NewInjector(net *noc.Network, s *Schedule, seed uint64) (*Injector, error) 
 // Name implements noc.Device.
 func (inj *Injector) Name() string { return inj.name }
 
+// IdleUntil implements noc.IdleUntiler: the first cycle >= now at which
+// Tick does real work — the earlier of the next unapplied schedule event
+// and the next pending repair. Between due cycles Tick is a pure no-op
+// (both queues are sorted and head-gated on the current cycle), so the
+// superstep scheduler may batch every cycle up to and including the
+// returned one into a single epoch.
+func (inj *Injector) IdleUntil(now sim.Cycle) sim.Cycle {
+	const farFuture = ^uint64(0)
+	next := farFuture
+	if inj.next < len(inj.events) {
+		next = inj.events[inj.next].At
+	}
+	if len(inj.repairs) > 0 && inj.repairs[0].at < next {
+		next = inj.repairs[0].at
+	}
+	if next < uint64(now) {
+		return now
+	}
+	return sim.Cycle(next)
+}
+
 // Pending returns how many schedule events have not fired yet.
 func (inj *Injector) Pending() int { return len(inj.events) - inj.next + len(inj.repairs) }
 

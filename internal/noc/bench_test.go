@@ -57,8 +57,8 @@ func BenchmarkStationTick(b *testing.B) {
 	now := sim.Cycle(64)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		net.now, r.now = now, now
 		st.tick(now)
-		net.now = now
 		now++
 	}
 }

@@ -150,7 +150,7 @@ func (b *RBRGL1) Tick(now sim.Cycle) {
 			}
 			f.RingChanges++
 			b.Forwarded++
-			b.net.trace(trace.BridgeHop, f.ID, b.name, "")
+			b.net.traceShard(in.iface.station.ring.shard, trace.BridgeHop, f.ID, b.name, "")
 			if fromEscape {
 				popFlit(&in.escape)
 			} else {
@@ -220,7 +220,7 @@ func (b *RBRGL1) runDRM(h *l1half) {
 		if stuck || blocked {
 			h.drm = true
 			b.SwapEntries++
-			b.net.trace(trace.DRMEnter, 0, b.name, "l1")
+			b.net.traceShard(ni.station.ring.shard, trace.DRMEnter, 0, b.name, "l1")
 		}
 		if !h.drm {
 			return
@@ -234,7 +234,7 @@ func (b *RBRGL1) runDRM(h *l1half) {
 	}
 	if len(h.escape) == 0 && h.stalledCycles == 0 && h.blockedCycles == 0 {
 		h.drm = false
-		b.net.trace(trace.DRMExit, 0, b.name, "l1")
+		b.net.traceShard(ni.station.ring.shard, trace.DRMExit, 0, b.name, "l1")
 	}
 	ni.swapMode = h.drm
 }
@@ -334,39 +334,101 @@ type pipeFlit struct {
 	escape  bool
 }
 
-// l2half is one side of an inter-die bridge.
+// credPulse is a batch of flow-control credits travelling back over the
+// link: the receiver returns a credit when it frees the matching buffer
+// entry, and the credit takes the same LinkLatency wire trip home. Same-
+// cycle returns coalesce into one pulse, so the queue holds at most one
+// entry per cycle in flight.
+type credPulse struct {
+	arrives   sim.Cycle
+	norm, esc int32
+}
+
+// popCred removes the front credit pulse by shifting in place, preserving
+// the backing array.
+func popCred(q *[]credPulse) credPulse {
+	s := *q
+	c := s[0]
+	copy(s, s[1:])
+	*q = s[: len(s)-1 : cap(s)]
+	return c
+}
+
+// l2half is one side of an inter-die bridge. Each half owns only its own
+// buffers plus the link traffic already committed towards it (pipe,
+// credIn); everything it launches goes into staging (out, credOut) that
+// mergeLink publishes to the far half. The two halves therefore never
+// read each other's state inside a cycle — that independence is what
+// lets the superstep engine tick them in different partitions and merge
+// the link only at epoch barriers.
 type l2half struct {
 	iface *NodeInterface
 	tx    []*Flit
 	// reserve is the escape buffer activated in deadlock-resolution
 	// mode; it drains ahead of tx.
 	reserve []*Flit
-	pipe    []pipeFlit // towards the other half
+	pipe    []pipeFlit // in flight towards THIS half
+	out     []pipeFlit // staged launches towards the far half
 	rx      []*Flit
+
+	// Launch windows (credit-based flow control). txCred covers the
+	// normal lane: sized to the far rx buffer plus the bandwidth-delay
+	// product so an uncongested link sustains full LinkWidth throughput
+	// across the round trip. escCred covers the escape lane (the far
+	// bypass queue plus wire slack).
+	txCred, escCred int
+	credIn          []credPulse // credit returns in flight towards this half
+	credOut         []credPulse // staged returns owed to the far half
+
+	// dead latches the one-time buffer purge after FailBridge kills the
+	// bridge; cleared per half on the first healthy tick so both engines
+	// clear it on the same cycle.
+	dead bool
 
 	drm            bool
 	stalledCycles  int
 	lastInjectSeen uint64
+
+	// per-half statistics, summed by the bridge accessors; kept per half
+	// so concurrently ticking halves never write the same word.
+	transferred uint64 // link arrivals landed at this half
+	swapEntries uint64
+	swapRescues uint64
 }
 
 // RBRGL2 is the second-level ring bridge of Sections 4.1.3 and 4.4: it
 // connects rings on different dies through a parallel-IO link, provides
-// backpressure flow control, detects cross-ring deadlock and breaks it
-// with the SWAP mechanism.
+// credit-based flow control with latency-delayed credit return, detects
+// cross-ring deadlock and breaks it with the SWAP mechanism.
 type RBRGL2 struct {
 	name string
 	net  *Network
 	node NodeID
 	cfg  RBRGL2Config
 	half [2]l2half
-	// dead latches the one-time buffer purge after FailBridge kills this
-	// node; cleared again on repair.
-	dead bool
+}
 
-	// statistics
-	Transferred uint64 // flits moved die-to-die
-	SwapEntries uint64 // times a half entered DRM
-	SwapRescues uint64 // flits moved to the escape buffer
+// txWindow is the normal-lane credit pool per direction: the far rx
+// buffer plus twice the link's bandwidth-delay product (flit trip out,
+// credit trip back), so an uncongested link never stalls on credits.
+func (cfg *RBRGL2Config) txWindow() int {
+	l := cfg.LinkLatency
+	if l < 1 {
+		l = 1
+	}
+	return cfg.RxDepth + 2*cfg.LinkWidth*l
+}
+
+// escWindow is the escape-lane credit pool per direction: the far
+// priority-inject (bypass) queue plus wire slack. Escape flits that
+// arrive to a full bypass queue wait at the pipe head, so the window
+// bounds outstanding escapes without ever overrunning the queue.
+func (cfg *RBRGL2Config) escWindow() int {
+	l := cfg.LinkLatency
+	if l < 1 {
+		l = 1
+	}
+	return bypassDepth + 2*cfg.LinkWidth*l
 }
 
 // NewRBRGL2 creates an inter-die bridge spanning the two stations (which
@@ -383,10 +445,27 @@ func NewRBRGL2(net *Network, name string, cfg RBRGL2Config, a, b *CrossStation) 
 		h := &br.half[side]
 		h.tx = make([]*Flit, 0, cfg.TxDepth)
 		h.rx = make([]*Flit, 0, cfg.RxDepth)
-		h.pipe = make([]pipeFlit, 0, cfg.LinkWidth*(cfg.LinkLatency+1))
+		h.pipe = make([]pipeFlit, 0, cfg.txWindow()+cfg.escWindow())
+		h.txCred = cfg.txWindow()
+		h.escCred = cfg.escWindow()
 	}
 	net.AddDevice(br)
 	return br
+}
+
+// Transferred returns the flits moved die-to-die (both directions).
+func (b *RBRGL2) Transferred() uint64 {
+	return b.half[0].transferred + b.half[1].transferred
+}
+
+// SwapEntries returns how many times either half entered DRM.
+func (b *RBRGL2) SwapEntries() uint64 {
+	return b.half[0].swapEntries + b.half[1].swapEntries
+}
+
+// SwapRescues returns the flits moved to the escape buffers.
+func (b *RBRGL2) SwapRescues() uint64 {
+	return b.half[0].swapRescues + b.half[1].swapRescues
 }
 
 // Name implements Device.
@@ -399,9 +478,11 @@ func (b *RBRGL2) Node() NodeID { return b.node }
 // mode.
 func (b *RBRGL2) InDRM() bool { return b.half[0].drm || b.half[1].drm }
 
-// dropBuffers discards everything the bridge holds — tx/reserve/pipe/rx
-// on both sides plus its interface queues — when the node is killed. DRM
-// state resets so a later repair starts clean.
+// dropBuffers discards everything the bridge holds — tx/reserve/pipe/
+// out/rx on both sides plus its interface queues — when the node is
+// killed. DRM state and the credit windows reset so a later repair
+// starts clean. Only the monolithic Tick calls this (a failed bridge
+// forces the sequential engine), so touching both halves is safe.
 func (b *RBRGL2) dropBuffers() {
 	for side := 0; side < 2; side++ {
 		h := &b.half[side]
@@ -415,6 +496,9 @@ func (b *RBRGL2) dropBuffers() {
 		for _, pf := range h.pipe {
 			b.net.dropFlit(pf.f, r.shard, cFault, r, trace.Fault, b.name, "lost on dead link")
 		}
+		for _, pf := range h.out {
+			b.net.dropFlit(pf.f, r.shard, cFault, r, trace.Fault, b.name, "lost on dead link")
+		}
 		for _, f := range h.rx {
 			b.net.dropFlit(f, r.shard, cFault, r, trace.Fault, b.name, "lost in dead bridge")
 		}
@@ -424,7 +508,13 @@ func (b *RBRGL2) dropBuffers() {
 		for i := range h.pipe {
 			h.pipe[i] = pipeFlit{}
 		}
-		h.tx, h.reserve, h.pipe, h.rx = h.tx[:0], h.reserve[:0], h.pipe[:0], h.rx[:0]
+		for i := range h.out {
+			h.out[i] = pipeFlit{}
+		}
+		h.tx, h.reserve, h.pipe, h.out, h.rx = h.tx[:0], h.reserve[:0], h.pipe[:0], h.out[:0], h.rx[:0]
+		h.credIn, h.credOut = h.credIn[:0], h.credOut[:0]
+		h.txCred = b.cfg.txWindow()
+		h.escCred = b.cfg.escWindow()
 		h.drm = false
 		h.stalledCycles = 0
 		h.iface.swapMode = false
@@ -432,107 +522,138 @@ func (b *RBRGL2) dropBuffers() {
 	}
 }
 
-// BufferedFlits implements FlitBufferer: flits in tx/reserve/pipe/rx on
-// both sides (the interface queues are counted by the network itself).
+// BufferedFlits implements FlitBufferer: flits in tx/reserve/pipe/out/rx
+// on both sides (the interface queues are counted by the network itself).
 func (b *RBRGL2) BufferedFlits() int {
 	total := 0
 	for side := 0; side < 2; side++ {
 		h := &b.half[side]
-		total += len(h.tx) + len(h.reserve) + len(h.pipe) + len(h.rx)
+		total += len(h.tx) + len(h.reserve) + len(h.pipe) + len(h.out) + len(h.rx)
 	}
 	return total
 }
 
-// Tick advances both directions of the bridge by one cycle.
+// Tick advances both directions of the bridge by one cycle: each half
+// runs its local pipeline, then mergeLink publishes the staged link
+// traffic. The superstep engine instead ticks the halves from their
+// owning partitions and merges at the epoch barrier — equivalent,
+// because nothing staged can arrive before the next merge point.
 func (b *RBRGL2) Tick(now sim.Cycle) {
 	if b.net.NodeFailed(b.node) {
-		if !b.dead {
-			b.dead = true
+		if !b.half[0].dead {
+			b.half[0].dead, b.half[1].dead = true, true
 			b.dropBuffers()
 		}
 		return // dead silicon: queues fill, arrivals deflect, watchdog reaps
 	}
-	b.dead = false
-	// 1. Link arrivals: normal flits land in the far side's rx buffer;
-	//    escape flits land straight on the far interface's priority
-	//    lane (their reserved credit guaranteed the space).
-	for side := 0; side < 2; side++ {
-		src, dst := &b.half[side], &b.half[1-side]
-		for len(src.pipe) > 0 && src.pipe[0].arrives <= now {
-			pf := src.pipe[0]
-			if pf.escape {
-				if !dst.iface.SendPriority(pf.f) {
-					break // retry next cycle (credit guard)
-				}
-			} else {
-				if len(dst.rx) >= b.cfg.RxDepth {
-					break
-				}
-				dst.rx = append(dst.rx, pf.f)
-			}
-			popPipe(&src.pipe)
-			b.Transferred++
-		}
+	b.tickHalf(0, now)
+	b.tickHalf(1, now)
+	b.mergeLink()
+}
+
+// tickHalf advances one side of the bridge by one cycle, touching only
+// that side's state. The partitioned engine calls it from the partition
+// owning the side's ring; a failed bridge never reaches here (a
+// non-empty failed set forces the sequential engine, whose monolithic
+// Tick handles the purge).
+func (b *RBRGL2) tickHalf(side int, now sim.Cycle) {
+	h := &b.half[side]
+	h.dead = false
+	// 0. Credit pulses arriving this cycle restore the launch windows.
+	for len(h.credIn) > 0 && h.credIn[0].arrives <= now {
+		c := popCred(&h.credIn)
+		h.txCred += int(c.norm)
+		h.escCred += int(c.esc)
 	}
-	// 2. Launch onto the link: the escape buffer drains against the far
-	//    side's reserved escape-lane credit; normal tx drains against
-	//    the far rx buffer. Credits count in-flight flits so the link
-	//    never overruns either pool.
-	for side := 0; side < 2; side++ {
-		src, dst := &b.half[side], &b.half[1-side]
-		normInFlight, escInFlight := 0, 0
-		for _, pf := range src.pipe {
-			if pf.escape {
-				escInFlight++
-			} else {
-				normInFlight++
+	// 1. Link arrivals: normal flits land in this side's rx buffer;
+	//    escape flits land straight on this interface's priority lane,
+	//    returning their escape credit the moment they leave the wire.
+	for len(h.pipe) > 0 && h.pipe[0].arrives <= now {
+		pf := h.pipe[0]
+		if pf.escape {
+			if !h.iface.SendPriority(pf.f) {
+				break // bypass full: retry next cycle
 			}
+			b.stageCredit(h, now, 0, 1)
+		} else {
+			if len(h.rx) >= b.cfg.RxDepth {
+				break
+			}
+			h.rx = append(h.rx, pf.f)
 		}
-		escCredit := dst.iface.BypassSpace() - escInFlight
-		credit := b.cfg.RxDepth - len(dst.rx) - normInFlight
-		width := b.cfg.LinkWidth
-		for width > 0 {
-			switch {
-			case len(src.reserve) > 0 && escCredit > 0:
-				f := popFlit(&src.reserve)
-				src.pipe = append(src.pipe, pipeFlit{f: f, arrives: now + sim.Cycle(b.cfg.LinkLatency), escape: true})
-				escCredit--
-			case len(src.tx) > 0 && credit > 0:
-				f := popFlit(&src.tx)
-				src.pipe = append(src.pipe, pipeFlit{f: f, arrives: now + sim.Cycle(b.cfg.LinkLatency)})
-				credit--
-			default:
-				width = 0
-				continue
-			}
-			width--
+		popPipe(&h.pipe)
+		h.transferred++
+	}
+	// 2. Launch onto the link against the credit windows, escape lane
+	//    first. Launches stage in h.out until the next link merge.
+	lat := sim.Cycle(b.cfg.LinkLatency)
+	for launched := 0; launched < b.cfg.LinkWidth; launched++ {
+		if len(h.reserve) > 0 && h.escCred > 0 {
+			f := popFlit(&h.reserve)
+			h.out = append(h.out, pipeFlit{f: f, arrives: now + lat, escape: true})
+			h.escCred--
+		} else if len(h.tx) > 0 && h.txCred > 0 {
+			f := popFlit(&h.tx)
+			h.out = append(h.out, pipeFlit{f: f, arrives: now + lat})
+			h.txCred--
+		} else {
+			break
 		}
 	}
 	// 3. Drain ring ejections into tx.
-	for side := 0; side < 2; side++ {
-		h := &b.half[side]
-		for len(h.tx) < b.cfg.TxDepth {
-			f := h.iface.Recv()
-			if f == nil {
-				break
-			}
-			f.RingChanges++
-			h.tx = append(h.tx, f)
+	for len(h.tx) < b.cfg.TxDepth {
+		f := h.iface.Recv()
+		if f == nil {
+			break
 		}
+		f.RingChanges++
+		h.tx = append(h.tx, f)
 	}
-	// 4. Re-inject rx arrivals into the local ring.
-	for side := 0; side < 2; side++ {
-		h := &b.half[side]
-		for len(h.rx) > 0 {
-			if !h.iface.Send(h.rx[0]) {
-				break
-			}
-			popFlit(&h.rx)
+	// 4. Re-inject rx arrivals into the local ring; each freed entry
+	//    returns a normal-lane credit to the sender.
+	for len(h.rx) > 0 {
+		if !h.iface.Send(h.rx[0]) {
+			break
 		}
+		popFlit(&h.rx)
+		b.stageCredit(h, now, 1, 0)
 	}
-	// 5. Deadlock detection & SWAP resolution per side.
+	// 5. Deadlock detection & SWAP resolution.
+	b.runDRM(h)
+}
+
+// stageCredit queues a credit return from half h towards the far side,
+// arriving after the wire trip. Same-cycle returns coalesce.
+func (b *RBRGL2) stageCredit(h *l2half, now sim.Cycle, norm, esc int32) {
+	at := now + sim.Cycle(b.cfg.LinkLatency)
+	if k := len(h.credOut); k > 0 && h.credOut[k-1].arrives == at {
+		h.credOut[k-1].norm += norm
+		h.credOut[k-1].esc += esc
+		return
+	}
+	h.credOut = append(h.credOut, credPulse{arrives: at, norm: norm, esc: esc})
+}
+
+// mergeLink publishes both halves' staged link traffic: flits and credit
+// pulses launched since the last merge become visible to the far half.
+// The sequential engine merges every cycle (end of Tick); the superstep
+// engine merges at epoch barriers — identical behaviour, because the
+// epoch horizon never exceeds the link latency, so nothing staged inside
+// an epoch could have arrived before the barrier anyway.
+func (b *RBRGL2) mergeLink() {
 	for side := 0; side < 2; side++ {
-		b.runDRM(&b.half[side])
+		src, dst := &b.half[side], &b.half[1-side]
+		if len(src.out) > 0 {
+			dst.pipe = append(dst.pipe, src.out...)
+			for i := range src.out {
+				src.out[i] = pipeFlit{}
+			}
+			src.out = src.out[:0]
+		}
+		if len(src.credOut) > 0 {
+			dst.credIn = append(dst.credIn, src.credOut...)
+			src.credOut = src.credOut[:0]
+		}
 	}
 }
 
@@ -561,8 +682,8 @@ func (b *RBRGL2) runDRM(h *l2half) {
 			ni.EjectLen() == ni.eject.cap()-len(ni.reserved) &&
 			len(h.tx) >= b.cfg.TxDepth {
 			h.drm = true
-			b.SwapEntries++
-			b.net.trace(trace.DRMEnter, 0, b.name, "l2")
+			h.swapEntries++
+			b.net.traceShard(ni.station.ring.shard, trace.DRMEnter, 0, b.name, "l2")
 		}
 		if !h.drm {
 			return
@@ -574,14 +695,14 @@ func (b *RBRGL2) runDRM(h *l2half) {
 		if f := ni.Recv(); f != nil {
 			f.RingChanges++
 			h.reserve = append(h.reserve, f)
-			b.SwapRescues++
+			h.swapRescues++
 		}
 	}
 	// Recovery: escape buffer drained below threshold and injection
 	// moving again.
 	if len(h.reserve) == 0 && h.stalledCycles == 0 {
 		h.drm = false
-		b.net.trace(trace.DRMExit, 0, b.name, "l2")
+		b.net.traceShard(ni.station.ring.shard, trace.DRMExit, 0, b.name, "l2")
 	}
 	// While in DRM the cross station swaps: every ejection immediately
 	// hands its freed slot to the inject-queue head.
@@ -606,8 +727,9 @@ func (b *RBRGL2) DebugState() string {
 	for side := 0; side < 2; side++ {
 		h := &b.half[side]
 		ni := h.iface
-		s += fmt.Sprintf(" s%d[tx=%d rsv=%d pipe=%d rx=%d inj=%d ej=%d resv=%d want=%d drm=%v stall=%d]",
-			side, len(h.tx), len(h.reserve), len(h.pipe), len(h.rx),
+		s += fmt.Sprintf(" s%d[tx=%d rsv=%d pipe=%d out=%d rx=%d cred=%d/%d inj=%d ej=%d resv=%d want=%d drm=%v stall=%d]",
+			side, len(h.tx), len(h.reserve), len(h.pipe), len(h.out), len(h.rx),
+			h.txCred, h.escCred,
 			ni.InjectLen(), ni.EjectLen(), len(ni.reserved), len(ni.wantEject), h.drm, h.stalledCycles)
 	}
 	return s

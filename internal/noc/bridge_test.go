@@ -103,8 +103,8 @@ func TestRBRGL2CrossDieDelivery(t *testing.T) {
 	if len(dsts[1].got) != 1 {
 		t.Fatalf("delivered %d", len(dsts[1].got))
 	}
-	if br.Transferred != 1 {
-		t.Fatalf("bridge transferred %d", br.Transferred)
+	if br.Transferred() != 1 {
+		t.Fatalf("bridge transferred %d", br.Transferred())
 	}
 	if f.RingChanges == 0 {
 		t.Fatal("flit never changed rings")
@@ -205,8 +205,8 @@ func TestParallelBridgesLoadBalance(t *testing.T) {
 	if len(dst.got) != N {
 		t.Fatalf("delivered %d/%d", len(dst.got), N)
 	}
-	if brA.Transferred == 0 || brB.Transferred == 0 {
-		t.Fatalf("load imbalance: brA=%d brB=%d", brA.Transferred, brB.Transferred)
+	if brA.Transferred() == 0 || brB.Transferred() == 0 {
+		t.Fatalf("load imbalance: brA=%d brB=%d", brA.Transferred(), brB.Transferred())
 	}
 }
 

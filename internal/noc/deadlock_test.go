@@ -92,11 +92,11 @@ func TestSwapBreaksCrossRingDeadlock(t *testing.T) {
 		runCycles(net, 5000)
 		if net.DeliveredFlits == prev {
 			t.Fatalf("epoch %d: SWAP failed to keep the network moving (delivered=%d, DRM entries=%d)",
-				epoch, net.DeliveredFlits, br.SwapEntries)
+				epoch, net.DeliveredFlits, br.SwapEntries())
 		}
 		prev = net.DeliveredFlits
 	}
-	if br.SwapEntries == 0 {
+	if br.SwapEntries() == 0 {
 		t.Fatal("deadlock resolution never triggered; rig no longer exercises SWAP")
 	}
 	total := 0
@@ -128,7 +128,7 @@ func TestSwapDrainsCompletely(t *testing.T) {
 func TestDRMEntryAndExit(t *testing.T) {
 	net, _, br := buildDeadlockRig(t, true, 2000)
 	runCycles(net, 100000)
-	if br.SwapEntries == 0 {
+	if br.SwapEntries() == 0 {
 		t.Skip("rig did not deadlock in this configuration")
 	}
 	// After the finite flood drains, both sides must have left DRM.

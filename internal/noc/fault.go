@@ -302,7 +302,7 @@ func (n *Network) dropFlit(f *Flit, sh *shard, cause counterIdx, r *Ring, kind t
 	if r != nil {
 		purgeTagState(r, f.ID)
 	}
-	n.trace(kind, f.ID, where, detail)
+	n.traceShard(sh, kind, f.ID, where, detail)
 	n.ReleaseFlit(f)
 }
 

@@ -73,15 +73,37 @@ type Network struct {
 	// node's flit pool to the partition its device ticks in.
 	shards     []*shard
 	nodeShard  []*shard
-	partitions int       // requested partition count (<=1: sequential)
-	plan       *tickPlan // lazily built; nil or invalid after topology edits
+	partitions int // requested partition count (<=1: sequential; PartitionsAuto resolves at plan time)
+	// lookahead caps the superstep horizon: 0 = auto (the structural
+	// inter-partition pipeline depth), k>0 clamps epochs to k cycles.
+	lookahead int
+	plan      *tickPlan // lazily built; nil or invalid after topology edits
 
-	// bufferLatency is set while partitions run ring phases concurrently:
-	// deliveries then buffer their latency samples per ring instead of
-	// invoking the recorder, and the serial replay between the ring and
-	// device phases re-emits them in ring order — exactly the sequential
-	// engine's delivery order.
-	bufferLatency bool
+	// bufferEvents is set while partitions free-run inside an epoch:
+	// deliveries park latency samples and OnDeliver notifications on the
+	// delivering ring and trace events on the recording shard, each
+	// stamped with its emission cycle, and the serial replay at the epoch
+	// barrier re-emits everything in (cycle, ring/unit, slot) order —
+	// exactly the sequential engine's emission order.
+	bufferEvents bool
+	// serialTail is set while the epoch tail ticks serial devices with
+	// buffering still on: trace emissions from any shard redirect to
+	// shard 0, whose context the coordinator stamps per serial device,
+	// so a device that traces through several rings' shards keeps its
+	// emission order in one buffer.
+	serialTail bool
+
+	// EpochsRun / BarrierSyncs count the superstep engine's work: epochs
+	// executed and barrier crossings paid. A per-cycle engine pays
+	// ~2 crossings per cycle; the superstep engine pays 2 per epoch, so
+	// BarrierSyncs ≈ 2·cycles/k proves barriers are actually elided.
+	// Diagnostics only — never serialized, excluded from digests.
+	EpochsRun    uint64
+	BarrierSyncs uint64
+
+	// traceScratch is the reusable merge buffer the epoch-tail trace
+	// replay sorts shard buffers into.
+	traceScratch []tracedEvent
 
 	// ITagEnabled / ETagEnabled toggle the starvation and deflection
 	// control tags (on by default; the tag ablation turns them off).
@@ -542,17 +564,65 @@ func (n *Network) localTarget(r *Ring, f *Flit) (pos, iface int, err error) {
 	return c.pos, c.iface, nil
 }
 
-// trace records an event when a tracer is attached.
+// trace records an event when a tracer is attached. Serial contexts only
+// (epoch tails, the sequential engine, construction-time code): it stamps
+// n.now and writes the tracer directly. Anything that can run inside a
+// partition's free-run phase must go through traceShard instead.
 func (n *Network) trace(kind trace.Kind, flitID uint64, where, detail string) {
 	if n.Tracer == nil {
+		return
+	}
+	if n.bufferEvents {
+		// Only the epoch tail's serial device ticks reach here with
+		// buffering on (workers never call trace); key under the serial
+		// context stamped on shard 0 so the event merges at the device's
+		// registration slot.
+		sh := n.shards[0]
+		sh.tbuf = append(sh.tbuf, tracedEvent{
+			ctx: sh.tctx,
+			ev:  trace.Event{Cycle: sh.tctx.at, Kind: kind, FlitID: flitID, Where: where, Detail: detail},
+		})
 		return
 	}
 	n.Tracer.Record(trace.Event{Cycle: n.now, Kind: kind, FlitID: flitID, Where: where, Detail: detail})
 }
 
+// traceShard records an event from code that may execute inside a
+// partition worker. While an epoch is free-running (bufferEvents), the
+// event parks on the recording shard under the shard's current trace
+// context — the (cycle, phase, unit) key the partition loop stamps
+// before every ring and device tick — and the epoch-barrier replay
+// merge-sorts all shards' buffers back into sequential emission order.
+// Outside an epoch it is a plain trace.
+func (n *Network) traceShard(sh *shard, kind trace.Kind, flitID uint64, where, detail string) {
+	if n.Tracer == nil {
+		return
+	}
+	if n.bufferEvents {
+		if n.serialTail {
+			sh = n.shards[0]
+		}
+		sh.tbuf = append(sh.tbuf, tracedEvent{
+			ctx: sh.tctx,
+			ev:  trace.Event{Cycle: sh.tctx.at, Kind: kind, FlitID: flitID, Where: where, Detail: detail},
+		})
+		return
+	}
+	n.Tracer.Record(trace.Event{Cycle: n.now, Kind: kind, FlitID: flitID, Where: where, Detail: detail})
+}
+
+// TraceNode records a structured event on behalf of the device owning
+// node — safe from any device Tick, including inside a partition
+// free-run. Devices that tick in partitions (the traffic requesters' CHI
+// retry layer) must use this rather than Trace.
+func (n *Network) TraceNode(node NodeID, kind trace.Kind, flitID uint64, where, detail string) {
+	n.traceShard(n.shardFor(node), kind, flitID, where, detail)
+}
+
 // Trace records a structured event when a tracer is attached (no-op
-// otherwise). The fault injector and the CHI retry layer use it for
-// Fault/Retry events the core NoC cannot see.
+// otherwise). Serial contexts only — the fault injector uses it for
+// Fault events the core NoC cannot see; partition-resident devices use
+// TraceNode.
 func (n *Network) Trace(kind trace.Kind, flitID uint64, where, detail string) {
 	n.trace(kind, flitID, where, detail)
 }
@@ -561,11 +631,11 @@ func (n *Network) Trace(kind trace.Kind, flitID uint64, where, detail string) {
 // eject queue. Bridges receive transit flits; anything else is a final
 // delivery.
 func (n *Network) flitEjected(ni *NodeInterface, f *Flit, now sim.Cycle) {
+	r := ni.station.ring
 	if ni.node != f.Dst {
-		n.trace(trace.Eject, f.ID, n.nodes[ni.node].name, "")
+		n.traceShard(r.shard, trace.Eject, f.ID, n.nodes[ni.node].name, "")
 		return // transit stop at a bridge; the bridge forwards it
 	}
-	r := ni.station.ring
 	if f.Corrupted {
 		// The destination's link-level check rejects the payload. The
 		// flit was appended to the eject queue by this very ejection, so
@@ -576,19 +646,24 @@ func (n *Network) flitEjected(ni *NodeInterface, f *Flit, now sim.Cycle) {
 		ni.promoteReservations()
 		return
 	}
-	n.trace(trace.Deliver, f.ID, n.nodes[ni.node].name, "")
+	n.traceShard(r.shard, trace.Deliver, f.ID, n.nodes[ni.node].name, "")
 	r.shard.counts[cDelivered]++
 	r.shard.counts[cDeliveredBytes] += uint64(f.PayloadBytes)
+	if n.latency == nil && n.OnDeliver == nil {
+		return
+	}
+	if n.bufferEvents {
+		// Epoch free-run: park a value copy of the flit on the delivering
+		// ring (the flit itself may be consumed, released and reminted
+		// before the barrier); the epoch-tail replay re-emits every
+		// ring's records in (cycle, ring) order, each record firing the
+		// latency sample then the OnDeliver hook exactly as this branch's
+		// else arm would have.
+		r.delivBuf = append(r.delivBuf, delivSample{fl: *f, at: now, cycles: uint64(now - f.Created)})
+		return
+	}
 	if n.latency != nil {
-		if n.bufferLatency {
-			// Concurrent ring phase: park the sample on the delivering
-			// ring; the serial replay before the device phase re-emits
-			// every ring's samples in ring order (delivered flits are not
-			// released until devices run, so f stays valid).
-			r.latBuf = append(r.latBuf, latSample{f: f, cycles: uint64(now - f.Created)})
-		} else {
-			n.latency(f, uint64(now-f.Created))
-		}
+		n.latency(f, uint64(now-f.Created))
 	}
 	if n.OnDeliver != nil {
 		n.OnDeliver(f, now)

@@ -1,80 +1,155 @@
 // The conservative-time partitioned tick engine. Rings are grouped into
-// partitions that advance a cycle concurrently on a worker pool; state
-// crosses a partition boundary only through bridge devices, which tick
-// in the serial tail of the cycle. Because every inter-ring transfer
-// buffers inside a bridge for at least one cycle, the per-cycle barrier
-// is sound — no partition can observe another partition's current-cycle
-// work — and because every merge point (serial device order, latency
-// replay, shard folds) follows a fixed enumeration order, a partitioned
-// run is bit-identical to the sequential engine at any partition count.
+// partitions that advance concurrently on a worker pool; state crosses a
+// partition boundary only through inter-die (RBRG-L2) bridges, whose two
+// halves tick independently inside their owning partitions and exchange
+// link traffic only at barriers. Because everything a half launches
+// spends LinkLatency >= 1 cycles on the wire, partitions may free-run up
+// to that pipeline depth between barriers — the classic conservative-
+// PDES lookahead — and because every merge point (link merges, delivery
+// and trace replays, serial device order, shard folds) follows a fixed
+// enumeration order, a partitioned run is bit-identical to the
+// sequential engine at any (partition count, lookahead) combination.
 //
-// Per-cycle schedule (eligible cycles):
+// Epoch schedule (eligible epochs; see superstep.go for the horizon):
 //
-//	serial   set now/ticks, throttle window, eligibility check
-//	parallel per partition: advance + tick own rings (ring-ID order)
-//	barrier  — only with a latency recorder installed —
-//	serial   replay buffered latency samples in ring order
-//	parallel per partition: tick own devices (registration order)
+//	serial   compute horizon k, publish (t0, k), set bufferEvents
 //	barrier
-//	serial   boundary/serial devices (registration order), watchdog
-//	         sweep when due, shard fold, metrics sample
+//	parallel per partition, k times: advance + tick own rings (ring-ID
+//	         order), tick own devices (registration order, split-bridge
+//	         halves at their bridge's slot) — side effects (latency
+//	         samples, OnDeliver, trace events) buffer with their
+//	         emission keys
+//	barrier
+//	serial   merge split-bridge links, replay deliveries in (cycle,
+//	         ring) order, tick serial devices at the epoch's last cycle
+//	         (their trace emissions buffer under their registration
+//	         slot), replay traces in (cycle, phase, unit) order,
+//	         watchdog sweep when due, shard fold, metrics sample
 //
-// Without a latency recorder the two parallel spans fuse into one: a
-// partition's rings and devices touch only that partition's state, so no
-// barrier is needed between them.
-//
-// Cycles that are not eligible run the ordinary sequential body instead:
-// a throttle controller (global arbitration sequence), a tracer or an
-// OnDeliver hook (caller-visible mid-cycle ordering), or a non-empty
-// failed-bridge set (drops purge tag state across a ring while devices
-// run, the one non-commuting bridge/device interaction) each make a
-// cycle order-sensitive. Fault-free, unhooked cycles — the steady state
-// — all run parallel.
+// Epochs that are not eligible run the ordinary sequential body one
+// cycle at a time instead: a throttle controller (global arbitration
+// sequence) or a non-empty failed-bridge set (drops purge tag state
+// across a ring while devices run, the one non-commuting bridge/device
+// interaction) make cycles order-sensitive. Tracers, OnDeliver hooks and
+// latency recorders no longer force the sequential body — their events
+// buffer per partition and replay in emission order at the barrier.
 package noc
 
 import (
+	"runtime"
+
 	"chipletnoc/internal/sim"
 )
 
 // NodeOwner is implemented by devices anchored at a single network node
 // (requesters, memory and coherence controllers, ring bridges). The
 // partition planner uses it to co-locate a device with the partition
-// owning its rings; a device whose node spans partitions — an inter-die
-// bridge — ticks serially at the barrier instead.
+// owning its rings; a device whose node spans partitions ticks serially
+// at the barrier — except inter-die bridges, which split into per-half
+// tickers.
 type NodeOwner interface {
 	Node() NodeID
 }
 
+// IdleUntiler is implemented by serial devices whose Tick is a pure
+// no-op until a pre-computable cycle (the fault injector: its schedule
+// is fixed up front). IdleUntil returns the first cycle >= now at which
+// Tick does real work; the superstep horizon lets an epoch run to that
+// cycle and ticks the device in the epoch tail. Serial devices without
+// this contract pin the horizon to one cycle.
+type IdleUntiler interface {
+	IdleUntil(now sim.Cycle) sim.Cycle
+}
+
+// PartitionsAuto, passed to SetPartitions, picks the partition count at
+// plan time: min(GOMAXPROCS, ringCount/2), so small machines and small
+// topologies degrade to the sequential engine instead of paying barrier
+// overhead for nothing.
+const PartitionsAuto = -1
+
+// superstepMaxHorizon bounds an epoch when nothing structural does (no
+// split bridges, no due events): batching more cycles than this buys
+// nothing and delays the exported-counter fold indefinitely.
+const superstepMaxHorizon = 1024
+
 // partition is one concurrently advancing ring group.
 type partition struct {
 	rings   []*Ring  // ring-ID ascending
-	devices []Device // registration order
+	devices []Device // registration order; split-bridge halves in-place
+	// devUnit[i] is devices[i]'s trace-ordering unit: 2*registration
+	// index, +1 for the side-1 half of a split bridge, so buffered device
+	// events sort back into the sequential engine's registration order.
+	devUnit []int32
+	shard   *shard
 }
 
 // tickPlan is the frozen schedule for a partition count: the ring
-// groups, their co-located devices, and the devices that must tick
-// serially (node spans partitions, or no NodeOwner).
+// groups, their co-located devices, the inter-die bridges split across
+// partitions, the devices that must tick serially, and the structural
+// lookahead those choices imply.
 type tickPlan struct {
 	parts  []*partition
-	serial []Device // registration order; the fault injector lands here
+	splits []*RBRGL2 // bridges whose halves tick in different partitions
+	serial []Device  // registration order; the fault injector lands here
+	// serialUnit[i] is serial[i]'s trace-ordering unit (2*registration
+	// index), matching the partition devices' numbering so buffered
+	// serial-tail events merge at their registration slot.
+	serialUnit []int32
+	// structural is the plan's lookahead ceiling: the minimum link
+	// pipeline depth over split bridges (1 if any serial device lacks the
+	// IdleUntiler contract, superstepMaxHorizon when nothing bounds it).
+	structural int
 }
 
+// l2HalfTicker adapts one side of a split inter-die bridge to the Device
+// interface so the partition loop can tick it in registration order.
+type l2HalfTicker struct {
+	b    *RBRGL2
+	side int
+}
+
+func (t l2HalfTicker) Name() string { return t.b.name }
+
+func (t l2HalfTicker) Tick(now sim.Cycle) { t.b.tickHalf(t.side, now) }
+
 // SetPartitions requests the partition count used by Run: 0 or 1 selects
-// the sequential engine, higher counts are clamped to the ring count.
-// Results are bit-identical at every setting. Takes effect on the next
-// Run call.
+// the sequential engine, higher counts are clamped to the ring count,
+// and PartitionsAuto (any negative value) sizes the pool from GOMAXPROCS
+// and the topology at plan time. Results are bit-identical at every
+// setting. Takes effect on the next Run call.
 func (n *Network) SetPartitions(p int) {
 	if p < 0 {
-		p = 0
+		p = PartitionsAuto
 	}
 	n.partitions = p
 	n.invalidatePlan()
 }
 
+// SetLookahead caps the superstep horizon at k cycles per epoch; 0 (the
+// default) restores the automatic horizon — the structural inter-
+// partition pipeline depth. Results are bit-identical at every setting.
+func (n *Network) SetLookahead(k int) {
+	if k < 0 {
+		k = 0
+	}
+	n.lookahead = k
+}
+
+// Lookahead returns the configured horizon cap (0 = auto).
+func (n *Network) Lookahead() int { return n.lookahead }
+
 // Partitions returns the effective partition count Run uses: at least 1,
-// at most the ring count.
+// at most the ring count, with PartitionsAuto resolved against the
+// runtime's processor budget and an oversubscription guard (never more
+// partitions than half the ring count).
 func (n *Network) Partitions() int {
 	p := n.partitions
+	if p < 0 {
+		p = runtime.GOMAXPROCS(0)
+		if half := len(n.rings) / 2; p > half {
+			p = half
+		}
+	}
 	if p > len(n.rings) {
 		p = len(n.rings)
 	}
@@ -98,40 +173,132 @@ func (n *Network) invalidatePlan() {
 	n.nodeShard = nil
 }
 
-// ensurePlan builds (or returns) the frozen schedule for the current
-// partition request. Ring weights feed a deterministic LPT assignment,
-// so the plan — and therefore every parallel run — is a pure function of
-// the topology and the partition count.
-func (n *Network) ensurePlan() *tickPlan {
-	if n.plan != nil {
-		return n.plan
-	}
-	k := n.Partitions()
+// ringWeights estimates each ring's per-cycle cost: station logic
+// dominates, with the slot rotation contributing per position per
+// direction.
+func (n *Network) ringWeights() []int {
 	weights := make([]int, len(n.rings))
 	for i, r := range n.rings {
-		// A ring's per-cycle cost is dominated by its station logic,
-		// with the slot rotation contributing per position per direction.
 		w := r.positions
 		if r.full {
 			w *= 2
 		}
 		weights[i] = w + 8*len(r.stations)
 	}
-	n.plan = n.buildPlan(sim.PartitionLPT(weights, k), k)
+	return weights
+}
+
+// ensurePlan builds (or returns) the frozen schedule for the current
+// partition request. The assignment is a pure function of the topology
+// and the partition count, so the plan — and therefore every parallel
+// run — is deterministic.
+func (n *Network) ensurePlan() *tickPlan {
+	if n.plan != nil {
+		return n.plan
+	}
+	k := n.Partitions()
+	n.plan = n.buildPlan(n.planAssignment(k), k)
 	return n.plan
+}
+
+// planAssignment picks the ring-to-partition map. It first groups rings
+// into clusters — connected components over every multi-interface node
+// except inter-die (RBRG-L2) bridge nodes — and LPT-packs whole clusters
+// when that cannot hurt balance much: at least one cluster per
+// partition, and the heaviest cluster within 1.25x of the heaviest
+// single ring. Cluster packing guarantees every partition cut crosses
+// only L2 bridges, whose pipeline depth is the superstep engine's
+// lookahead; when clustering is too coarse (an L1-bridged mesh collapses
+// into one cluster) it falls back to plain ring-LPT, which preserves the
+// per-cycle engine's balance at the cost of a one-cycle horizon.
+func (n *Network) planAssignment(k int) []int {
+	weights := n.ringWeights()
+	l2node := make(map[NodeID]bool)
+	for _, d := range n.devices {
+		if b, ok := d.(*RBRGL2); ok {
+			l2node[b.node] = true
+		}
+	}
+	// Union-find over rings joined by non-L2 multi-interface nodes.
+	parent := make([]int, len(n.rings))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for id, info := range n.nodes {
+		if len(info.ifaces) < 2 || l2node[NodeID(id)] {
+			continue
+		}
+		first := -1
+		for _, ni := range info.ifaces {
+			r := int(ni.station.ring.id)
+			if first == -1 {
+				first = r
+				continue
+			}
+			ra, rb := find(first), find(r)
+			if ra != rb {
+				if rb < ra {
+					ra, rb = rb, ra
+				}
+				parent[rb] = ra // lowest ring ID roots its cluster
+			}
+		}
+	}
+	clusterOf := make([]int, len(n.rings)) // ring -> dense cluster index
+	var clusterWeight []int
+	rootIdx := make(map[int]int)
+	for i := range n.rings {
+		root := find(i)
+		ci, ok := rootIdx[root]
+		if !ok {
+			ci = len(clusterWeight)
+			rootIdx[root] = ci
+			clusterWeight = append(clusterWeight, 0)
+		}
+		clusterOf[i] = ci
+		clusterWeight[ci] += weights[i]
+	}
+	ringMax, clusterMax := 0, 0
+	for _, w := range weights {
+		if w > ringMax {
+			ringMax = w
+		}
+	}
+	for _, w := range clusterWeight {
+		if w > clusterMax {
+			clusterMax = w
+		}
+	}
+	if len(clusterWeight) >= k && clusterMax*4 <= ringMax*5 {
+		cassign := sim.PartitionLPT(clusterWeight, k)
+		assign := make([]int, len(n.rings))
+		for i := range assign {
+			assign[i] = cassign[clusterOf[i]]
+		}
+		return assign
+	}
+	return sim.PartitionLPT(weights, k)
 }
 
 // buildPlan freezes a schedule from an explicit ring-to-partition
 // assignment (assign[i] in [0, k) for ring i). ensurePlan feeds it the
-// LPT assignment; the fuzz suite feeds it arbitrary ones — correctness
-// must not depend on how rings are grouped.
+// planner's assignment; the fuzz suite feeds it arbitrary ones —
+// correctness must not depend on how rings are grouped.
 func (n *Network) buildPlan(assign []int, k int) *tickPlan {
 	for len(n.shards) < k {
 		n.shards = append(n.shards, new(shard))
 	}
 	plan := &tickPlan{parts: make([]*partition, k)}
 	for i := range plan.parts {
-		plan.parts[i] = &partition{}
+		plan.parts[i] = &partition{shard: n.shards[i]}
 	}
 	for i, r := range n.rings {
 		r.shard = n.shards[assign[i]]
@@ -141,8 +308,8 @@ func (n *Network) buildPlan(assign []int, k int) *tickPlan {
 
 	// A node belongs to a partition when all its interfaces do; its flit
 	// pool then lives on that partition's shard. Spanning nodes (inter-
-	// partition bridges) pool on shard 0 — their devices only run in the
-	// serial tail, where shard 0 is exclusively owned.
+	// partition bridges) pool on shard 0 — those devices only run in the
+	// serial tail or as split halves that never touch the pool.
 	nodePart := make([]int, len(n.nodes))
 	n.nodeShard = make([]*shard, len(n.nodes))
 	for id, info := range n.nodes {
@@ -164,76 +331,74 @@ func (n *Network) buildPlan(assign []int, k int) *tickPlan {
 		}
 	}
 
-	for _, d := range n.devices {
+	addDev := func(p *partition, d Device, unit int32) {
+		p.devices = append(p.devices, d)
+		p.devUnit = append(p.devUnit, unit)
+	}
+	addSerial := func(d Device, unit int32) {
+		plan.serial = append(plan.serial, d)
+		plan.serialUnit = append(plan.serialUnit, unit)
+	}
+	for regIdx, d := range n.devices {
 		owner, ok := d.(NodeOwner)
 		if !ok {
-			plan.serial = append(plan.serial, d)
+			addSerial(d, int32(regIdx*2))
 			continue
 		}
-		if p := nodePart[owner.Node()]; p >= 0 {
-			plan.parts[p].devices = append(plan.parts[p].devices, d)
-		} else {
-			plan.serial = append(plan.serial, d)
+		p := nodePart[owner.Node()]
+		if p >= 0 {
+			addDev(plan.parts[p], d, int32(regIdx*2))
+			continue
+		}
+		if b, isL2 := d.(*RBRGL2); isL2 {
+			// An inter-die bridge spanning partitions splits: each half
+			// ticks inside the partition owning its ring, at the bridge's
+			// registration slot (side 0 before side 1, matching the
+			// monolithic Tick's internal order), and the halves' staged
+			// link traffic merges at the epoch barrier.
+			for side := 0; side < 2; side++ {
+				pi := assign[b.half[side].iface.station.ring.id]
+				addDev(plan.parts[pi], l2HalfTicker{b: b, side: side}, int32(regIdx*2+side))
+			}
+			plan.splits = append(plan.splits, b)
+			continue
+		}
+		addSerial(d, int32(regIdx*2))
+	}
+
+	plan.structural = superstepMaxHorizon
+	for _, b := range plan.splits {
+		l := b.cfg.LinkLatency
+		if l < 1 {
+			l = 1
+		}
+		if l < plan.structural {
+			plan.structural = l
+		}
+	}
+	for _, d := range plan.serial {
+		if _, ok := d.(IdleUntiler); !ok {
+			// An opaque serial device may interact with partition state
+			// every cycle (an L1 bridge cut by ring-LPT): epochs collapse
+			// to the per-cycle schedule.
+			plan.structural = 1
+			break
 		}
 	}
 	return plan
 }
 
-// cycleParallelEligible reports whether the upcoming cycle may run its
+// cycleParallelEligible reports whether upcoming cycles may run their
 // ring and device phases concurrently (see the package comment for why
 // each condition forces the sequential body).
 func (n *Network) cycleParallelEligible() bool {
-	return n.throttle == nil && n.Tracer == nil && n.OnDeliver == nil && len(n.failed) == 0
+	return n.throttle == nil && len(n.failed) == 0
 }
-
-// tickRings advances and ticks the partition's rings, ring-ID ascending
-// — the sequential engine's order restricted to this partition.
-func (p *partition) tickRings(now sim.Cycle) {
-	for _, r := range p.rings {
-		r.advance()
-	}
-	for _, r := range p.rings {
-		r.tick(now)
-	}
-}
-
-// tickDevices ticks the partition's co-located devices in registration
-// order.
-func (p *partition) tickDevices(now sim.Cycle) {
-	for _, d := range p.devices {
-		d.Tick(now)
-	}
-}
-
-// replayLatencies drains every ring's buffered latency samples in ring
-// order, re-emitting them through the recorder exactly as the sequential
-// ring phase would have: rings tick in ascending ID, so ascending-ID
-// replay of per-ring in-order buffers reproduces the global delivery
-// order. Runs serially, after the ring phase and before any device can
-// release a delivered flit.
-func (n *Network) replayLatencies() {
-	for _, r := range n.rings {
-		for i := range r.latBuf {
-			s := &r.latBuf[i]
-			n.latency(s.f, s.cycles)
-			s.f = nil
-		}
-		r.latBuf = r.latBuf[:0]
-	}
-}
-
-// worker modes, chosen by the coordinator each cycle before it releases
-// the pool. The barrier's happens-before edge publishes the choice.
-const (
-	parFused = iota // single parallel span: rings then devices
-	parSplit        // rings / latency-replay barrier / devices
-	parQuit         // run finished: workers exit
-)
 
 // Run advances the network the given number of cycles, using the
-// partitioned engine when SetPartitions configured more than one
-// partition and the topology supports it. Results are bit-identical to
-// calling Tick in a loop.
+// partitioned superstep engine when SetPartitions configured more than
+// one partition and the topology supports it. Results are bit-identical
+// to calling Tick in a loop.
 func (n *Network) Run(cycles int) {
 	if cycles <= 0 {
 		return
@@ -241,7 +406,7 @@ func (n *Network) Run(cycles int) {
 	if !n.finalized {
 		panic("noc: Run before Finalize")
 	}
-	if n.partitions <= 1 {
+	if n.Partitions() <= 1 {
 		for i := 0; i < cycles; i++ {
 			n.Tick(sim.Cycle(n.ticks))
 		}
@@ -255,74 +420,4 @@ func (n *Network) Run(cycles int) {
 		return
 	}
 	n.runPartitioned(plan, cycles)
-}
-
-// runPartitioned drives one worker goroutine per partition beyond the
-// first (the coordinator ticks partition 0 itself and runs every serial
-// section). The pool lives for this call; per-cycle synchronisation is a
-// reused sense-reversing barrier.
-func (n *Network) runPartitioned(plan *tickPlan, cycles int) {
-	barrier := sim.NewSpinBarrier(len(plan.parts))
-	mode := parFused
-
-	for _, p := range plan.parts[1:] {
-		go func(p *partition) {
-			var sense uint32
-			for {
-				barrier.Wait(&sense) // cycle start: mode and n.now published
-				switch mode {
-				case parQuit:
-					return
-				case parFused:
-					p.tickRings(n.now)
-					p.tickDevices(n.now)
-				case parSplit:
-					p.tickRings(n.now)
-					barrier.Wait(&sense) // ring phase complete
-					barrier.Wait(&sense) // latency replay complete
-					p.tickDevices(n.now)
-				}
-				barrier.Wait(&sense) // cycle end
-			}
-		}(p)
-	}
-
-	var sense uint32
-	p0 := plan.parts[0]
-	for i := 0; i < cycles; i++ {
-		now := sim.Cycle(n.ticks)
-		n.now = now
-		n.ticks++
-		n.throttleTick()
-		if !n.cycleParallelEligible() {
-			// Order-sensitive cycle: the workers stay parked at the
-			// barrier while the coordinator runs the sequential body.
-			n.sequentialCycle(now)
-			continue
-		}
-		if n.latency == nil {
-			mode = parFused
-			barrier.Wait(&sense)
-			p0.tickRings(now)
-			p0.tickDevices(now)
-			barrier.Wait(&sense)
-		} else {
-			mode = parSplit
-			n.bufferLatency = true
-			barrier.Wait(&sense)
-			p0.tickRings(now)
-			barrier.Wait(&sense) // every partition's ring phase done
-			n.replayLatencies()
-			barrier.Wait(&sense) // release the device phase
-			p0.tickDevices(now)
-			barrier.Wait(&sense)
-			n.bufferLatency = false
-		}
-		for _, d := range plan.serial {
-			d.Tick(now)
-		}
-		n.cycleTail(now)
-	}
-	mode = parQuit
-	barrier.Wait(&sense)
 }

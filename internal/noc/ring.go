@@ -87,10 +87,18 @@ type Ring struct {
 	// sequential engine, the owning partition's shard under the
 	// partitioned one (see partition.go).
 	shard *shard
-	// latBuf parks latency samples delivered during a concurrent ring
-	// phase; the serial replay between the ring and device phases drains
-	// every ring's buffer in ring order.
-	latBuf []latSample
+	// now is the cycle this ring is currently executing. It tracks the
+	// network clock under the sequential engine, but inside a superstep
+	// epoch each partition advances its rings' clocks locally — all
+	// ring-local timestamps (flit Created/boarded, latency math) read
+	// r.now, never n.now, so free-running partitions stay coherent.
+	now sim.Cycle
+	// delivBuf parks delivery side effects (latency samples and OnDeliver
+	// notifications, one record per delivered flit) emitted during an
+	// epoch free-run; the epoch-tail replay drains every ring's buffer in
+	// (cycle, ring) order. delivPos is the replay cursor.
+	delivBuf []delivSample
+	delivPos int
 	// cw holds the clockwise loop; ccw the counter-clockwise one
 	// (ccw.slots is nil for half rings).
 	cw, ccw   loop
@@ -98,9 +106,15 @@ type Ring struct {
 	stationAt []*CrossStation // dense position index (nil = no station)
 }
 
-// latSample is one buffered delivery-latency observation.
-type latSample struct {
-	f      *Flit
+// delivSample is one buffered delivery observation: the latency sample
+// and the OnDeliver notification the sequential engine would have issued
+// back-to-back at delivery time. It carries a value copy of the flit:
+// the real one is consumed by its destination device later in the same
+// epoch and may be released and reminted before the barrier replays the
+// sample.
+type delivSample struct {
+	fl     Flit
+	at     sim.Cycle
 	cycles uint64
 }
 
@@ -177,7 +191,7 @@ func (r *Ring) advance() {
 // flit leaves a slot or its Hops field is observed mid-flight;
 // re-stamping boarded makes settling idempotent.
 func (r *Ring) settleHops(f *Flit) {
-	now := r.net.now
+	now := r.now
 	f.Hops += int(now - f.boarded)
 	f.boarded = now
 }
@@ -220,8 +234,11 @@ func (r *Ring) shortestDir(from, to int) Direction {
 }
 
 // tick runs all station logic for this cycle, position order, CW before
-// CCW at each station.
+// CCW at each station. It stamps the ring-local clock first, so every
+// timestamp taken on this ring's stations reads the cycle actually being
+// executed even when the network clock lags (epoch free-run).
 func (r *Ring) tick(now sim.Cycle) {
+	r.now = now
 	for _, st := range r.stations {
 		st.tick(now)
 	}

@@ -77,7 +77,7 @@ func TestOffsetWraparoundDeepIntoRun(t *testing.T) {
 	const bigCycle = sim.Cycle(1)<<31 + 12345 // past any int32 clock
 	net := NewNetwork("t")
 	r := net.AddRing(5, true)
-	net.now = bigCycle
+	net.now, r.now = bigCycle, bigCycle
 
 	// Pretend the ring has been spinning since cycle 0: head can be any
 	// value in [0, n); set it directly rather than advancing 2^31 times.
@@ -90,7 +90,7 @@ func TestOffsetWraparoundDeepIntoRun(t *testing.T) {
 	placeFlit(r, &r.ccw, 4, g)
 
 	for i := sim.Cycle(1); i <= 7; i++ {
-		net.now = bigCycle + i
+		net.now, r.now = bigCycle+i, bigCycle+i
 		r.advance()
 	}
 	// 7 advances on a 5-ring: CW 1 -> (1+7)%5 = 3, CCW 4 -> (4-7)%5 = 2.

@@ -47,7 +47,7 @@ func placeFlit(r *Ring, l *loop, pos int, f *Flit) {
 	}
 	s.flit = f
 	s.dst = int32(f.localDst)
-	f.boarded = r.net.now
+	f.boarded = r.now
 	l.occ++
 }
 
@@ -57,7 +57,7 @@ func TestRingAdvanceRotation(t *testing.T) {
 	f1, f2 := &Flit{ID: 1}, &Flit{ID: 2}
 	placeFlit(r, &r.cw, 0, f1)
 	placeFlit(r, &r.ccw, 3, f2)
-	net.now = 1 // the advance below belongs to cycle 1
+	net.now, r.now = 1, 1 // the advance below belongs to cycle 1
 	r.advance()
 	if r.cw.at(1).flit != f1 {
 		t.Fatal("CW slot did not move 0 -> 1")

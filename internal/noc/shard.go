@@ -1,5 +1,10 @@
 package noc
 
+import (
+	"chipletnoc/internal/sim"
+	"chipletnoc/internal/trace"
+)
+
 // Counter sharding for the partitioned tick engine. Every hot-path
 // statistic increment goes through a shard — per-partition scratch
 // counters plus a per-partition flit free-list — and the shards fold into
@@ -25,13 +30,37 @@ const (
 	numCounters
 )
 
-// shard holds one partition's cycle-local counter deltas and flit
-// free-list. The padding keeps concurrently written shards on separate
-// cache lines.
+// traceCtx is the ordering key a buffered trace event carries: the cycle
+// it was emitted, whether the emitter was in the ring phase (0) or the
+// device phase (1), and the emitting unit's enumeration index within that
+// phase (ring ID, or partition device index). Sorting buffered events by
+// (at, phase, unit) — stable, so same-unit events keep emission order —
+// reproduces exactly the sequence the sequential engine would have
+// recorded.
+type traceCtx struct {
+	at    sim.Cycle
+	phase uint8
+	unit  int32
+}
+
+// tracedEvent is one buffered trace record awaiting the epoch replay.
+type tracedEvent struct {
+	ctx traceCtx
+	ev  trace.Event
+}
+
+// shard holds one partition's cycle-local counter deltas, flit free-list
+// and trace buffer. The padding keeps concurrently written shards on
+// separate cache lines.
 type shard struct {
 	counts    [numCounters]uint64
 	freeFlits []*Flit
-	_         [64]byte
+	// tctx is the trace-ordering context of whatever the owning partition
+	// is currently ticking; stamped by the partition loop before every
+	// ring and device tick, read by traceShard while events buffer.
+	tctx traceCtx
+	tbuf []tracedEvent
+	_    [64]byte
 }
 
 // shardFor returns the shard owning node id's flit pool: the shard of the

@@ -398,6 +398,12 @@ func (n *Network) RestoreState(d *sim.Decoder) error {
 
 	n.now = sim.Cycle(d.U64())
 	n.ticks = d.U64()
+	// Ring-local clocks track the network clock at every run boundary;
+	// re-sync them so ring-local timestamps are correct from the first
+	// restored cycle.
+	for _, r := range n.rings {
+		r.now = n.now
+	}
 	if c := d.Count(1 << 20); d.Err() == nil {
 		if c != len(n.flitSeq) {
 			d.Fail("flit sequence count %d does not match %d nodes", c, len(n.flitSeq))
@@ -818,16 +824,19 @@ func (b *RBRGL1) RestoreState(sd *SnapDecoder) error {
 	return nil
 }
 
-// SnapshotState serializes the L2 bridge: tx/reserve/pipe/rx buffers and
-// DRM state per half plus the bridge counters.
+// SnapshotState serializes the L2 bridge: tx/reserve/pipe/rx buffers,
+// credit windows and in-flight credit pulses, DRM state and counters,
+// all per half. Snapshots are taken between Run calls, where every
+// epoch's link merge has already published the staging buffers (out,
+// credOut) — both are empty by construction and not serialized.
 func (b *RBRGL2) SnapshotState(se *SnapEncoder) error {
 	e := se.E
-	e.PutBool(b.dead)
-	e.PutU64(b.Transferred)
-	e.PutU64(b.SwapEntries)
-	e.PutU64(b.SwapRescues)
 	for side := 0; side < 2; side++ {
 		h := &b.half[side]
+		e.PutBool(h.dead)
+		e.PutU64(h.transferred)
+		e.PutU64(h.swapEntries)
+		e.PutU64(h.swapRescues)
 		if err := se.PutFlitSlice(h.tx); err != nil {
 			return err
 		}
@@ -845,6 +854,14 @@ func (b *RBRGL2) SnapshotState(se *SnapEncoder) error {
 			e.PutU64(uint64(pf.arrives))
 			e.PutBool(pf.escape)
 		}
+		e.PutI64(int64(h.txCred))
+		e.PutI64(int64(h.escCred))
+		e.PutU32(uint32(len(h.credIn)))
+		for _, c := range h.credIn {
+			e.PutU64(uint64(c.arrives))
+			e.PutI64(int64(c.norm))
+			e.PutI64(int64(c.esc))
+		}
 		e.PutBool(h.drm)
 		e.PutI64(int64(h.stalledCycles))
 		e.PutU64(h.lastInjectSeen)
@@ -855,16 +872,17 @@ func (b *RBRGL2) SnapshotState(se *SnapEncoder) error {
 // RestoreState loads the L2 bridge state written by SnapshotState.
 func (b *RBRGL2) RestoreState(sd *SnapDecoder) error {
 	d := sd.D
-	b.dead = d.Bool()
-	b.Transferred = d.U64()
-	b.SwapEntries = d.U64()
-	b.SwapRescues = d.U64()
+	window := b.cfg.txWindow() + b.cfg.escWindow()
 	for side := 0; side < 2; side++ {
 		h := &b.half[side]
+		h.dead = d.Bool()
+		h.transferred = d.U64()
+		h.swapEntries = d.U64()
+		h.swapRescues = d.U64()
 		h.tx = sd.GetFlitSlice(h.tx, b.cfg.TxDepth)
 		h.reserve = sd.GetFlitSlice(h.reserve, 1<<16)
 		h.rx = sd.GetFlitSlice(h.rx, b.cfg.RxDepth)
-		nPipe := d.Count(b.cfg.LinkWidth * (b.cfg.LinkLatency + 1))
+		nPipe := d.Count(window)
 		if err := d.Err(); err != nil {
 			return err
 		}
@@ -882,6 +900,24 @@ func (b *RBRGL2) RestoreState(sd *SnapDecoder) error {
 			}
 			h.pipe = append(h.pipe, pipeFlit{f: f, arrives: arrives, escape: escape})
 		}
+		h.txCred = int(d.I64())
+		h.escCred = int(d.I64())
+		nCred := d.Count(window)
+		if err := d.Err(); err != nil {
+			return err
+		}
+		h.credIn = h.credIn[:0]
+		for i := 0; i < nCred; i++ {
+			arrives := sim.Cycle(d.U64())
+			norm := int32(d.I64())
+			esc := int32(d.I64())
+			if err := d.Err(); err != nil {
+				return err
+			}
+			h.credIn = append(h.credIn, credPulse{arrives: arrives, norm: norm, esc: esc})
+		}
+		h.out = h.out[:0]
+		h.credOut = h.credOut[:0]
 		h.drm = d.Bool()
 		h.stalledCycles = int(d.I64())
 		h.lastInjectSeen = d.U64()

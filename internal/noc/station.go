@@ -17,6 +17,11 @@ const (
 	DefaultEjectDepth  = 8
 )
 
+// bypassDepth sizes every interface's priority-inject (escape) lane. It
+// is also the base of the L2 bridge's escape-lane credit window, so the
+// bridge never launches more escapes than the far lane can absorb.
+const bypassDepth = 4
+
 // ITagThreshold is how many consecutive injection defeats a node interface
 // tolerates before arming an I-tag on the passing slot. One defeat is
 // enough per the paper ("unable to obtain a ring slot for a certain
@@ -221,7 +226,7 @@ func (ni *NodeInterface) route(f *Flit) bool {
 	net := r.net
 	if !f.counted {
 		f.counted = true
-		f.Created = net.now
+		f.Created = r.now
 		r.shard.counts[cInjected]++
 	}
 	pos, iface, err := net.localTarget(r, f)
@@ -419,7 +424,6 @@ func (st *CrossStation) Interface(i int) *NodeInterface { return st.ifaces[i] }
 func (st *CrossStation) attach(node NodeID, injectDepth, ejectDepth int) *NodeInterface {
 	for i := range st.ifaces {
 		if st.ifaces[i] == nil {
-			const bypassDepth = 4
 			ni := &NodeInterface{
 				node:    node,
 				station: st,
@@ -511,14 +515,14 @@ func (st *CrossStation) handleDirection(d Direction, s *slot, now sim.Cycle) {
 			if dst.swapMode {
 				if h := dst.head(); h != nil && h.localDst != st.pos && h.dir == d {
 					st.inject(dst, s, d)
-					st.ring.net.trace(traceSwap, h.ID, st.ring.net.nodes[dst.node].name, "")
+					st.ring.net.traceShard(st.ring.shard, traceSwap, h.ID, st.ring.net.nodes[dst.node].name, "")
 				}
 			}
 		} else {
 			f.Deflections++
 			dst.Deflected++
 			st.ring.shard.counts[cDeflections]++
-			st.ring.net.trace(traceDeflect, f.ID, st.ring.net.nodes[dst.node].name, "")
+			st.ring.net.traceShard(st.ring.shard, traceDeflect, f.ID, st.ring.net.nodes[dst.node].name, "")
 		}
 	}
 	st.arbitrateInject(d, s)
@@ -586,7 +590,7 @@ func (st *CrossStation) inject(ni *NodeInterface, s *slot, d Direction) {
 	s.flit = f
 	s.dst = int32(f.localDst)
 	st.ring.loopFor(d).occ++
-	f.boarded = st.ring.net.now
+	f.boarded = st.ring.now
 	if s.itagOwner == ni.key() {
 		s.itagOwner = noTag
 		if ni.tagSlot == s {
@@ -603,5 +607,5 @@ func (st *CrossStation) inject(ni *NodeInterface, s *slot, d Direction) {
 	ni.popHead()
 	ni.Injected++
 	st.rr = (ni.index + 1) % 2
-	st.ring.net.trace(traceInject, f.ID, st.ring.net.nodes[ni.node].name, "")
+	st.ring.net.traceShard(st.ring.shard, traceInject, f.ID, st.ring.net.nodes[ni.node].name, "")
 }

@@ -1,0 +1,178 @@
+package noc
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"chipletnoc/internal/sim"
+	"chipletnoc/internal/trace"
+)
+
+// FuzzSuperstepEquivalence drives the superstep engine across arbitrary
+// (partition assignment, lookahead, link latency, fault timing) inputs
+// and requires bit-identity with the sequential engine every time. Two
+// parallel legs run per input: the planner's own assignment through the
+// public Run path, and a fuzzer-chosen arbitrary ring assignment pushed
+// straight into buildPlan — correctness must not depend on how rings
+// are grouped, only on the conservative horizon math.
+func FuzzSuperstepEquivalence(f *testing.F) {
+	f.Add(uint8(2), uint8(0), uint8(8), uint16(0), uint8(0))
+	f.Add(uint8(3), uint8(1), uint8(1), uint16(120), uint8(0b10110))
+	f.Add(uint8(2), uint8(8), uint8(4), uint16(77), uint8(0b01001))
+	f.Add(uint8(4), uint8(3), uint8(2), uint16(300), uint8(0xff))
+	f.Fuzz(func(t *testing.T, parts, la, linkLat uint8, faultAt uint16, assignBits uint8) {
+		k := 2 + int(parts%3)      // 2..4 partitions
+		lookahead := int(la % 12)  // 0 (auto) .. 11
+		lat := 1 + int(linkLat%10) // 1..10 cycle link pipelines
+		const cycles = 500
+
+		seq := fuzzRun(t, 1, 0, lat, faultAt, nil)
+		planned := fuzzRun(t, k, lookahead, lat, faultAt, nil)
+		if planned != seq {
+			t.Fatalf("planner assignment diverged (k=%d la=%d lat=%d fault=%d)\n got: %+v\nwant: %+v",
+				k, lookahead, lat, faultAt, planned, seq)
+		}
+		arbitrary := fuzzRun(t, k, lookahead, lat, faultAt, func(n int) []int {
+			assign := make([]int, n)
+			for i := range assign {
+				assign[i] = int(assignBits>>(uint(i)%7)) % k
+			}
+			return assign
+		})
+		if arbitrary != seq {
+			t.Fatalf("arbitrary assignment %#b diverged (k=%d la=%d lat=%d fault=%d)\n got: %+v\nwant: %+v",
+				assignBits, k, lookahead, lat, faultAt, arbitrary, seq)
+		}
+	})
+}
+
+// fuzzDigest is everything a run must reproduce bit for bit.
+type fuzzDigest struct {
+	injected, delivered, dropped uint64
+	deflections, hops            uint64
+	latFNV, traceFNV             uint64
+	delivered0, delivered2       int
+}
+
+// fuzzFaulter is an in-package stand-in for the fault injector: a serial
+// IdleUntiler device that kills a bridge at one cycle and repairs it at
+// another, exercising the epoch clamp to event cycles and the failed-set
+// fallback to per-cycle sequential ticks.
+type fuzzFaulter struct {
+	net    *Network
+	node   NodeID
+	kill   sim.Cycle
+	repair sim.Cycle
+	stage  int
+}
+
+func (ff *fuzzFaulter) Name() string { return "fuzz-faulter" }
+
+func (ff *fuzzFaulter) IdleUntil(now sim.Cycle) sim.Cycle {
+	switch ff.stage {
+	case 0:
+		if ff.kill >= now {
+			return ff.kill
+		}
+	case 1:
+		if ff.repair >= now {
+			return ff.repair
+		}
+	default:
+		return sim.Cycle(^uint64(0))
+	}
+	return now
+}
+
+func (ff *fuzzFaulter) Tick(now sim.Cycle) {
+	if ff.stage == 0 && now >= ff.kill {
+		if err := ff.net.FailBridge(ff.node); err == nil {
+			ff.stage = 1
+		} else {
+			ff.stage = 2
+		}
+		return
+	}
+	if ff.stage == 1 && now >= ff.repair {
+		if ff.net.RepairBridge(ff.node) == nil {
+			ff.stage = 2
+		}
+	}
+}
+
+// fuzzRun builds a three-die chain (full ring — full ring — half ring,
+// two RBRG-L2 bridges at the fuzzed link latency), drives fixed cross-
+// and intra-die traffic for cycles, and digests the result. parts/la
+// select the engine; assignFn, when non-nil, bypasses the planner and
+// feeds buildPlan an arbitrary ring assignment. faultAt > 0 schedules a
+// transient bridge kill through a serial IdleUntiler device.
+func fuzzRun(t *testing.T, parts, la, linkLat int, faultAt uint16, assignFn func(rings int) []int) fuzzDigest {
+	t.Helper()
+	net := NewNetwork("fuzz")
+	r0 := net.AddRing(8, true)
+	r1 := net.AddRing(8, true)
+	r2 := net.AddRing(6, false)
+	src0 := newSource(t, net, r0.AddStation(0), "src0")
+	snk0 := newSink(t, net, r0.AddStation(3), "snk0", 2)
+	src1 := newSource(t, net, r1.AddStation(2), "src1")
+	snk1 := newSink(t, net, r1.AddStation(6), "snk1", 2)
+	src2 := newSource(t, net, r2.AddStation(2), "src2")
+	snk2 := newSink(t, net, r2.AddStation(4), "snk2", 2)
+	cfg := DefaultRBRGL2Config()
+	cfg.LinkLatency = linkLat
+	NewRBRGL2(net, "br01", cfg, r0.AddStation(5), r1.AddStation(0))
+	NewRBRGL2(net, "br12", cfg, r1.AddStation(5), r2.AddStation(0))
+	if faultAt > 0 {
+		node, ok := net.NodeByName("br12")
+		if !ok {
+			t.Fatal("bridge node missing")
+		}
+		kill := sim.Cycle(20 + faultAt%300)
+		net.AddDevice(&fuzzFaulter{net: net, node: node, kill: kill, repair: kill + 60})
+		net.SetWatchdog(150, 0)
+	}
+	net.MustFinalize()
+
+	tr := trace.New(1 << 14)
+	net.Tracer = tr
+	latHash := fnv.New64a()
+	net.RecordLatency(func(f *Flit, cycles uint64) {
+		fmt.Fprintf(latHash, "%d|%d\n", f.ID, cycles)
+	})
+
+	// Fixed traffic: cross-die in both directions plus local pairs.
+	for i := 0; i < 30; i++ {
+		src0.queue(net.NewFlit(src0.Node(), snk2.Node(), KindData, LineBytes))
+		src2.queue(net.NewFlit(src2.Node(), snk0.Node(), KindData, LineBytes))
+		src1.queue(net.NewFlit(src1.Node(), snk1.Node(), KindData, LineBytes))
+		src0.queue(net.NewFlit(src0.Node(), snk1.Node(), KindData, LineBytes))
+	}
+
+	const cycles = 500
+	net.SetLookahead(la)
+	if assignFn == nil {
+		net.SetPartitions(parts)
+		net.Run(cycles)
+	} else {
+		net.SetPartitions(parts)
+		plan := net.buildPlan(assignFn(3), parts)
+		net.runPartitioned(plan, cycles)
+	}
+
+	traceHash := fnv.New64a()
+	for _, e := range tr.Events() {
+		fmt.Fprintf(traceHash, "%d|%d|%d|%s|%s\n", e.Cycle, e.Kind, e.FlitID, e.Where, e.Detail)
+	}
+	return fuzzDigest{
+		injected:    net.InjectedFlits,
+		delivered:   net.DeliveredFlits,
+		dropped:     net.DroppedFlits,
+		deflections: net.Deflections,
+		hops:        net.TotalHops,
+		latFNV:      latHash.Sum64(),
+		traceFNV:    traceHash.Sum64(),
+		delivered0:  len(snk0.got),
+		delivered2:  len(snk2.got),
+	}
+}

@@ -33,9 +33,10 @@ type jobIdentity struct {
 	Format   int    `json:"format"`
 	Snapshot int    `json:"snapshot_version"`
 	Kind     string `json:"kind"`
-	// Sim-job identity. CheckpointEvery and Partitions are deliberately
-	// absent: both are proven behaviour-neutral (the differential suites
-	// of PR 5–7), so they must not split the cache.
+	// Sim-job identity. CheckpointEvery, Partitions and Lookahead are
+	// deliberately absent: all three are proven behaviour-neutral (the
+	// differential suites of PR 5–7 and the superstep suite), so they
+	// must not split the cache.
 	Topology        string `json:"topology,omitempty"`
 	Scale           string `json:"scale,omitempty"`
 	Cycles          uint64 `json:"cycles,omitempty"`
@@ -83,11 +84,11 @@ func JobKey(spec JobSpec) (string, error) {
 	return fmt.Sprintf("%x", sha256.Sum256(doc)), nil
 }
 
-// hashableConfig strips the identity-excluded "partitions" knob from a
-// custom-topology config document before hashing. The document arrives
-// already canonical (Normalize sorted its keys), so this only has to
-// drop the one behaviour-neutral field; numeric literals ride through as
-// json.Number and are re-rendered verbatim.
+// hashableConfig strips the identity-excluded "partitions" and
+// "lookahead" knobs from a custom-topology config document before
+// hashing. The document arrives already canonical (Normalize sorted its
+// keys), so this only has to drop the behaviour-neutral fields; numeric
+// literals ride through as json.Number and are re-rendered verbatim.
 func hashableConfig(doc string) (string, error) {
 	if doc == "" {
 		return "", nil
@@ -99,6 +100,7 @@ func hashableConfig(doc string) (string, error) {
 		return "", fmt.Errorf("config document: %w", err)
 	}
 	delete(v, "partitions")
+	delete(v, "lookahead")
 	out, err := json.Marshal(v)
 	if err != nil {
 		return "", err

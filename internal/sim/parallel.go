@@ -1,8 +1,8 @@
 // Parallel-engine primitives for conservative-time partitioned ticking:
-// a sense-reversing spin barrier sized for per-cycle synchronisation, and
-// the deterministic longest-processing-time partitioner the NoC uses to
-// assign rings to worker partitions. Both are policy-free — the noc layer
-// decides what runs between barrier crossings.
+// an adaptive sense-reversing barrier sized for per-epoch synchronisation,
+// and the deterministic longest-processing-time partitioner the NoC uses
+// to assign rings to worker partitions. Both are policy-free — the noc
+// layer decides what runs between barrier crossings.
 package sim
 
 import (
@@ -10,16 +10,35 @@ import (
 	"sync/atomic"
 )
 
+// Barrier wait tuning: a short tight spin catches the common case where
+// every partition finishes its epoch within a few hundred nanoseconds of
+// the others, a yielding phase covers scheduler-quantum skew, and past
+// that the waiter parks on the generation channel so oversubscribed
+// configurations (more partitions than GOMAXPROCS) degrade to ordinary
+// blocking instead of burning whole scheduler quanta in Gosched loops.
+const (
+	barrierSpinTight = 128
+	barrierSpinYield = 32
+)
+
 // SpinBarrier is a reusable sense-reversing barrier for a fixed set of
-// participants. It spins (yielding the processor) instead of parking on a
-// mutex because partitioned simulation crosses it every cycle: the wait
-// is expected to be far shorter than a scheduler round-trip. Each
-// participant owns a local sense word, passed to every Wait call; the
-// zero value of the sense word is the correct initial state.
+// participants. Waiters adapt to contention in three stages — tight spin,
+// runtime.Gosched yield loop, then parking on a per-generation channel
+// the releaser closes — so per-epoch synchronisation stays cheap when
+// every party has its own processor and degrades gracefully when it does
+// not. Each participant owns a local sense word, passed to every Wait
+// call; the zero value of the sense word is the correct initial state.
 type SpinBarrier struct {
 	parties int32
+	spin    bool // spin before parking (false when oversubscribed)
 	count   atomic.Int32
 	sense   atomic.Uint32
+	// gate is the current generation's park channel. The releaser flips
+	// sense first and installs the next generation's channel before
+	// closing the old one, so a waiter that re-checks sense after loading
+	// the gate either sees the flip (and returns) or blocks on a channel
+	// the pending release is guaranteed to close.
+	gate atomic.Pointer[chan struct{}]
 }
 
 // NewSpinBarrier returns a barrier for n participants (n >= 1).
@@ -27,7 +46,10 @@ func NewSpinBarrier(n int) *SpinBarrier {
 	if n < 1 {
 		panic("sim: SpinBarrier needs at least one participant")
 	}
-	return &SpinBarrier{parties: int32(n)}
+	b := &SpinBarrier{parties: int32(n), spin: n <= runtime.GOMAXPROCS(0)}
+	ch := make(chan struct{})
+	b.gate.Store(&ch)
+	return b
 }
 
 // Wait blocks until all participants have called Wait with their own
@@ -38,11 +60,35 @@ func (b *SpinBarrier) Wait(local *uint32) {
 	*local ^= 1
 	if b.count.Add(1) == b.parties {
 		b.count.Store(0)
-		b.sense.Store(*local)
+		next := make(chan struct{})
+		old := b.gate.Load()
+		b.sense.Store(*local) // release spinners
+		b.gate.Store(&next)
+		close(*old) // release parked waiters
 		return
 	}
+	if b.spin {
+		for i := 0; i < barrierSpinTight; i++ {
+			if b.sense.Load() == *local {
+				return
+			}
+		}
+		for i := 0; i < barrierSpinYield; i++ {
+			if b.sense.Load() == *local {
+				return
+			}
+			runtime.Gosched()
+		}
+	}
 	for b.sense.Load() != *local {
-		runtime.Gosched()
+		gate := b.gate.Load()
+		if b.sense.Load() == *local {
+			return
+		}
+		// The gate was loaded before the sense re-check: if the release
+		// already happened this channel is closed (receive returns at
+		// once, the loop re-checks); otherwise the release will close it.
+		<-*gate
 	}
 }
 

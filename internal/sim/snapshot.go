@@ -33,7 +33,10 @@ const SnapshotTrailerMagic = "NOCSEAL1"
 // every section carry a CRC32-C seal, and the stream ends in a
 // length+checksum trailer, so truncation, torn writes and bit rot
 // surface as ErrCorruptSnapshot instead of a garbage-state resume.
-const SnapshotVersion = 3
+// Version 4: inter-die bridge flow control became latency-delayed
+// credit return — the L2 bridge section gained per-half credit windows
+// and in-flight credit pulses, and its counters went per-half.
+const SnapshotVersion = 4
 
 // ErrCorruptSnapshot marks every integrity failure while reading a
 // snapshot: truncation, bad magic, unsupported version, checksum

@@ -73,9 +73,14 @@ type AIConfig struct {
 	Seed uint64
 
 	// Partitions selects the tick engine for Run: 0 or 1 is sequential,
-	// higher counts advance ring groups concurrently. Results are
-	// bit-identical at every setting (see noc.SetPartitions).
+	// higher counts advance ring groups concurrently, -1 sizes the pool
+	// automatically. Results are bit-identical at every setting (see
+	// noc.SetPartitions).
 	Partitions int
+
+	// Lookahead caps the partitioned engine's superstep horizon; 0
+	// derives it from the topology (see noc.SetLookahead).
+	Lookahead int
 }
 
 // DefaultAIConfig returns the paper-scale AI die: 32 AI cores on 16
@@ -287,6 +292,7 @@ func BuildAIProcessor(cfg AIConfig) *AIProcessor {
 	}
 	net.MustFinalize()
 	net.SetPartitions(cfg.Partitions)
+	net.SetLookahead(cfg.Lookahead)
 
 	for _, core := range a.Cores {
 		a.CoreIfaces = append(a.CoreIfaces, core.Interface())

@@ -51,9 +51,14 @@ type ServerConfig struct {
 	Seed uint64
 
 	// Partitions selects the tick engine for Run: 0 or 1 is sequential,
-	// higher counts advance ring groups concurrently. Results are
-	// bit-identical at every setting (see noc.SetPartitions).
+	// higher counts advance ring groups concurrently, -1 sizes the pool
+	// automatically. Results are bit-identical at every setting (see
+	// noc.SetPartitions).
 	Partitions int
+
+	// Lookahead caps the partitioned engine's superstep horizon; 0
+	// derives it from the topology (see noc.SetLookahead).
+	Lookahead int
 }
 
 // DefaultServerConfig returns the paper-scale system: 96 cores over two
@@ -296,6 +301,7 @@ func BuildServerCPU(cfg ServerConfig, kind CoreKind, memCoreCfg func(core int, s
 
 	net.MustFinalize()
 	net.SetPartitions(cfg.Partitions)
+	net.SetLookahead(cfg.Lookahead)
 	return s
 }
 

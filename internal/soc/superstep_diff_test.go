@@ -1,0 +1,295 @@
+package soc
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"chipletnoc/internal/fault"
+	"chipletnoc/internal/metrics"
+	"chipletnoc/internal/noc"
+	"chipletnoc/internal/trace"
+	"chipletnoc/internal/traffic"
+)
+
+// The superstep differential suite extends the partition suite to the
+// conservative-lookahead engine: a partitioned run that amortizes its
+// barriers over multi-cycle epochs must stay bit-identical to the
+// sequential run at every (partitions, lookahead) combination — same
+// flit digest, same metrics snapshot, byte-identical checkpoints, and
+// the same trace event stream, with and without an active fault
+// schedule. Lookahead 0 lets the engine derive the horizon from the
+// topology's bridge pipeline depths; noc.PartitionsAuto exercises the
+// machine-sized pool.
+
+// superstepGrid is the (partitions, lookahead) sweep every differential
+// test runs against the sequential reference. Lookahead 1 degenerates
+// to per-cycle epochs (the PR 6 engine), 2 and 8 exercise short and
+// structural-length epochs, 0 derives the horizon.
+var superstepGrid = []struct{ parts, la int }{
+	{1, 8}, // sequential engine: lookahead must be inert
+	{2, 1}, {2, 2}, {2, 8}, {2, 0},
+	{4, 1}, {4, 2}, {4, 8}, {4, 0},
+	{noc.PartitionsAuto, 0},
+}
+
+// quadDieBuild is the four-compute-die Server-CPU under saturating
+// memory traffic — the scaling showcase the bench suite times. Every
+// inter-die cut is an RBRG-L2, so the derived horizon is the full link
+// pipeline depth.
+func quadDieBuild() (*noc.Network, func(int)) {
+	cfg := DefaultServerConfig()
+	cfg.Packages = 2
+	cfg.ClustersPerDie = 2
+	s := BuildServerCPU(cfg, MemoryCores, func(core int, s *ServerCPU) traffic.RequesterConfig {
+		const line = 64
+		return traffic.RequesterConfig{
+			Outstanding:  8,
+			Rate:         1,
+			ReadFraction: 0.7,
+			LineBytes:    line,
+			Stream:       traffic.NewSeqStream(uint64(core)<<28, line, 1<<22),
+			TargetOf:     traffic.InterleavedTargetsBy(s.AllDDRNodes(), line),
+		}
+	})
+	return s.Net, s.Run
+}
+
+// hashTrace folds a tracer's retained events into an FNV-1a hash; the
+// partitioned engine must replay buffered events in exactly the
+// sequential recording order, so the hashes must match bit for bit.
+func hashTrace(tr *trace.Tracer) uint64 {
+	h := fnv.New64a()
+	for _, e := range tr.Events() {
+		fmt.Fprintf(h, "%d|%d|%d|%s|%s\n", e.Cycle, e.Kind, e.FlitID, e.Where, e.Detail)
+	}
+	return h.Sum64()
+}
+
+// superstepRun drives one build at (parts, la) and returns the flit
+// digest, checkpoint bytes (nil when withCkpt is false), metrics
+// snapshot JSON and the trace hash (0 when traced is false).
+func superstepRun(t *testing.T, net *noc.Network, run func(int), cycles, parts, la int, withCkpt, traced bool) (flitDigest, []byte, []byte, uint64) {
+	t.Helper()
+	net.SetPartitions(parts)
+	net.SetLookahead(la)
+	reg := metrics.New(500)
+	net.EnableMetrics(reg)
+	var tr *trace.Tracer
+	if traced {
+		tr = trace.New(1 << 16)
+		net.Tracer = tr
+	}
+	latencies, latencyFNV := hashLatencies(net)
+	run(cycles)
+
+	var ckpt bytes.Buffer
+	if withCkpt {
+		if err := noc.WriteCheckpoint(&ckpt, net, nil); err != nil {
+			t.Fatalf("checkpoint at parts=%d la=%d: %v", parts, la, err)
+		}
+	}
+	var met bytes.Buffer
+	if err := reg.Snapshot("diff", uint64(cycles)).WriteJSON(&met); err != nil {
+		t.Fatalf("metrics snapshot at parts=%d la=%d: %v", parts, la, err)
+	}
+	var traceFNV uint64
+	if traced {
+		traceFNV = hashTrace(tr)
+	}
+	return digestNet(net, latencies, latencyFNV), ckpt.Bytes(), met.Bytes(), traceFNV
+}
+
+// superstepSweep runs the sequential reference and the whole grid,
+// requiring bit-identity across all four artifacts.
+func superstepSweep(t *testing.T, build func() (*noc.Network, func(int)), cycles int, withCkpt, traced bool) flitDigest {
+	t.Helper()
+	net, run := build()
+	seqDigest, seqCkpt, seqMet, seqTrace := superstepRun(t, net, run, cycles, 1, 0, withCkpt, traced)
+	for _, g := range superstepGrid {
+		net, run := build()
+		digest, ckpt, met, traceFNV := superstepRun(t, net, run, cycles, g.parts, g.la, withCkpt, traced)
+		tag := fmt.Sprintf("parts=%d la=%d", g.parts, g.la)
+		if digest != seqDigest {
+			t.Errorf("%s: digest diverged\n got: %#v\nwant: %#v", tag, digest, seqDigest)
+		}
+		if !bytes.Equal(ckpt, seqCkpt) {
+			t.Errorf("%s: checkpoint bytes diverged (%d vs %d bytes)", tag, len(ckpt), len(seqCkpt))
+		}
+		if !bytes.Equal(met, seqMet) {
+			t.Errorf("%s: metrics snapshot diverged", tag)
+		}
+		if traceFNV != seqTrace {
+			t.Errorf("%s: trace stream diverged (%#x vs %#x)", tag, traceFNV, seqTrace)
+		}
+	}
+	return seqDigest
+}
+
+// TestSuperstepEquivalenceServerCPU sweeps the golden coherent-read
+// scenario with the tracer attached: cross-die CHI traffic through
+// split RBRG-L2 bridges, trace events buffered and replayed.
+func TestSuperstepEquivalenceServerCPU(t *testing.T) {
+	digest := superstepSweep(t, func() (*noc.Network, func(int)) {
+		s := goldenServerBuild()
+		return s.Net, s.Run
+	}, 4000, true, true)
+	// Anchor: the sequential leg must still be the golden run.
+	checkDigest(t, digest, goldenServerDigest)
+}
+
+// TestSuperstepEquivalenceAIProcessor sweeps the golden AI die. Its
+// RBRG-L1 mesh intersections span partitions, so the derived horizon
+// collapses to per-cycle epochs — this pins that the collapse itself is
+// digest-neutral at every lookahead cap.
+func TestSuperstepEquivalenceAIProcessor(t *testing.T) {
+	digest := superstepSweep(t, func() (*noc.Network, func(int)) {
+		a := goldenAIBuild()
+		return a.Net, a.Run
+	}, 3000, true, true)
+	checkDigest(t, digest, goldenAIDigest)
+}
+
+// TestSuperstepEquivalenceQuadDie sweeps the bench suite's scaling
+// showcase: all-L2 cuts, so multi-cycle epochs actually run (guarded by
+// TestSuperstepBarrierElision below).
+func TestSuperstepEquivalenceQuadDie(t *testing.T) {
+	superstepSweep(t, quadDieBuild, 3000, true, false)
+}
+
+// TestSuperstepEquivalenceAIFaults sweeps the golden fault-injection
+// run: the injector is a serial device whose IdleUntil bounds every
+// epoch, the kill forces the mid-run fallback to per-cycle sequential
+// ticks, and the watchdog clamps epochs to its sweep boundaries.
+func TestSuperstepEquivalenceAIFaults(t *testing.T) {
+	build := func() (*noc.Network, func(int)) {
+		a := goldenAIBuild()
+		names := a.Net.BridgeNames()
+		sched := &fault.Schedule{
+			WatchdogCycles: 1200,
+			Events: []fault.Event{
+				{At: 500, Kind: fault.KillBridge, Bridge: names[0], RepairAt: 1800},
+				{At: 900, Kind: fault.DropFlit},
+				{At: 1000, Kind: fault.CorruptFlit},
+			},
+		}
+		if _, err := fault.NewInjector(a.Net, sched, 0x5e5); err != nil {
+			t.Fatalf("NewInjector: %v", err)
+		}
+		return a.Net, a.Run
+	}
+	// No checkpoint leg: the injector does not support checkpointing.
+	digest := superstepSweep(t, build, 3000, false, true)
+	checkDigest(t, digest, goldenAIFaultDigest)
+}
+
+// TestSuperstepFaultedQuadDie kills and repairs an inter-package PA
+// link mid-run on the quad-die build: epochs run before the kill, the
+// failed stretch falls back to per-cycle ticks, and epochs resume after
+// the repair — all digest-neutral.
+func TestSuperstepFaultedQuadDie(t *testing.T) {
+	build := func() (*noc.Network, func(int)) {
+		net, run := quadDieBuild()
+		names := net.BridgeNames()
+		sched := &fault.Schedule{
+			WatchdogCycles: 900,
+			Events: []fault.Event{
+				{At: 700, Kind: fault.KillBridge, Bridge: names[len(names)-1], RepairAt: 1600},
+			},
+		}
+		if _, err := fault.NewInjector(net, sched, 0x77); err != nil {
+			t.Fatalf("NewInjector: %v", err)
+		}
+		return net, run
+	}
+	superstepSweep(t, build, 2500, false, false)
+}
+
+// TestSuperstepBarrierElision pins the engine's reason to exist: at a
+// fixed lookahead k on the quad-die build the coordinator must cross
+// exactly two barriers per epoch and run one epoch per k cycles (±1
+// epoch for the final remainder), not one per cycle. It also guards the
+// quad-die plan against degenerating to a single partition.
+func TestSuperstepBarrierElision(t *testing.T) {
+	const cycles, la = 3000, 8
+	net, run := quadDieBuild()
+	net.SetPartitions(2)
+	net.SetLookahead(la)
+	run(cycles)
+	if got := net.Partitions(); got < 2 {
+		t.Fatalf("effective partitions = %d, want >= 2", got)
+	}
+	if net.EpochsRun == 0 {
+		t.Fatal("no supersteps ran — engine fell back to per-cycle ticks")
+	}
+	if net.BarrierSyncs != 2*net.EpochsRun {
+		t.Fatalf("BarrierSyncs = %d, want 2*EpochsRun = %d", net.BarrierSyncs, 2*net.EpochsRun)
+	}
+	// No watchdog, no metrics registry, no serial schedule: every epoch
+	// except possibly the last must span the full lookahead.
+	want := uint64(cycles / la)
+	if cycles%la != 0 {
+		want++
+	}
+	if net.EpochsRun > want+1 || net.EpochsRun < want {
+		t.Fatalf("EpochsRun = %d over %d cycles at lookahead %d, want %d(+1)", net.EpochsRun, cycles, la, want)
+	}
+}
+
+// TestSuperstepMidEpochCheckpointResume proves a checkpoint is a
+// lookahead-free artifact. The interrupt cycle 1500 is mid-epoch for a
+// free-running lookahead-8 engine (1500 % 8 != 0): the Run-boundary
+// clamp must end an epoch exactly there, and the checkpoint must
+// restore into engines at every other (partitions, lookahead) setting
+// and finish bit-identical to the uninterrupted sequential run.
+func TestSuperstepMidEpochCheckpointResume(t *testing.T) {
+	const half, full = 1500, 3000
+
+	// Uninterrupted sequential reference.
+	refNet, refRun := quadDieBuild()
+	refRun(full)
+	var refCkpt bytes.Buffer
+	if err := noc.WriteCheckpoint(&refCkpt, refNet, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-run checkpoint from the superstep engine...
+	aNet, aRun := quadDieBuild()
+	aNet.SetPartitions(2)
+	aNet.SetLookahead(8)
+	aRun(half)
+	var mid bytes.Buffer
+	if err := noc.WriteCheckpoint(&mid, aNet, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// ...must equal the sequential engine's mid-run checkpoint...
+	sNet, sRun := quadDieBuild()
+	sRun(half)
+	var seqMid bytes.Buffer
+	if err := noc.WriteCheckpoint(&seqMid, sNet, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mid.Bytes(), seqMid.Bytes()) {
+		t.Fatalf("mid-run checkpoints differ between engines (%d vs %d bytes)", mid.Len(), seqMid.Len())
+	}
+
+	// ...and resume at other settings to the identical final state.
+	for _, g := range []struct{ parts, la int }{{1, 0}, {2, 2}, {4, 8}, {noc.PartitionsAuto, 0}} {
+		bNet, bRun := quadDieBuild()
+		if _, err := noc.ReadCheckpoint(bytes.NewReader(mid.Bytes()), bNet); err != nil {
+			t.Fatalf("resume at parts=%d la=%d: %v", g.parts, g.la, err)
+		}
+		bNet.SetPartitions(g.parts)
+		bNet.SetLookahead(g.la)
+		bRun(full - half)
+		var got bytes.Buffer
+		if err := noc.WriteCheckpoint(&got, bNet, nil); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), refCkpt.Bytes()) {
+			t.Errorf("checkpoint resumed at parts=%d la=%d diverged from the uninterrupted run", g.parts, g.la)
+		}
+	}
+}
