@@ -26,7 +26,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: all|simrun|"+strings.Join(experiments.ExperimentNames(), "|"))
+		"experiment: all|simrun|serving|"+strings.Join(experiments.ExperimentNames(), "|"))
 	quick := flag.Bool("quick", false, "quick scale (smaller systems, shorter windows)")
 	csvDir := flag.String("csv", "", "also write figure data as CSV files into this directory")
 	parallel := flag.Int("parallel", runtime.NumCPU(),
@@ -44,7 +44,8 @@ func main() {
 	checkpointEvery := flag.Uint64("checkpoint-every", 0, "simrun: checkpoint every N cycles (0 = off)")
 	checkpointFile := flag.String("checkpoint", "", "simrun: rolling checkpoint file (written atomically each interval)")
 	resumeFile := flag.String("resume", "", "simrun: resume from this checkpoint file instead of starting fresh")
-	cacheDir := flag.String("cache-dir", "", "simrun: content-addressed result cache directory (shareable with a nocd -cache-dir); a hit skips the simulation and replays identical bytes")
+	cacheDir := flag.String("cache-dir", "", "simrun/serving: content-addressed result cache directory (shareable with a nocd -cache-dir); a hit skips the simulation and replays identical bytes")
+	servingSpec := flag.String("serving-spec", "", "serving: spec JSON file describing the open-loop sweep (empty = the default MoE workload)")
 	flag.Parse()
 
 	experiments.SetParallelism(*parallel)
@@ -132,6 +133,11 @@ func main() {
 	case "simrun":
 		if err := runSim(scale, *simTopology, *simConfig, *simCycles, *simSeed,
 			*checkpointEvery, *checkpointFile, *resumeFile, *cacheDir, writeCSV); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case "serving":
+		if err := runServing(scale, *servingSpec, *cacheDir, writeCSV); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -235,6 +241,73 @@ func runSim(scale experiments.Scale, topology, configFile string, cycles, seed, 
 	writeCSV("simrun.csv", r.CSV())
 	if cache != nil {
 		if payload, err := (&server.CachedResult{Kind: "sim", Sim: r}).Encode(); err != nil {
+			fmt.Fprintf(os.Stderr, "cache: not stored: %v\n", err)
+		} else if err := cache.Put(cacheKey, payload); err != nil {
+			fmt.Fprintf(os.Stderr, "cache: not stored: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "cache: stored %s (%d bytes)\n", cacheKey[:12], len(payload))
+		}
+	}
+	return nil
+}
+
+// runServing executes one open-loop serving sweep, mirroring exactly
+// the normalization the daemon applies so CLI and service CSVs are
+// byte-identical. With -cache-dir it shares the daemon's
+// content-addressed store: same keys (partitions/lookahead excluded),
+// same payloads. Cache chatter goes to stderr; stdout carries exactly
+// the bytes a cold run would print.
+func runServing(scale experiments.Scale, specFile, cacheDir string, writeCSV func(name, data string)) error {
+	doc := ""
+	if specFile != "" {
+		data, err := os.ReadFile(specFile)
+		if err != nil {
+			return err
+		}
+		doc = string(data)
+	}
+
+	var cache *artifact.Store
+	var cacheKey, canonical string
+	if cacheDir != "" {
+		store, err := artifact.Open(artifact.Config{Dir: cacheDir})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cache: disabled: %v\n", err)
+		} else if js, err := (server.JobSpec{
+			Kind:    "serving",
+			Scale:   experiments.ScaleName(scale),
+			Serving: []byte(doc),
+		}).Normalize(); err == nil {
+			// An invalid spec falls through to RunServingDoc for its real error.
+			if key, err := server.JobKey(js); err == nil {
+				cache, cacheKey, canonical = store, key, string(js.Serving)
+			}
+		}
+	}
+	if cache != nil {
+		if payload, ok := cache.Get(cacheKey); ok {
+			res, err := server.CachedServingResult(payload, canonical)
+			if err != nil {
+				cache.Delete(cacheKey)
+				fmt.Fprintf(os.Stderr, "cache: evicted undecodable entry %s: %v\n", cacheKey[:12], err)
+			} else {
+				fmt.Fprintf(os.Stderr, "cache: hit %s — serving stored result\n", cacheKey[:12])
+				fmt.Println(res.Render())
+				writeCSV("serving.csv", res.CSV())
+				return nil
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "cache: miss %s\n", cacheKey[:12])
+		}
+	}
+	res, err := experiments.RunServingDoc(doc, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Render())
+	writeCSV("serving.csv", res.CSV())
+	if cache != nil {
+		if payload, err := (&server.CachedResult{Kind: "serving", Serving: res}).Encode(); err != nil {
 			fmt.Fprintf(os.Stderr, "cache: not stored: %v\n", err)
 		} else if err := cache.Put(cacheKey, payload); err != nil {
 			fmt.Fprintf(os.Stderr, "cache: not stored: %v\n", err)

@@ -1,0 +1,126 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseServingSpecDefaults(t *testing.T) {
+	s, err := ParseServingSpec([]byte(`{}`))
+	if err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+	s.ApplyDefaults(true)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("defaulted spec invalid: %v", err)
+	}
+	if s.Dies != 4 || len(s.Layers) != 6 || s.Batch != 4 {
+		t.Errorf("unexpected defaults: dies=%d layers=%d batch=%d", s.Dies, len(s.Layers), s.Batch)
+	}
+	if s.LowWatermark != 2 || s.HighWatermark != 8 {
+		t.Errorf("default watermarks %d/%d, want 2/8 (multi-buffered streaming)", s.LowWatermark, s.HighWatermark)
+	}
+	if len(s.Loads) != 4 || s.Loads[0] != 1 || s.Cycles != 8000 {
+		t.Errorf("unexpected quick sweep defaults: loads=%v cycles=%d", s.Loads, s.Cycles)
+	}
+	for i, l := range s.Layers {
+		if l.Kind == LayerMoE && len(l.ExpertDies) != l.Experts {
+			t.Errorf("layer %d: %d expert dies for %d experts", i, len(l.ExpertDies), l.Experts)
+		}
+	}
+	// Idempotence: defaulting twice changes nothing.
+	doc1, _ := CanonicalServingDoc(s)
+	s.ApplyDefaults(true)
+	doc2, _ := CanonicalServingDoc(s)
+	if doc1 != doc2 {
+		t.Errorf("ApplyDefaults is not idempotent:\n%s\n%s", doc1, doc2)
+	}
+}
+
+func TestParseServingSpecRejects(t *testing.T) {
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"unknown field", `{"bogus": 1}`, "unknown field"},
+		{"trailing data", `{} {}`, "trailing data"},
+		{"cyclic deps", `{"layers": [
+			{"kind": "attention", "deps": [1]},
+			{"kind": "ffn", "deps": [0]}]}`, "cycle"},
+		{"self dep", `{"layers": [{"kind": "attention", "deps": [0]}]}`, "itself"},
+		{"absent dep", `{"layers": [{"kind": "attention", "deps": [7]}]}`, "absent layer"},
+		{"zero-rate load", `{"loads": [0]}`, "offered load"},
+		{"negative load", `{"loads": [-3]}`, "offered load"},
+		{"expert on absent die", `{"dies": 2,
+			"layers": [{"kind": "moe", "experts": 2, "expertDies": [0, 5]}]}`, "absent die"},
+		{"expert map wrong length", `{"layers": [{"kind": "moe", "experts": 3, "expertDies": [0]}]}`, "maps 1 of 3"},
+		{"moe without experts", `{"layers": [{"kind": "moe"}]}`, "experts outside"},
+		{"moe fields on ffn", `{"layers": [{"kind": "ffn", "experts": 2}]}`, "sets MoE fields"},
+		{"unknown layer kind", `{"layers": [{"kind": "conv"}]}`, "unknown kind"},
+		{"unknown arrival", `{"arrival": {"process": "pareto"}}`, "arrival process"},
+		{"inverted watermarks", `{"lowWatermark": 3, "highWatermark": 2}`, "below high watermark"},
+		{"oversized fanout", `{"layers": [{"kind": "moe", "experts": 2, "fanOut": 5}]}`, "fan-out"},
+		{"too many dies", `{"dies": 99}`, "dies outside"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseServingSpec([]byte(c.doc))
+			if err == nil {
+				t.Fatalf("accepted %s", c.doc)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestServingLayerDeps(t *testing.T) {
+	s, err := ParseServingSpec([]byte(`{"layers": [
+		{"kind": "attention"},
+		{"kind": "ffn"},
+		{"kind": "ffn", "deps": [0]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deps := s.LayerDeps(0); len(deps) != 0 {
+		t.Errorf("layer 0 deps = %v, want none", deps)
+	}
+	if deps := s.LayerDeps(1); len(deps) != 1 || deps[0] != 0 {
+		t.Errorf("layer 1 deps = %v, want [0] (implicit chain)", deps)
+	}
+	if deps := s.LayerDeps(2); len(deps) != 1 || deps[0] != 0 {
+		t.Errorf("layer 2 deps = %v, want explicit [0]", deps)
+	}
+}
+
+// FuzzParseServingSpec hardens the serving-spec parser against hostile
+// documents: whatever the bytes, parsing must not panic, and any
+// accepted spec must still be valid after defaulting (the contract the
+// daemon's admission path relies on) and must re-parse from its own
+// canonical rendering.
+func FuzzParseServingSpec(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"dies": 2, "layers": [{"kind": "attention"}]}`))
+	f.Add([]byte(`{"layers": [{"kind": "moe", "experts": 4, "fanOut": 2, "expertDies": [0,1,2,3]}]}`))
+	f.Add([]byte(`{"layers": [{"kind": "attention", "deps": [1]}, {"kind": "ffn", "deps": [0]}]}`))
+	f.Add([]byte(`{"loads": [0]}`))
+	f.Add([]byte(`{"arrival": {"process": "bursty", "burstOn": 10, "burstOff": 100}}`))
+	f.Add([]byte(`{"dies": 1, "layers": [{"kind": "moe", "experts": 2, "expertDies": [0, 9]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseServingSpec(data)
+		if err != nil {
+			return
+		}
+		s.ApplyDefaults(true)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted spec invalid after defaults: %v", err)
+		}
+		doc, err := CanonicalServingDoc(s)
+		if err != nil {
+			t.Fatalf("canonical render failed: %v", err)
+		}
+		if _, err := ParseServingSpec([]byte(doc)); err != nil {
+			t.Fatalf("canonical doc does not re-parse: %v\n%s", err, doc)
+		}
+	})
+}

@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"os/exec"
 	"runtime"
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"chipletnoc/internal/baseline"
+	"chipletnoc/internal/serving"
 	"chipletnoc/internal/soc"
 	"chipletnoc/internal/stats"
 	"chipletnoc/internal/traffic"
@@ -168,6 +170,43 @@ func benchQuadDieCase(c *BenchCase, partitions, lookahead int) {
 	c.LatencyMax = lat.Max()
 }
 
+// benchServingCycles sizes the open-loop serving reference: long enough
+// for the watermark streaming to reach steady state at the bench load.
+const benchServingCycles = 6000
+
+// benchServingLoad is the reference offered rate (requests per 1000
+// cycles): heavy enough that MoE dispatch/combine keeps the inter-die
+// bridges busy, light enough that the run stays below the knee.
+const benchServingLoad = 16
+
+// benchServingCase runs one open-loop MoE serving point — host
+// orchestration, expert all-to-all over the bridges, watermark-paced
+// batch streaming — at the given partition count and lookahead cap, and
+// records throughput plus the end-to-end request-latency percentiles
+// from the streaming quantile sketch.
+func benchServingCase(c *BenchCase, partitions, lookahead int) {
+	doc := fmt.Sprintf(`{"seed":7,"loads":[%d],"cycles":%d}`, benchServingLoad, benchServingCycles)
+	_, spec, err := NormalizeServingDoc(doc, Quick)
+	if err != nil {
+		panic(err) // literal doc above; cannot fail
+	}
+	spec.Partitions = partitions
+	spec.Lookahead = lookahead
+	c.Lookahead = lookahead
+	sys, err := serving.Build(spec, 0)
+	if err != nil {
+		panic(err)
+	}
+	sys.Run()
+	c.SimCycles = benchServingCycles
+	c.Workers = sys.Net.Partitions()
+	o := sys.Orch
+	c.LatencyP50 = o.Sketch.Quantile(0.50)
+	c.LatencyP90 = o.Sketch.Quantile(0.90)
+	c.LatencyP99 = o.Sketch.Quantile(0.99)
+	c.LatencyMax = float64(o.Sketch.Max())
+}
+
 // measureCase times fn with allocation accounting. A GC before each case
 // keeps one case's garbage from billing the next.
 func measureCase(name string, fn func(c *BenchCase)) BenchCase {
@@ -208,6 +247,9 @@ func benchSuite() []struct {
 		{"ref/quad-die-par2", func(c *BenchCase) { benchQuadDieCase(c, 2, 0) }},
 		{"ref/quad-die-par4", func(c *BenchCase) { benchQuadDieCase(c, 4, 0) }},
 		{"ref/quad-die-par4-la8", func(c *BenchCase) { benchQuadDieCase(c, 4, 8) }},
+		{"ref/serving-moe", func(c *BenchCase) { benchServingCase(c, 1, 0) }},
+		{"ref/serving-moe-par2", func(c *BenchCase) { benchServingCase(c, 2, 0) }},
+		{"ref/serving-moe-par4-la8", func(c *BenchCase) { benchServingCase(c, 4, 8) }},
 		{"ref/multiring-uniform", func(c *BenchCase) {
 			const warmup, window = 2000, 10000
 			p := baseline.MeasureUniform(baseline.NewMultiRing(32, true), 0.1, 64, warmup, window, 1)
@@ -225,6 +267,11 @@ func benchSuite() []struct {
 		{"exp/fabrics", func(*BenchCase) { RunFabricComparison(Quick) }},
 		{"exp/replay", func(*BenchCase) { RunLayerReplay(Quick) }},
 		{"exp/resilience", func(*BenchCase) { RunResilience(Quick) }},
+		{"exp/serving", func(*BenchCase) {
+			if _, err := RunServingDoc("", Quick); err != nil {
+				panic(err) // the empty doc is all defaults; cannot fail
+			}
+		}},
 		{"exp/ablation-bufferless", func(*BenchCase) { RunAblationBufferless(Quick) }},
 		{"exp/ablation-tags", func(*BenchCase) { RunAblationTags(Quick) }},
 	}

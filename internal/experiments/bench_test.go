@@ -13,8 +13,8 @@ import (
 // variants' worker counts.
 func TestBenchSuiteReferenceCases(t *testing.T) {
 	report := RunBenchSuite(func(name string) bool { return strings.HasPrefix(name, "ref/") })
-	if len(report.Cases) != 9 {
-		t.Fatalf("got %d ref cases, want 9", len(report.Cases))
+	if len(report.Cases) != 12 {
+		t.Fatalf("got %d ref cases, want 12", len(report.Cases))
 	}
 	wantWorkers := map[string]int{
 		"ref/ai-processor":          1,
@@ -25,10 +25,14 @@ func TestBenchSuiteReferenceCases(t *testing.T) {
 		"ref/quad-die-par2":         2,
 		"ref/quad-die-par4":         4,
 		"ref/quad-die-par4-la8":     4,
+		"ref/serving-moe":           1,
+		"ref/serving-moe-par2":      2,
+		"ref/serving-moe-par4-la8":  4,
 	}
 	wantLookahead := map[string]int{
 		"ref/ai-processor-par4-la8": 8,
 		"ref/quad-die-par4-la8":     8,
+		"ref/serving-moe-par4-la8":  8,
 	}
 	for _, c := range report.Cases {
 		if c.SimCycles == 0 || c.CyclesPerSec <= 0 {

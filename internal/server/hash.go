@@ -45,6 +45,11 @@ type jobIdentity struct {
 	Config          string `json:"config,omitempty"`
 	// Experiment-job identity.
 	Experiment string `json:"experiment,omitempty"`
+	// Serving-job identity: the canonical serving document minus the
+	// behaviour-neutral partitions/lookahead knobs. Scale is absent on
+	// purpose — the document arrives fully defaulted, so scale no longer
+	// influences the result.
+	Serving string `json:"serving,omitempty"`
 }
 
 // JobKey returns the content address of a job's result: a hex SHA-256
@@ -74,6 +79,10 @@ func JobKey(spec JobSpec) (string, error) {
 	case "experiment":
 		id.Experiment = spec.Experiment
 		id.Scale = spec.Scale
+	case "serving":
+		if id.Serving, err = hashableConfig(string(spec.Serving)); err != nil {
+			return "", err
+		}
 	default:
 		return "", fmt.Errorf("job kind %q has no content address", spec.Kind)
 	}
@@ -85,10 +94,12 @@ func JobKey(spec JobSpec) (string, error) {
 }
 
 // hashableConfig strips the identity-excluded "partitions" and
-// "lookahead" knobs from a custom-topology config document before
-// hashing. The document arrives already canonical (Normalize sorted its
-// keys), so this only has to drop the behaviour-neutral fields; numeric
-// literals ride through as json.Number and are re-rendered verbatim.
+// "lookahead" knobs from a canonical JSON document — a custom-topology
+// config or a serving spec, which spell those knobs identically —
+// before hashing. The document arrives already canonical (Normalize
+// rendered it), so this only has to drop the behaviour-neutral fields;
+// numeric literals ride through as json.Number and are re-rendered
+// verbatim.
 func hashableConfig(doc string) (string, error) {
 	if doc == "" {
 		return "", nil
@@ -114,17 +125,28 @@ func hashableConfig(doc string) (string, error) {
 // encoding/json — shortest-form floats, sorted map keys — which is what
 // lets a decoded copy serve the same bytes a fresh run would.
 type CachedResult struct {
-	Kind     string                 `json:"kind"`
-	Sim      *experiments.SimResult `json:"sim,omitempty"`
-	Artifact *experiments.Artifact  `json:"artifact,omitempty"`
+	Kind     string                     `json:"kind"`
+	Sim      *experiments.SimResult     `json:"sim,omitempty"`
+	Artifact *experiments.Artifact      `json:"artifact,omitempty"`
+	Serving  *experiments.ServingResult `json:"serving,omitempty"`
+}
+
+// shapeOK checks that exactly the kind-matching payload field is set.
+func (c *CachedResult) shapeOK() bool {
+	switch c.Kind {
+	case "sim":
+		return c.Sim != nil && c.Artifact == nil && c.Serving == nil
+	case "experiment":
+		return c.Artifact != nil && c.Sim == nil && c.Serving == nil
+	case "serving":
+		return c.Serving != nil && c.Sim == nil && c.Artifact == nil
+	}
+	return false
 }
 
 // Encode renders the payload for the artifact store.
 func (c *CachedResult) Encode() ([]byte, error) {
-	switch {
-	case c.Kind == "sim" && c.Sim != nil && c.Artifact == nil:
-	case c.Kind == "experiment" && c.Artifact != nil && c.Sim == nil:
-	default:
+	if !c.shapeOK() {
 		return nil, fmt.Errorf("cached result shape does not match kind %q", c.Kind)
 	}
 	return json.Marshal(c)
@@ -139,10 +161,7 @@ func DecodeCachedResult(payload []byte) (*CachedResult, error) {
 	if err := json.Unmarshal(payload, &c); err != nil {
 		return nil, fmt.Errorf("cached result: %w", err)
 	}
-	switch {
-	case c.Kind == "sim" && c.Sim != nil && c.Artifact == nil:
-	case c.Kind == "experiment" && c.Artifact != nil && c.Sim == nil:
-	default:
+	if !c.shapeOK() {
 		return nil, fmt.Errorf("cached result shape does not match kind %q", c.Kind)
 	}
 	return &c, nil
@@ -165,5 +184,24 @@ func CachedSimResult(payload []byte, spec experiments.SimSpec) (*experiments.Sim
 	}
 	res := *c.Sim
 	res.Spec = spec
+	return &res, nil
+}
+
+// CachedServingResult decodes a serving-job payload and patches the doc
+// echo to the submission's own canonical document. The cached sweep and
+// the submission agree on every identity field; only the excluded
+// partitions/lookahead knobs can differ, and the echo must reflect the
+// submission for the body to be byte-identical to a fresh run of it.
+// Shared by the daemon's admission path and the CLI's -cache-dir.
+func CachedServingResult(payload []byte, doc string) (*experiments.ServingResult, error) {
+	c, err := DecodeCachedResult(payload)
+	if err != nil {
+		return nil, err
+	}
+	if c.Kind != "serving" {
+		return nil, fmt.Errorf("cached result is a %s job, not a serving sweep", c.Kind)
+	}
+	res := *c.Serving
+	res.Doc = doc
 	return &res, nil
 }

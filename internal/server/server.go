@@ -45,9 +45,10 @@ type Job struct {
 	Status JobStatus
 	Error  string
 	// Cycle is the simulated cycle reached when the job was suspended.
-	Cycle     uint64
-	SimResult *experiments.SimResult
-	Artifact  *experiments.Artifact
+	Cycle         uint64
+	SimResult     *experiments.SimResult
+	Artifact      *experiments.Artifact
+	ServingResult *experiments.ServingResult
 	// Cached marks a job served from the content-addressed result cache
 	// (no simulation ran for it).
 	Cached bool
@@ -376,6 +377,8 @@ func (s *Server) runFlight(fl *flight) {
 	switch lead.Spec.Kind {
 	case "experiment":
 		s.runExperimentFlight(fl, started)
+	case "serving":
+		s.runServingFlight(fl, started)
 	default:
 		s.runSimFlight(fl, started)
 	}
@@ -415,6 +418,10 @@ func (s *Server) applyCachedLocked(job *Job, c *CachedResult) {
 		job.SimResult = &res
 	case "experiment":
 		job.Artifact = c.Artifact
+	case "serving":
+		res := *c.Serving
+		res.Doc = string(job.Spec.Serving)
+		job.ServingResult = &res
 	}
 	s.dropPersisted(job.ID)
 }
@@ -458,6 +465,39 @@ func (s *Server) runExperimentFlight(fl *flight, started time.Time) {
 			job.Status, job.Error = StatusFailed, s.deadlineError(started)
 		default:
 			job.Status, job.Artifact = StatusDone, art
+		}
+	})
+}
+
+// runServingFlight runs an open-loop serving sweep. Like experiments,
+// serving sweeps are coarse-grained (the load points fan out over the
+// experiment worker pool, no checkpoint), so cancellation, shutdown and
+// the wall-clock deadline take effect at job granularity. The spec
+// document is already canonical, so rerunning it through the
+// normalizing runner is a no-op on identity.
+func (s *Server) runServingFlight(fl *flight, started time.Time) {
+	lead := fl.lead()
+	scale, err := experiments.ParseScale(lead.Spec.Scale)
+	var res *experiments.ServingResult
+	if err == nil {
+		res, err = experiments.RunServingDoc(string(lead.Spec.Serving), scale)
+	}
+	var payload []byte
+	if err == nil && !fl.cancel.Load() && !s.pastDeadline(started) {
+		payload = s.encodeForCache(fl, &CachedResult{Kind: "serving", Serving: res})
+	}
+	s.finishFlight(fl, payload, func(job *Job) {
+		switch {
+		case err != nil:
+			job.Status, job.Error = StatusFailed, err.Error()
+		case fl.cancel.Load():
+			job.Status = StatusCanceled
+		case s.pastDeadline(started):
+			job.Status, job.Error = StatusFailed, s.deadlineError(started)
+		default:
+			r := *res
+			r.Doc = string(job.Spec.Serving)
+			job.Status, job.ServingResult = StatusDone, &r
 		}
 	})
 }
@@ -968,7 +1008,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	status := job.Status
-	res, art := job.SimResult, job.Artifact
+	res, art, srv := job.SimResult, job.Artifact, job.ServingResult
 	cached := job.Cached
 	s.mu.Unlock()
 	if status != StatusDone {
@@ -998,6 +1038,19 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		case "text":
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			fmt.Fprint(w, res.Render())
+		default:
+			httpError(w, http.StatusBadRequest, "unknown format %q (want json, csv or text)", format)
+		}
+	case srv != nil:
+		switch format {
+		case "json":
+			writeJSON(w, http.StatusOK, srv)
+		case "csv":
+			w.Header().Set("Content-Type", "text/csv")
+			fmt.Fprint(w, srv.CSV())
+		case "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, srv.Render())
 		default:
 			httpError(w, http.StatusBadRequest, "unknown format %q (want json, csv or text)", format)
 		}

@@ -23,15 +23,22 @@ const maxJobSpecBytes = 1 << 20
 // JobSpec is the body of a POST /jobs submission.
 type JobSpec struct {
 	// Kind is "sim" (default): one parameterized simulation described by
-	// Sim — or "experiment": one named artifact from the paper catalog.
+	// Sim — "experiment": one named artifact from the paper catalog — or
+	// "serving": one open-loop serving sweep described by Serving.
 	Kind string `json:"kind,omitempty"`
 	// Sim parameterizes a "sim" job; nil means all defaults (the quick
 	// golden AI-Processor run).
 	Sim *experiments.SimSpec `json:"sim,omitempty"`
 	// Experiment names the catalog entry for an "experiment" job.
 	Experiment string `json:"experiment,omitempty"`
-	// Scale is "quick" or "full" for an "experiment" job (default quick).
+	// Scale is "quick" or "full" for an "experiment" or "serving" job
+	// (default quick).
 	Scale string `json:"scale,omitempty"`
+	// Serving is the serving-spec document for a "serving" job; empty
+	// means all defaults at the job's scale. Normalize canonicalizes it
+	// (defaults applied, fixed field order), so the stored spec fully
+	// describes the sweep.
+	Serving json.RawMessage `json:"serving,omitempty"`
 }
 
 // ParseJobSpec parses and validates an untrusted job submission. Unknown
@@ -64,9 +71,12 @@ func ParseJobSpec(data []byte) (JobSpec, error) {
 // describe the same canonical spec.
 func (js JobSpec) Normalize() (JobSpec, error) {
 	if js.Kind == "" {
-		if js.Experiment != "" {
+		switch {
+		case js.Experiment != "":
 			js.Kind = "experiment"
-		} else {
+		case len(js.Serving) > 0:
+			js.Kind = "serving"
+		default:
 			js.Kind = "sim"
 		}
 	}
@@ -74,6 +84,9 @@ func (js JobSpec) Normalize() (JobSpec, error) {
 	case "sim":
 		if js.Experiment != "" || js.Scale != "" {
 			return js, fmt.Errorf("sim job must not set experiment or scale (scale lives in sim.scale)")
+		}
+		if len(js.Serving) > 0 {
+			return js, fmt.Errorf("sim job must not set a serving spec")
 		}
 		if js.Sim == nil {
 			js.Sim = &experiments.SimSpec{}
@@ -84,8 +97,8 @@ func (js JobSpec) Normalize() (JobSpec, error) {
 		}
 		js.Sim = &normalized
 	case "experiment":
-		if js.Sim != nil {
-			return js, fmt.Errorf("experiment job must not set a sim spec")
+		if js.Sim != nil || len(js.Serving) > 0 {
+			return js, fmt.Errorf("experiment job must not set a sim or serving spec")
 		}
 		name, err := experiments.CanonicalExperiment(js.Experiment)
 		if err != nil {
@@ -97,8 +110,22 @@ func (js JobSpec) Normalize() (JobSpec, error) {
 			return js, err
 		}
 		js.Scale = experiments.ScaleName(scale)
+	case "serving":
+		if js.Sim != nil || js.Experiment != "" {
+			return js, fmt.Errorf("serving job must not set a sim spec or experiment name")
+		}
+		scale, err := experiments.ParseScale(js.Scale)
+		if err != nil {
+			return js, err
+		}
+		js.Scale = experiments.ScaleName(scale)
+		canonical, _, err := experiments.NormalizeServingDoc(string(js.Serving), scale)
+		if err != nil {
+			return js, err
+		}
+		js.Serving = json.RawMessage(canonical)
 	default:
-		return js, fmt.Errorf("unknown job kind %q (want sim or experiment)", js.Kind)
+		return js, fmt.Errorf("unknown job kind %q (want sim, experiment or serving)", js.Kind)
 	}
 	return js, nil
 }

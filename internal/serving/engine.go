@@ -1,0 +1,170 @@
+// Per-die serving engine: the device that turns a command's transfer
+// into CHI traffic. It owns a node on its die's ring (so the partition
+// planner co-locates it with the die), keeps an outstanding-transaction
+// table, and follows the same completion-first tick discipline as
+// traffic.Requester. The engine never touches the orchestrator: it
+// consumes its input queue (written by the orchestrator in the serial
+// phase of the previous cycle) and appends finished commands to its own
+// done list (drained by the orchestrator at the end of this cycle), so
+// engines on different partitions share no mutable state.
+package serving
+
+import (
+	"fmt"
+
+	"chipletnoc/internal/chi"
+	"chipletnoc/internal/metrics"
+	"chipletnoc/internal/noc"
+	"chipletnoc/internal/sim"
+)
+
+// engineOutstanding sizes the per-engine CHI transaction table.
+const engineOutstanding = 32
+
+// engineIssueWidth bounds transfers started per cycle per engine.
+const engineIssueWidth = 4
+
+// engineFootprint wraps the per-engine address bump allocator (the
+// memories don't key on addresses, this just keeps traces readable).
+const engineFootprint = 1 << 24
+
+// Engine executes commands' transfers for one die.
+type Engine struct {
+	name  string
+	die   int
+	net   *noc.Network
+	iface *noc.NodeInterface
+
+	tracker  *chi.Tracker
+	inflight map[uint32]*command
+	sendq    []*noc.Flit
+	queue    []*command // issued by the orchestrator, FIFO
+	done     []*command // finished transfers, drained by the orchestrator
+	addrSeq  uint64
+
+	// Counters, exposed as metrics.
+	Issued, Completed, BytesMoved uint64
+	PeakQueue                     int
+
+	// memNodes maps a die index to its memory controller's node; set by
+	// the builder once all memories exist.
+	memNodes []noc.NodeID
+}
+
+// newEngine attaches an engine to its die ring station.
+func newEngine(net *noc.Network, die int, st *noc.CrossStation) *Engine {
+	e := &Engine{
+		name:     fmt.Sprintf("d%d.serve", die),
+		die:      die,
+		net:      net,
+		tracker:  chi.NewTracker(engineOutstanding),
+		inflight: make(map[uint32]*command, engineOutstanding),
+	}
+	node := net.NewNode(e.name)
+	e.iface = net.Attach(node, st)
+	net.AddDevice(e)
+	return e
+}
+
+// Name implements noc.Device.
+func (e *Engine) Name() string { return e.name }
+
+// Node implements noc.NodeOwner, anchoring the engine to its die's
+// partition.
+func (e *Engine) Node() noc.NodeID { return e.iface.Node() }
+
+// enqueue hands the engine a command whose dependencies are met. Called
+// only from the orchestrator's serial tick.
+func (e *Engine) enqueue(c *command) {
+	e.queue = append(e.queue, c)
+	if len(e.queue) > e.PeakQueue {
+		e.PeakQueue = len(e.queue)
+	}
+}
+
+// finish closes a command's transfer.
+func (e *Engine) finish(txn uint32) {
+	c := e.inflight[txn]
+	delete(e.inflight, txn)
+	req := e.tracker.Complete(txn)
+	e.done = append(e.done, c)
+	e.Completed++
+	e.BytesMoved += uint64(req.Bytes())
+}
+
+// Tick implements noc.Device: completions first (freeing table slots),
+// then queued beats, then new transfers.
+func (e *Engine) Tick(now sim.Cycle) {
+	for {
+		f := e.iface.Recv()
+		if f == nil {
+			break
+		}
+		m := chi.MsgOf(f)
+		req := e.tracker.Lookup(m.TxnID)
+		if req == nil {
+			e.net.ReleaseFlit(f)
+			continue
+		}
+		switch m.Op {
+		case chi.CompData:
+			req.BeatsLeft--
+			if req.BeatsLeft <= 0 {
+				e.finish(m.TxnID)
+			}
+		case chi.DBIDResp:
+			dst := f.Src
+			for b := 0; b < req.Beats(); b++ {
+				d := &chi.Message{TxnID: req.TxnID, Op: chi.NonCopyBackWrData, Addr: req.Addr, Requester: e.Node(), Size: req.Size}
+				e.sendq = append(e.sendq, d.NewFlit(e.net, e.Node(), dst))
+			}
+		case chi.Comp:
+			e.finish(m.TxnID)
+		}
+		e.net.ReleaseFlit(f)
+	}
+	for len(e.sendq) > 0 && e.iface.Send(e.sendq[0]) {
+		sim.PopFront(&e.sendq)
+	}
+	for i := 0; i < engineIssueWidth; i++ {
+		if len(e.queue) == 0 || len(e.sendq) > 0 || e.tracker.Full() {
+			return
+		}
+		c := e.queue[0]
+		op := chi.ReadNoSnp
+		if c.write {
+			op = chi.WriteNoSnp
+		}
+		addr := uint64(e.die+1)<<32 | (e.addrSeq*chi.LineSize)%engineFootprint
+		e.addrSeq++
+		m := &chi.Message{Op: op, Addr: addr, Requester: e.Node(), Size: c.bytes}
+		if !e.tracker.Open(m) {
+			return
+		}
+		sim.PopFront(&e.queue)
+		if !c.write {
+			m.BeatsLeft = m.Beats()
+		}
+		m.IssuedAt = uint64(now)
+		e.inflight[m.TxnID] = c
+		e.Issued++
+		e.sendq = append(e.sendq, m.NewFlit(e.net, e.Node(), e.memNodes[c.target]))
+		for len(e.sendq) > 0 && e.iface.Send(e.sendq[0]) {
+			sim.PopFront(&e.sendq)
+		}
+	}
+}
+
+// RegisterMetrics exposes the engine's counters and queue depths under
+// "serving.<name>.*".
+func (e *Engine) RegisterMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	p := "serving." + e.name
+	reg.Counter(p+".issued", func() uint64 { return e.Issued })
+	reg.Counter(p+".completed", func() uint64 { return e.Completed })
+	reg.Counter(p+".bytes_moved", func() uint64 { return e.BytesMoved })
+	reg.Series(p+".queue_depth", func() float64 { return float64(len(e.queue)) })
+	reg.Series(p+".outstanding", func() float64 { return float64(e.tracker.Outstanding()) })
+}

@@ -1,0 +1,228 @@
+// The host orchestrator: a deterministic, serially-ticked device that
+// admits open-loop arrivals, streams batches under low/high watermarks,
+// walks each batch's command DAG, and records per-request end-to-end
+// latency into a streaming quantile sketch.
+//
+// Determinism contract with the partitioned tick engine: the
+// orchestrator deliberately does NOT implement noc.NodeOwner, so the
+// partition planner classifies it as a serial device — ticked at the
+// barrier after every partition's devices, exactly where it falls in
+// the sequential engine (it is registered last). Because it also has no
+// idle horizon, the planner pins the structural lookahead to one cycle,
+// which makes any (partitions, lookahead) setting execute the identical
+// cycle-by-cycle schedule. Engines only communicate with it through
+// their own queues (written serially) and done lists (drained
+// serially), so no cross-partition state is ever shared.
+package serving
+
+import (
+	"fmt"
+
+	"chipletnoc/internal/config"
+	"chipletnoc/internal/metrics"
+	"chipletnoc/internal/noc"
+	"chipletnoc/internal/sim"
+	"chipletnoc/internal/stats"
+	"chipletnoc/internal/trace"
+)
+
+// Orchestrator drives one serving run at one offered load.
+type Orchestrator struct {
+	name     string
+	spec     *config.ServingSpec
+	net      *noc.Network
+	engines  []*Engine
+	arr      *arrivalProcess
+	routeRNG *sim.RNG
+
+	pending   []request
+	computing []*command
+	active    int  // in-flight batches
+	filling   bool // between a low-watermark crossing and reaching high
+	stalled   bool // watermark backpressure state, for trace edges
+	nextBatch int
+	nextHome  int
+
+	// Aggregates for the sweep row.
+	Admitted  uint64
+	Completed uint64
+	// StallCycles counts cycles where admitted requests waited only on
+	// the watermark (in-flight batches above the refill trigger).
+	StallCycles uint64
+	PeakPending int
+	// Sketch summarizes per-request end-to-end latency (arrival to
+	// batch completion, in cycles).
+	Sketch stats.QuantileSketch
+	// streamDigest folds every (completion index, latency) pair in
+	// completion order — the golden fingerprint of the whole run.
+	streamDigest uint64
+}
+
+// newOrchestrator wires the orchestrator; the caller registers it as
+// the network's LAST device so serial and sequential tick orders agree.
+func newOrchestrator(spec *config.ServingSpec, net *noc.Network, engines []*Engine, load float64, rng *sim.RNG) *Orchestrator {
+	return &Orchestrator{
+		name:         "host.orch",
+		spec:         spec,
+		net:          net,
+		engines:      engines,
+		arr:          newArrivalProcess(spec, load, rng.Derive(0xA221)),
+		routeRNG:     rng.Derive(0x40E),
+		streamDigest: 14695981039346656037, // FNV-1a offset basis
+	}
+}
+
+// Name implements noc.Device. No Node method: staying out of
+// noc.NodeOwner is what parks the orchestrator in the serial tail.
+func (o *Orchestrator) Name() string { return o.name }
+
+// Tick implements noc.Device. Order within a cycle: finish transfers
+// engines completed this cycle, retire compute, admit arrivals, stream
+// batches, release newly-ready commands. Every step iterates fixed
+// slices in fixed order — nothing here may observe map order or wall
+// clocks.
+func (o *Orchestrator) Tick(now sim.Cycle) {
+	// 1. Transfer completions, in die order then engine-completion order.
+	for _, e := range o.engines {
+		for _, c := range e.done {
+			if c.compute > 0 {
+				c.readyAt = now + sim.Cycle(c.compute)
+				o.computing = append(o.computing, c)
+			} else {
+				o.finish(c, now)
+			}
+		}
+		e.done = e.done[:0]
+	}
+	// 2. Compute retirements (in-place filter keeps insertion order).
+	live := o.computing[:0]
+	for _, c := range o.computing {
+		if c.readyAt <= now {
+			o.finish(c, now)
+		} else {
+			live = append(live, c)
+		}
+	}
+	o.computing = live
+	// 3. Open-loop arrivals: admitted by cycle, never by completion.
+	for n := o.arr.step(); n > 0; n-- {
+		o.pending = append(o.pending, request{arrival: now})
+		o.Admitted++
+	}
+	if len(o.pending) > o.PeakPending {
+		o.PeakPending = len(o.pending)
+	}
+	// 4. Watermark-governed batch streaming: crossing the low watermark
+	// opens the tap; it closes at the high watermark (double buffering
+	// at the default 1/2).
+	if o.active <= o.spec.LowWatermark {
+		o.filling = true
+	}
+	for o.filling && len(o.pending) > 0 {
+		if o.active >= o.spec.HighWatermark {
+			o.filling = false
+			break
+		}
+		o.admitBatch(now)
+	}
+	o.noteStall(now, len(o.pending) > 0)
+}
+
+// noteStall maintains the stall counter and emits trace edges when the
+// watermark starts or stops holding requests back.
+func (o *Orchestrator) noteStall(now sim.Cycle, stalled bool) {
+	if stalled {
+		o.StallCycles++
+	}
+	if stalled != o.stalled {
+		o.stalled = stalled
+		kind := "ends"
+		if stalled {
+			kind = "begins"
+		}
+		o.net.TraceNode(o.engines[0].Node(), trace.Stall, 0, o.name,
+			fmt.Sprintf("watermark stall %s: %d pending, %d batches in flight", kind, len(o.pending), o.active))
+	}
+}
+
+// admitBatch forms one batch from the head of the pending queue (a
+// partial batch if fewer than Batch requests wait — open-loop serving
+// does not hold a lone request hostage for batchmates), expands its
+// DAG and issues the entry commands.
+func (o *Orchestrator) admitBatch(now sim.Cycle) {
+	n := o.spec.Batch
+	if n > len(o.pending) {
+		n = len(o.pending)
+	}
+	b := &batch{id: o.nextBatch, home: o.nextHome, reqs: append([]request(nil), o.pending[:n]...)}
+	o.pending = o.pending[n:]
+	o.nextBatch++
+	o.nextHome = (o.nextHome + 1) % len(o.engines)
+	o.active++
+	for _, c := range expandBatch(o.spec, b, o.routeRNG) {
+		if c.deps == 0 {
+			o.engines[c.die].enqueue(c)
+		}
+	}
+	if b.remaining == 0 {
+		// A spec with zero layers completes instantly.
+		o.completeBatch(b, now)
+	}
+}
+
+// finish retires one command and releases its dependents.
+func (o *Orchestrator) finish(c *command, now sim.Cycle) {
+	for _, out := range c.outs {
+		if out.deps--; out.deps == 0 {
+			o.engines[out.die].enqueue(out)
+		}
+	}
+	if c.b.remaining--; c.b.remaining == 0 {
+		o.completeBatch(c.b, now)
+	}
+}
+
+// completeBatch records every rider's end-to-end latency and folds the
+// completion stream into the golden digest.
+func (o *Orchestrator) completeBatch(b *batch, now sim.Cycle) {
+	const fnvPrime = 1099511628211
+	for _, r := range b.reqs {
+		lat := uint64(now - r.arrival)
+		o.Sketch.Observe(lat)
+		for _, v := range [2]uint64{o.Completed, lat} {
+			for i := 0; i < 8; i++ {
+				o.streamDigest ^= v & 0xff
+				o.streamDigest *= fnvPrime
+				v >>= 8
+			}
+		}
+		o.Completed++
+	}
+	o.active--
+}
+
+// Backlog is the open-loop debt at the end of a run: requests admitted
+// but not completed (queued, batched or mid-DAG). A saturated load
+// shows up here before the percentiles can even see it.
+func (o *Orchestrator) Backlog() uint64 { return o.Admitted - o.Completed }
+
+// StreamDigest returns the FNV-1a fold of the completion stream —
+// byte-identical runs produce equal digests, and the golden tests pin
+// them.
+func (o *Orchestrator) StreamDigest() uint64 { return o.streamDigest }
+
+// RegisterMetrics exposes the orchestrator's queue depths, watermark
+// stalls and latency summary under "serving.host.*".
+func (o *Orchestrator) RegisterMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	const p = "serving.host"
+	reg.Counter(p+".admitted", func() uint64 { return o.Admitted })
+	reg.Counter(p+".completed", func() uint64 { return o.Completed })
+	reg.Counter(p+".stall_cycles", func() uint64 { return o.StallCycles })
+	reg.Series(p+".pending_depth", func() float64 { return float64(len(o.pending)) })
+	reg.Series(p+".active_batches", func() float64 { return float64(o.active) })
+	reg.Gauge(p+".latency_p50", func() float64 { return o.Sketch.Quantile(0.50) })
+	reg.Gauge(p+".latency_p99", func() float64 { return o.Sketch.Quantile(0.99) })
+}

@@ -1,0 +1,128 @@
+// Command-DAG expansion: turning the declarative layer list of a
+// serving spec into the per-batch dependency graph the orchestrator
+// drives. Each layer becomes one or more commands — attention and FFN a
+// single weight read on the batch's home die; a MoE layer a dispatch /
+// expert-compute / combine triple per activated expert, with the
+// dispatch writing activations to the expert's die and the combine
+// writing results back, so top-k routing over die-mapped experts turns
+// into all-to-all traffic across the inter-die bridges.
+package serving
+
+import (
+	"sort"
+
+	"chipletnoc/internal/config"
+	"chipletnoc/internal/sim"
+)
+
+// Command kinds, named after the DAG nodes of the uPimulator host
+// orchestration model.
+const (
+	cmdAttention = "attention"
+	cmdDispatch  = "moe-dispatch"
+	cmdExpert    = "expert-compute"
+	cmdCombine   = "moe-combine"
+	cmdFFN       = "ffn"
+)
+
+// command is one node of a batch's DAG: a NoC transfer (a CHI read or
+// write executed by the engine on die `die` against die `target`'s
+// memory) followed by `compute` cycles of modelled arithmetic.
+type command struct {
+	kind    string
+	die     int // executing engine
+	target  int // die whose memory the transfer touches
+	write   bool
+	bytes   int
+	compute int
+
+	deps    int        // unmet dependency count
+	outs    []*command // dependents to release on completion
+	b       *batch
+	readyAt sim.Cycle // compute completion, once transferred
+}
+
+// request is one open-loop arrival awaiting (or riding) a batch.
+type request struct {
+	arrival sim.Cycle
+}
+
+// batch groups requests into one DAG execution.
+type batch struct {
+	id        int
+	home      int // die executing the non-expert layers
+	reqs      []request
+	remaining int // unfinished commands
+}
+
+// dependOn wires a dependency edge from each of froms to c.
+func (c *command) dependOn(froms []*command) {
+	for _, f := range froms {
+		f.outs = append(f.outs, c)
+		c.deps++
+	}
+}
+
+// expandBatch builds the command DAG for one batch homed on die home.
+// MoE expert selection draws from rng (top-FanOut distinct experts,
+// fresh per batch and per layer), so consecutive batches spread across
+// the expert population the way token-dependent routing would. Returns
+// the full command list; entry commands (no deps) are ready to issue.
+func expandBatch(spec *config.ServingSpec, b *batch, rng *sim.RNG) []*command {
+	var all []*command
+	exits := make([][]*command, len(spec.Layers))
+	entries := make([][]*command, len(spec.Layers))
+	for i := range spec.Layers {
+		l := &spec.Layers[i]
+		switch l.Kind {
+		case config.LayerMoE:
+			experts := pickExperts(l, rng)
+			var dispatches, combines []*command
+			for _, e := range experts {
+				die := l.ExpertDies[e]
+				d := &command{kind: cmdDispatch, die: b.home, target: die, write: true, bytes: l.Bytes, b: b}
+				x := &command{kind: cmdExpert, die: die, target: die, bytes: l.ExpertBytes, compute: l.ComputeCycles, b: b}
+				c := &command{kind: cmdCombine, die: die, target: b.home, write: true, bytes: l.Bytes, b: b}
+				x.dependOn([]*command{d})
+				c.dependOn([]*command{x})
+				dispatches = append(dispatches, d)
+				combines = append(combines, c)
+				all = append(all, d, x, c)
+			}
+			entries[i], exits[i] = dispatches, combines
+		default: // attention / ffn: one local weight read + compute
+			kind := cmdAttention
+			if l.Kind == config.LayerFFN {
+				kind = cmdFFN
+			}
+			c := &command{kind: kind, die: b.home, target: b.home, bytes: l.Bytes, compute: l.ComputeCycles, b: b}
+			entries[i], exits[i] = []*command{c}, []*command{c}
+			all = append(all, c)
+		}
+		for _, dep := range spec.LayerDeps(i) {
+			for _, entry := range entries[i] {
+				entry.dependOn(exits[dep])
+			}
+		}
+	}
+	b.remaining = len(all)
+	return all
+}
+
+// pickExperts returns the FanOut activated expert indices, ascending.
+// Routing to every expert skips the RNG so a dense layer stays
+// draw-free; sorting the partial permutation keeps command creation
+// order a function of the selection set, not of Perm's internal order.
+func pickExperts(l *config.ServingLayerSpec, rng *sim.RNG) []int {
+	if l.FanOut >= l.Experts {
+		out := make([]int, l.Experts)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	perm := rng.Perm(l.Experts)
+	out := append([]int(nil), perm[:l.FanOut]...)
+	sort.Ints(out)
+	return out
+}

@@ -46,12 +46,15 @@ const (
 	// WatchdogDrop: the per-flit age watchdog removed a livelocked or
 	// stranded flit from the network.
 	WatchdogDrop
+	// Stall: an orchestrator held admitted work back (serving watermark
+	// backpressure — requests waiting while in-flight batches drain).
+	Stall
 )
 
 // String implements fmt.Stringer.
 func (k Kind) String() string {
 	return [...]string{"inject", "eject", "deliver", "deflect", "bridge", "drm+", "drm-", "swap",
-		"fault", "reroute", "retry", "wdog"}[k]
+		"fault", "reroute", "retry", "wdog", "stall"}[k]
 }
 
 // Event is one traced occurrence.
